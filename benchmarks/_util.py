@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper as text, prints
+it, and archives it under ``benchmarks/results/`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+regenerated artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered artifact and archive it."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def span(values) -> str:
+    """Render an improvement span like the paper's '5x - 90x' annotations."""
+    values = [v for v in values if v is not None]
+    return f"{min(values):.1f}x - {max(values):.1f}x"

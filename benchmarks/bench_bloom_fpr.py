@@ -1,0 +1,17 @@
+"""Bloom-sizing bench: see :mod:`repro.experiments.bloom_sizing`."""
+
+from repro.experiments import bloom_sizing
+from repro.filters.hdn import HDNConfig, size_bloom_for_hdns
+
+from benchmarks._util import emit
+
+
+def test_bloom_fpr(benchmark):
+    measured = benchmark(bloom_sizing.measured_fpr)
+    emit("bloom_fpr", bloom_sizing.render())
+    m_bits = size_bloom_for_hdns(
+        bloom_sizing.Q_HDNS,
+        HDNConfig(load_factor=bloom_sizing.LOAD, g_hashes=bloom_sizing.G_HASHES),
+    )
+    assert m_bits // 8 <= 128 * 1024  # insignificant on-chip overhead
+    assert measured < 0.05  # the paper's ~2% target band

@@ -1,0 +1,18 @@
+"""DAM-model bench: see :func:`repro.experiments.ablations.render_dram`."""
+
+from repro.experiments.ablations import dram_collect, render_dram
+from repro.memory.dram_sim import DRAMTiming
+
+from benchmarks._util import emit
+
+
+def test_dram_stream_vs_random(benchmark):
+    _, results = benchmark(dram_collect)
+    emit("dram_stream_vs_random", render_dram())
+    timing = DRAMTiming()
+    stream_bw, stream_hit = results["stream"]
+    rand_bw, rand_hit = results["random mlp=10"]
+    assert stream_bw > 0.8 * timing.peak_bandwidth
+    assert stream_hit > 0.95
+    assert rand_hit < 0.05
+    assert stream_bw / rand_bw > 10

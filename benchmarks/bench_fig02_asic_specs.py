@@ -1,0 +1,23 @@
+"""Figure 2 bench: the ASIC spec-sheet roll-up.
+
+Checks that the microarchitecture inventory (16 x 2048-way merge cores,
+pre-sorter, step-1 pipelines, Bloom filter) rolls up to the fabricated
+chip's published envelope, and that the SRAM-dominated area split holds.
+"""
+
+from repro.experiments import fig02_asic_specs
+from repro.merge.resources import PUBLISHED_ASIC
+
+from benchmarks._util import emit
+
+
+def test_fig02_asic_specs(benchmark):
+    text = benchmark(fig02_asic_specs.render)
+    emit("fig02_asic_specs", text)
+    res = fig02_asic_specs.collect()
+    assert abs(res.total_mm2 - PUBLISHED_ASIC["area_mm2"]) / PUBLISHED_ASIC["area_mm2"] < 0.05
+    assert abs(res.leakage_w - PUBLISHED_ASIC["leakage_w"]) / PUBLISHED_ASIC["leakage_w"] < 0.10
+    assert abs(res.total_w - PUBLISHED_ASIC["total_w"]) / PUBLISHED_ASIC["total_w"] < 0.05
+    # The merge network's SRAM dominates the die.
+    split = res.breakdown()
+    assert split["merge-core SRAM FIFOs"] > 0.5 * res.total_mm2

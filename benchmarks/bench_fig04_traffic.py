@@ -1,0 +1,17 @@
+"""Figure 4 bench: see :mod:`repro.experiments.fig04_traffic`."""
+
+from repro.experiments import fig04_traffic
+
+from benchmarks._util import emit
+
+
+def test_fig04_traffic(benchmark):
+    text = benchmark(fig04_traffic.render)
+    emit("fig04_traffic", text)
+    lb, ts = fig04_traffic.collect()
+    # Fig. 4's two claims: more payload, yet less total, and all streaming.
+    assert ts.payload_bytes > lb.payload_bytes
+    assert ts.total_bytes < lb.total_bytes
+    assert ts.cache_line_wastage_bytes == 0.0
+    measured, analytic = fig04_traffic.cross_check()
+    assert abs(measured - analytic) < 0.25

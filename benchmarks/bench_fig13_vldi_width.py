@@ -1,0 +1,28 @@
+"""Figure 13 bench: see :mod:`repro.experiments.fig13_vldi_width`."""
+
+from repro.experiments import fig13_vldi_width
+
+from benchmarks._util import emit
+
+
+def test_fig13_vldi_width(benchmark):
+    text = benchmark(fig13_vldi_width.render)
+    emit("fig13_vldi_width", text)
+    results = fig13_vldi_width.collect()
+    narrow = results["5MB"][1]
+    wide = results["35MB"][1]
+    # The paper's qualitative result: smaller memory -> wider optimal block.
+    assert narrow > wide
+    # Absolute optima land lower than the paper's (3 vs 8, 2 vs 4) because
+    # this model minimizes pure index bits, while the hardware constrains
+    # string widths to pack into SRAM/DRAM words; the ordering and the
+    # delta-width distributions are the reproducible content (see
+    # EXPERIMENTS.md).
+    assert 2 <= narrow <= 8
+    assert 1 <= wide <= 4
+    # The 5 MB distribution is shifted toward wider deltas.
+    hist_narrow = results["5MB"][0]
+    hist_wide = results["35MB"][0]
+    mean_narrow = sum(b * p for b, p in enumerate(hist_narrow))
+    mean_wide = sum(b * p for b, p in enumerate(hist_wide))
+    assert mean_narrow > mean_wide

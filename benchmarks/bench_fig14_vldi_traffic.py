@@ -1,0 +1,19 @@
+"""Figure 14 bench: see :mod:`repro.experiments.fig14_vldi_traffic`."""
+
+from repro.experiments import fig14_vldi_traffic
+
+from benchmarks._util import emit
+
+
+def test_fig14_vldi_traffic(benchmark):
+    text = benchmark(fig14_vldi_traffic.render)
+    emit("fig14_vldi_traffic", text)
+    rows = fig14_vldi_traffic.collect()
+    reductions = []
+    for _, none, vec, both, reduction, _ in rows:
+        assert both < vec < none  # each compression level helps
+        reductions.append(reduction / 100.0)
+    # Compression benefit grows monotonically as value bits shrink,
+    # peaking for binary (meta-data-only) matrices.
+    assert all(a < b for a, b in zip(reductions, reductions[1:]))
+    assert reductions[-1] > 0.40  # paper: 66.4% for binary matrices

@@ -1,0 +1,17 @@
+"""Figure 17 bench: see :mod:`repro.experiments.fig17_18_custom_hw`."""
+
+from repro.core.design_points import ASIC_POINTS
+from repro.experiments import fig17_18_custom_hw
+
+from benchmarks._util import emit
+
+
+def test_fig17_asic_vs_custom(benchmark):
+    text = benchmark(fig17_18_custom_hw.render_asic)
+    emit("fig17_asic_vs_custom", text)
+    _, _, ratios = fig17_18_custom_hw.collect(ASIC_POINTS)
+    # Every proposed variant beats every benchmark on every graph, with a
+    # span overlapping the paper's 5x-90x annotation.
+    assert min(ratios) > 2.0
+    assert max(ratios) > 30.0
+    assert max(ratios) < 200.0

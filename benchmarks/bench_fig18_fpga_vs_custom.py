@@ -1,0 +1,19 @@
+"""Figure 18 bench: see :mod:`repro.experiments.fig17_18_custom_hw`."""
+
+from repro.core.design_points import FPGA_POINTS
+from repro.experiments import fig17_18_custom_hw
+
+from benchmarks._util import emit
+
+
+def test_fig18_fpga_vs_custom(benchmark):
+    text = benchmark(fig17_18_custom_hw.render_fpga)
+    emit("fig18_fpga_vs_custom", text)
+    _, series, ratios = fig17_18_custom_hw.collect(FPGA_POINTS)
+    assert min(ratios) > 1.0  # the FPGA ports win everywhere they fit
+    assert max(ratios) > 15.0
+    assert max(ratios) < 120.0
+    # Capacity cliffs appear as n/a entries, as in the paper's figure.
+    assert any(v is None for vals in series.values() for v in vals) or all(
+        point.max_nodes > 42e6 for point in FPGA_POINTS
+    )

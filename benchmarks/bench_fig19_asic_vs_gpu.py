@@ -1,0 +1,14 @@
+"""Figure 19 bench: see :mod:`repro.experiments.fig19_20_gpu`."""
+
+from repro.core.design_points import ASIC_POINTS
+from repro.experiments import fig19_20_gpu
+
+from benchmarks._util import emit
+
+
+def test_fig19_asic_vs_gpu(benchmark):
+    text = benchmark(fig19_20_gpu.render_asic)
+    emit("fig19_asic_vs_gpu", text)
+    _, _, _, g_ratios, e_ratios = fig19_20_gpu.collect(ASIC_POINTS)
+    assert min(g_ratios) > 10 and max(g_ratios) < 150
+    assert min(e_ratios) > 80 and max(e_ratios) < 2000

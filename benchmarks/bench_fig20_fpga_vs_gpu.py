@@ -1,0 +1,14 @@
+"""Figure 20 bench: see :mod:`repro.experiments.fig19_20_gpu`."""
+
+from repro.core.design_points import FPGA_POINTS
+from repro.experiments import fig19_20_gpu
+
+from benchmarks._util import emit
+
+
+def test_fig20_fpga_vs_gpu(benchmark):
+    text = benchmark(fig19_20_gpu.render_fpga)
+    emit("fig20_fpga_vs_gpu", text)
+    _, _, _, g_ratios, e_ratios = fig19_20_gpu.collect(FPGA_POINTS)
+    assert min(g_ratios) > 1.5 and max(g_ratios) < 100
+    assert min(e_ratios) > 5 and max(e_ratios) < 800

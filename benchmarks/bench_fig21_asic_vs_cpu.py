@@ -1,0 +1,20 @@
+"""Figure 21 bench: see :mod:`repro.experiments.fig21_22_cpu`."""
+
+from repro.baselines.cpu_model import XEON_E5_MKL
+from repro.core.design_points import ASIC_POINTS, TS_ASIC
+from repro.experiments import fig21_22_cpu
+
+from benchmarks._util import emit
+
+
+def test_fig21_asic_vs_cpu(benchmark):
+    text = benchmark(fig21_22_cpu.render_asic)
+    emit("fig21_asic_vs_cpu", text)
+    _, gteps, _, g_ratios, e_ratios = fig21_22_cpu.collect(ASIC_POINTS)
+    assert min(g_ratios) > 5 and max(g_ratios) > 100
+    assert min(e_ratios) > 50 and max(e_ratios) > 500
+    # CPU GTEPS falls with growing dimension (the LLC spill), while the
+    # proposed ASIC covers every row including the billion-node ones.
+    cpu = [g for g in gteps[XEON_E5_MKL.name] if g is not None]
+    assert cpu[0] > cpu[-1]
+    assert all(g is not None for g in gteps[TS_ASIC.name])

@@ -1,0 +1,14 @@
+"""Figure 22 bench: see :mod:`repro.experiments.fig21_22_cpu`."""
+
+from repro.core.design_points import FPGA_POINTS
+from repro.experiments import fig21_22_cpu
+
+from benchmarks._util import emit
+
+
+def test_fig22_fpga_vs_cpu(benchmark):
+    text = benchmark(fig21_22_cpu.render_fpga)
+    emit("fig22_fpga_vs_cpu", text)
+    _, _, _, g_ratios, e_ratios = fig21_22_cpu.collect(FPGA_POINTS)
+    assert min(g_ratios) > 1.5 and max(g_ratios) > 30
+    assert min(e_ratios) > 5 and max(e_ratios) > 50

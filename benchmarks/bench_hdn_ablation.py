@@ -1,0 +1,18 @@
+"""HDN ablation bench: see :func:`repro.experiments.ablations.render_hdn`."""
+
+from repro.experiments.ablations import hdn_collect, render_hdn
+
+from benchmarks._util import emit
+
+
+def test_hdn_ablation(benchmark):
+    results = benchmark(hdn_collect)
+    emit("hdn_ablation", render_hdn())
+    _, pl_without, pl_with, pl_det = results["RMAT (power-law)"]
+    _, er_without, er_with, er_det = results["Erdős–Rényi"]
+    assert pl_det.n_hdns > 0
+    assert pl_with.cycles < pl_without.cycles  # hubs stop stalling
+    # Uniform graph: essentially no HDNs, no slowdown from the filter.
+    assert er_with.cycles <= er_without.cycles * 1.01
+    # The filter is a trivial fraction of the 11 MB on-chip budget.
+    assert pl_det.filter_bytes < (11 << 20) // 1000

@@ -1,0 +1,17 @@
+"""ITS-schedule bench: see
+:func:`repro.experiments.ablations.render_its_schedule`."""
+
+from repro.experiments.ablations import its_schedule_collect, render_its_schedule
+
+from benchmarks._util import emit
+
+
+def test_its_schedule(benchmark):
+    _, rows = benchmark(its_schedule_collect)
+    emit("its_schedule", render_its_schedule())
+    speedups = [r for _, _, _, r, _ in rows]
+    buffers = [b for _, _, _, _, b in rows]
+    assert speedups[0] == 1.0  # single iteration cannot overlap
+    assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert max(speedups) <= 2.0 + 1e-9  # the theoretical overlap bound
+    assert all(b <= 2 for b in buffers)  # two vector buffers suffice

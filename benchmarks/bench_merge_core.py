@@ -1,0 +1,53 @@
+"""Section 3.2: single Merge Core throughput and resource anchors.
+
+Paper anchors: a 2048-way MC at 1.4 GHz saturates 28 GB/s; the HBM system
+provides 512 GB/s, so ~an order of magnitude of merge parallelism (16
+cores via PRaP) is required.  The bench also measures the cycle-level
+simulator's records-per-cycle on a live merge.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.design_points import TS_ASIC
+from repro.merge.merge_core import MergeCore, MergeCoreConfig
+
+from benchmarks._util import emit
+
+
+def simulate_throughput(ways=16, records_per_list=400):
+    cfg = MergeCoreConfig(ways=ways, fifo_depth=4)
+    core = MergeCore(cfg)
+    lists = [
+        (np.arange(i, ways * records_per_list, ways, dtype=np.int64),
+         np.ones(records_per_list))
+        for i in range(ways)
+    ]
+    keys, _ = core.merge(lists)
+    return keys.size / core.cycles  # records per cycle
+
+
+def render() -> str:
+    anchor = MergeCoreConfig(ways=2048, record_bits=160, frequency_hz=1.4e9)
+    rpc = simulate_throughput()
+    rows = [
+        ["2048-way MC peak bandwidth", f"{anchor.peak_bandwidth / 1e9:.1f} GB/s", "28 GB/s"],
+        ["16 MCs aggregate", f"{16 * anchor.peak_bandwidth / 1e9:.0f} GB/s", ">= 432 GB/s"],
+        ["HBM streaming bandwidth", f"{TS_ASIC.dram.stream_bandwidth / 1e9:.0f} GB/s", "512 GB/s"],
+        ["pipeline stages (2048-way)", anchor.stages, "11"],
+        ["stage-FIFO SRAM", f"{anchor.fifo_sram_bits / 8 / 1024:.0f} KiB", "packed SRAM blocks"],
+        ["simulated records/cycle (16-way)", f"{rpc:.3f}", "~1.0"],
+    ]
+    return format_table(
+        ["quantity", "model", "paper"],
+        rows,
+        title="Merge Core throughput anchors (section 3.2)",
+    )
+
+
+def test_merge_core_anchors(benchmark):
+    rpc = benchmark(simulate_throughput)
+    emit("merge_core", render())
+    anchor = MergeCoreConfig(ways=2048, record_bits=160, frequency_hz=1.4e9)
+    assert abs(anchor.peak_bandwidth - 28e9) / 28e9 < 0.01
+    assert rpc > 0.8  # near one record per cycle in steady state

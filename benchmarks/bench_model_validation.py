@@ -1,0 +1,25 @@
+"""Calibration bench: see :func:`repro.experiments.ablations.render_validation`.
+
+The grid here is wider than the CLI's default sweep: it also covers a
+large-N point so extrapolation is exercised.
+"""
+
+from repro.analysis.validation import validate_traffic_model
+from repro.experiments.ablations import render_validation
+
+from benchmarks._util import emit
+
+
+def measure():
+    return validate_traffic_model(
+        dimensions=(10_000, 40_000),
+        degrees=(2.0, 4.0, 8.0),
+        segment_widths=(1_000, 8_000),
+    )
+
+
+def test_model_validation(benchmark):
+    report = benchmark(measure)
+    emit("model_validation", render_validation())
+    assert report.worst_total_error < 0.15
+    assert report.mean_total_error < 0.08

@@ -1,0 +1,78 @@
+"""Application-level payoff: iterative PageRank at paper scale.
+
+PageRank is the paper's motivating ITS workload (section 5.2).  This
+bench models a 20-iteration PageRank run on Table-6 graphs across the
+accelerator variants and the CPU baseline, composing the per-iteration
+SpMV estimates with ITS's iteration-boundary savings -- the end-to-end
+number a graph-analytics user cares about.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.baselines.cpu_model import XEON_E5_MKL
+from repro.core.design_points import ITS_ASIC, ITS_VC_ASIC, TS_ASIC
+from repro.core.perf import estimate_iterative
+from repro.generators.datasets import get_dataset
+
+from benchmarks._util import emit
+
+ITERATIONS = 20
+GRAPHS = ["patents", "wb-edu", "Sy-60M"]
+
+
+def model_run(point, spec):
+    """Total runtime and traffic of an ITERATIONS-iteration PageRank."""
+    est = estimate_iterative(point, spec.n_nodes, spec.n_edges, ITERATIONS)
+    return est.runtime_s, est.traffic
+
+
+def measure():
+    rows = []
+    for name in GRAPHS:
+        spec = get_dataset(name)
+        row = [name]
+        for point in (TS_ASIC, ITS_ASIC, ITS_VC_ASIC):
+            runtime, _ = model_run(point, spec)
+            row.append(runtime)
+        if XEON_E5_MKL.supports(spec.n_nodes):
+            cpu = XEON_E5_MKL.estimate(spec.n_nodes, spec.n_edges)
+            row.append(cpu.runtime_s * ITERATIONS)
+        else:
+            row.append(None)
+        rows.append(row)
+    return rows
+
+
+def render() -> str:
+    rows = measure()
+    table_rows = []
+    for name, ts, its, vc, cpu in rows:
+        table_rows.append(
+            [
+                name,
+                f"{ts * 1e3:.1f}",
+                f"{its * 1e3:.1f}",
+                f"{vc * 1e3:.1f}",
+                f"{cpu * 1e3:.0f}" if cpu else "n/a",
+                f"{cpu / vc:.0f}x" if cpu else "n/a",
+            ]
+        )
+    table = format_table(
+        ["graph", "TS (ms)", "ITS (ms)", "ITS_VC (ms)", "MKL/Xeon (ms)", "best speedup"],
+        table_rows,
+        title=f"{ITERATIONS}-iteration PageRank, modeled end to end",
+    )
+    return table + (
+        "\n\nITS's overlap compounds over iterations: the whole run "
+        "approaches step-1-only time, which is where Table 2's 432 -> 729 "
+        "GB/s materializes for a real application."
+    )
+
+
+def test_pagerank_paper_scale(benchmark):
+    rows = benchmark(measure)
+    emit("pagerank_paper_scale", render())
+    for name, ts, its, vc, cpu in rows:
+        assert its < ts, name  # overlap always wins over iterations
+        assert vc <= its * 1.02, name  # compression never hurts end to end
+        if cpu is not None:
+            assert cpu / vc > 10, name  # order-of-magnitude app-level win

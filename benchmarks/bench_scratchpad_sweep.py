@@ -1,0 +1,80 @@
+"""Section 6 ablation: scratchpad size vs maximum dimension and the
+traffic/performance consequences of stripe width.
+
+Two sweeps:
+
+* **Capacity** (analytic): doubling the vector buffer doubles the maximum
+  dimension for both TS and ITS -- the paper's scaling argument.
+* **Stripe width** (measured): smaller scratchpads mean narrower stripes,
+  more intermediate vectors and more round-trip records; the measured
+  ledger quantifies the cost the paper's 8 MB choice balances.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_bytes, format_table
+from repro.core.config import TwoStepConfig
+from repro.core.design_points import ITS_ASIC, MB, TS_ASIC, with_vector_buffer
+from repro.core.twostep import TwoStepEngine
+from repro.generators.erdos_renyi import erdos_renyi_graph
+
+from benchmarks._util import emit
+
+N_NODES = 120_000
+AVG_DEGREE = 3.0
+
+
+def capacity_rows():
+    rows = []
+    for mb in (4, 8, 16, 32, 64):
+        ts = with_vector_buffer(TS_ASIC, mb * MB)
+        its = with_vector_buffer(ITS_ASIC, mb * MB)
+        rows.append([mb, ts.max_nodes / 1e9, its.max_nodes / 1e9])
+    return rows
+
+
+def stripe_sweep(graph):
+    rows = []
+    for segment in (1_000, 4_000, 15_000, 60_000, 120_000):
+        engine = TwoStepEngine(TwoStepConfig(segment_width=segment, q=4))
+        _, report = engine.run(graph, np.ones(graph.n_cols))
+        rows.append(
+            [
+                segment,
+                report.n_stripes,
+                report.intermediate_records,
+                format_bytes(report.traffic.intermediate_bytes),
+                format_bytes(report.traffic.total_bytes),
+            ]
+        )
+    return rows
+
+
+def render() -> str:
+    graph = erdos_renyi_graph(N_NODES, AVG_DEGREE, seed=19)
+    cap = format_table(
+        ["vector buffer (MB)", "TS max nodes (B)", "ITS max nodes (B)"],
+        capacity_rows(),
+        title="Capacity scaling (section 6): dimension doubles with the buffer",
+    )
+    sweep = format_table(
+        ["stripe width", "stripes", "intermediate records", "intermediate traffic", "total traffic"],
+        stripe_sweep(graph),
+        title=f"\nStripe-width sweep at N={N_NODES:,}, degree {AVG_DEGREE} (measured)",
+    )
+    return cap + "\n" + sweep
+
+
+def test_scratchpad_sweep(benchmark):
+    text = benchmark(render)
+    emit("scratchpad_sweep", text)
+    # Capacity doubles with the buffer.
+    rows = capacity_rows()
+    for (mb_a, ts_a, its_a), (mb_b, ts_b, its_b) in zip(rows, rows[1:]):
+        assert ts_b == 2 * ts_a
+        assert its_b == 2 * its_a
+    # Narrower stripes never reduce intermediate records (more stripes ->
+    # fewer per-stripe row collisions to accumulate).
+    graph = erdos_renyi_graph(N_NODES, AVG_DEGREE, seed=19)
+    records = [row[2] for row in stripe_sweep(graph)]
+    assert all(a >= b for a, b in zip(records, records[1:]))

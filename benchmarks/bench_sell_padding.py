@@ -1,0 +1,14 @@
+"""SELL-C-sigma bench: see :func:`repro.experiments.ablations.render_sell`."""
+
+from repro.experiments.ablations import render_sell, sell_collect
+
+from benchmarks._util import emit
+
+
+def test_sell_padding(benchmark):
+    rows = benchmark(sell_collect)
+    emit("sell_padding", render_sell())
+    overhead = {name: o for name, _, _, _, o in rows}
+    assert overhead["mesh (banded)"] < overhead["RMAT (power-law)"]
+    assert overhead["Erdős–Rényi"] < overhead["RMAT (power-law)"]
+    assert overhead["RMAT (power-law)"] > 0.3  # padding explodes on hubs

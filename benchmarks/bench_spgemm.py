@@ -1,0 +1,24 @@
+"""SpGEMM bench: see :func:`repro.experiments.ablations.render_spgemm`."""
+
+import numpy as np
+
+from repro.core.spgemm import spgemm, spgemm_twostep
+from repro.experiments.ablations import render_spgemm, spgemm_collect
+from repro.generators.erdos_renyi import erdos_renyi_graph
+
+from benchmarks._util import emit
+
+
+def test_spgemm_extension(benchmark):
+    rows = benchmark(spgemm_collect)
+    emit("spgemm_extension", render_spgemm())
+    # Denser inputs produce disproportionately more partial products.
+    partials = [r[2] for r in rows]
+    assert partials[0] < partials[1] < partials[2]
+    # Merge accumulation always compresses (or preserves) the stream.
+    for row in rows:
+        assert row[2] >= row[3]
+    # Functional spot-check against the row-wise reference.
+    graph = erdos_renyi_graph(400, 4.0, seed=71)
+    product, _ = spgemm_twostep(graph, graph, segment_width=128)
+    assert np.allclose(product.to_dense(), spgemm(graph, graph).to_dense())

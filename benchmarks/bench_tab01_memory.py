@@ -1,0 +1,16 @@
+"""Table 1 bench: see :mod:`repro.experiments.tab01_memory`."""
+
+from repro.baselines.custom_hw import COTS_MEMORY_ROWS
+from repro.core.design_points import MB, TS_ASIC
+from repro.experiments import tab01_memory
+
+from benchmarks._util import emit
+
+
+def test_tab01_memory(benchmark):
+    text = benchmark(tab01_memory.render)
+    emit("tab01_memory", text)
+    # The proposed points dominate every prior row in vertices per on-chip byte.
+    ours = TS_ASIC.max_nodes / TS_ASIC.onchip_bytes
+    for name, onchip_mb, max_m in COTS_MEMORY_ROWS:
+        assert ours > (max_m * 1e6) / (onchip_mb * MB), name

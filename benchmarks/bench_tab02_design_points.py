@@ -1,0 +1,18 @@
+"""Table 2 bench: see :mod:`repro.experiments.tab02_design_points`."""
+
+from repro.core.design_points import ALL_DESIGN_POINTS
+from repro.experiments import tab02_design_points
+
+from benchmarks._util import emit
+
+
+def test_tab02_design_points(benchmark):
+    text = benchmark(tab02_design_points.render)
+    emit("tab02_design_points", text)
+    for p in ALL_DESIGN_POINTS:
+        assert abs(p.max_nodes - p.published_max_nodes) / p.published_max_nodes < 0.08
+        assert (
+            abs(p.modeled_sustained_gbps - p.published_sustained_gbps)
+            / p.published_sustained_gbps
+            < 0.03
+        )

@@ -1,0 +1,17 @@
+"""Traced-time bench: see :func:`repro.experiments.ablations.render_traced`."""
+
+from repro.experiments.ablations import render_traced, traced_collect
+
+from benchmarks._util import emit
+
+
+def test_traced_time(benchmark):
+    results = benchmark(traced_collect)
+    emit("traced_time", render_traced())
+    for cache, r in results:
+        assert r.speedup > 2.0, f"cache={cache}"
+        assert r.twostep_bytes < r.latency_bound_bytes
+    # A cache narrows but does not close the gap at this sparsity.
+    no_cache = results[0][1].speedup
+    with_cache = results[1][1].speedup
+    assert with_cache <= no_cache

@@ -1,0 +1,18 @@
+"""Coder comparison bench: see :func:`repro.experiments.ablations.render_golomb`."""
+
+from repro.experiments.ablations import golomb_collect, render_golomb
+
+from benchmarks._util import emit
+
+
+def test_vldi_vs_golomb(benchmark):
+    rows = benchmark(golomb_collect)
+    emit("vldi_vs_golomb", render_golomb())
+    for segment, _, vldi_bits, _, rice_bits, entropy in rows:
+        assert rice_bits >= entropy - 1e-6  # no coder beats the floor
+        assert vldi_bits < 2.0 * rice_bits, segment
+    # In the operating regime (narrow stripes) VLDI is close to Rice.
+    assert rows[0][2] < 1.3 * rows[0][4]
+    # Narrower stripes -> longer gaps -> more bits for everyone.
+    vldi_series = [v for _, _, v, _, _, _ in rows]
+    assert vldi_series[0] > vldi_series[-1]

@@ -1,0 +1,31 @@
+"""Benchmark-session hooks: index the regenerated artifacts.
+
+After a benchmark session, every artifact ``emit`` archived under
+``benchmarks/results/`` is listed in ``benchmarks/results/INDEX.md`` so
+the regenerated tables/figures are browsable without re-running anything.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not RESULTS_DIR.is_dir():
+        return
+    artifacts = sorted(p for p in RESULTS_DIR.glob("*.txt"))
+    if not artifacts:
+        return
+    lines = [
+        "# Regenerated artifacts",
+        "",
+        "Written by `pytest benchmarks/ --benchmark-only`; each file is one",
+        "regenerated table/figure (see EXPERIMENTS.md for the paper mapping).",
+        "",
+    ]
+    for artifact in artifacts:
+        title = artifact.read_text().splitlines()[0].strip() if artifact.stat().st_size else ""
+        lines.append(f"- [`{artifact.name}`]({artifact.name}) — {title}")
+    (RESULTS_DIR / "INDEX.md").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,77 @@
+"""Frontier BFS with SpMSpV: sparse frontiers on the merge substrate.
+
+BFS frontiers start tiny; multiplying the whole matrix by a mostly-zero
+vector wastes the machine.  SpMSpV merges only the columns the frontier
+touches -- the same multi-way merge-with-accumulation the Merge Core
+implements -- and falls back to nothing: the record accounting below
+shows how few records each level actually touches compared to a full
+SpMV per level.
+
+Run:  python examples/bfs_frontier.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.apps.bfs import bfs_levels
+from repro.core.spmspv import spmspv
+from repro.generators import rmat_graph
+
+
+def frontier_bfs_with_accounting(adjacency, source):
+    """Level-synchronous BFS where each expansion is one SpMSpV."""
+    transposed = adjacency.transpose()
+    n = adjacency.n_rows
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier_idx = np.array([source], dtype=np.int64)
+    rows = []
+    level = 0
+    while frontier_idx.size:
+        out_idx, out_val, stats = spmspv(
+            transposed, frontier_idx, np.ones(frontier_idx.size)
+        )
+        reached = out_idx[out_val > 0]
+        new = reached[levels[reached] < 0]
+        level += 1
+        rows.append(
+            [
+                level,
+                frontier_idx.size,
+                stats["touched_records"],
+                adjacency.nnz,
+                f"{stats['record_savings']:.1%}",
+                new.size,
+            ]
+        )
+        if new.size == 0:
+            break
+        levels[new] = level
+        frontier_idx = np.sort(new)
+    return levels, rows
+
+
+def main() -> None:
+    graph = rmat_graph(scale=13, avg_degree=10.0, seed=11)
+    source = int(graph.rows[0])
+    levels, rows = frontier_bfs_with_accounting(graph, source)
+
+    reference = bfs_levels(graph, source)
+    assert np.array_equal(levels, reference), "SpMSpV BFS mismatch"
+
+    print(f"graph: {graph.n_rows:,} nodes, {graph.nnz:,} edges; source {source}")
+    print(
+        format_table(
+            ["level", "frontier nnz", "records touched", "full-SpMV records",
+             "saved", "newly reached"],
+            rows,
+            title="Frontier expansion cost: SpMSpV vs full SpMV per level",
+        )
+    )
+    reached = int(np.count_nonzero(levels >= 0))
+    print(f"\nreached {reached:,}/{graph.n_rows:,} nodes in {len(rows)} levels "
+          f"(verified against the dense-frontier reference)")
+
+
+if __name__ == "__main__":
+    main()

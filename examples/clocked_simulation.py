@@ -1,0 +1,65 @@
+"""Clocked microarchitecture simulation of one SpMV.
+
+Runs the cycle-level model of the whole accelerator -- step-1 pipelines
+with real bank-conflict detection, step-2 merge cores with page-prefetch
+stalls -- under both the plain Two-Step (sequential phases) and the ITS
+(overlapped) schedules, and translates cycles into GTEPS at the ASIC's
+1.4 GHz clock.
+
+Run:  python examples/clocked_simulation.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.filters.hdn import HDNConfig
+from repro.generators import rmat_graph
+from repro.simulator import Step1SimConfig, Step2SimConfig, SystemSim
+
+
+def main() -> None:
+    graph = rmat_graph(scale=14, avg_degree=8.0, seed=6)
+    x = np.random.default_rng(6).uniform(size=graph.n_cols)
+    print(f"graph: {graph.n_rows:,} nodes, {graph.nnz:,} edges (power-law)")
+
+    step1 = Step1SimConfig(pipelines=16, n_banks=64)
+    step2 = Step2SimConfig(q=4, records_per_page=64, page_fetch_cycles=32)
+    rows = []
+    for label, overlapped, hdn in (
+        ("TS (sequential phases)", False, None),
+        ("TS + HDN pipeline", False, HDNConfig(degree_threshold=64)),
+        ("ITS (overlapped phases)", True, HDNConfig(degree_threshold=64)),
+    ):
+        sim = SystemSim(
+            segment_width=4_096, step1=step1, step2=step2, hdn=hdn, overlapped=overlapped
+        )
+        y, report = sim.run(graph, x)
+        assert np.allclose(y, graph.spmv(x))
+        rows.append(
+            [
+                label,
+                report.step1_cycles,
+                report.step2_cycles,
+                report.total_cycles,
+                f"{report.step1_utilization:.2f}",
+                report.bank_conflict_stalls,
+                report.hazard_stalls,
+                f"{report.gteps(graph.nnz, 1.4e9):.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["schedule", "step-1 cyc", "step-2 cyc", "total cyc",
+             "step-1 util", "bank stalls", "hazard stalls", "GTEPS @1.4GHz"],
+            rows,
+            title="Clocked accelerator simulation (verified against dense reference)",
+        )
+    )
+    print(
+        "\nthe HDN pipeline removes the accumulator-hazard stalls of the hub "
+        "rows; ITS then hides the shorter phase entirely behind the longer one."
+    )
+
+
+if __name__ == "__main__":
+    main()

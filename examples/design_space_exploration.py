@@ -1,0 +1,84 @@
+"""Design-space exploration across the paper's knobs.
+
+Sweeps, at paper scale via the analytic model:
+
+* PRaP width p = 2**q   -- merge bandwidth vs the fixed prefetch buffer;
+* scratchpad size       -- maximum dimension (section 6 scaling);
+* design point          -- Table 2's TS / ITS / ITS_VC trade-offs on a
+  chosen evaluation graph.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import ALL_DESIGN_POINTS, TS_ASIC, estimate_performance
+from repro.analysis.reporting import format_table
+from repro.core.design_points import MB, with_vector_buffer
+from repro.generators import get_dataset
+from repro.memory.prefetch import prefetch_buffer_bytes
+from repro.merge.merge_core import MergeCoreConfig
+from repro.merge.prap import PRaPConfig
+
+
+def sweep_prap_width() -> None:
+    rows = []
+    for q in range(6):
+        cfg = PRaPConfig(q=q, core=MergeCoreConfig(ways=2048), dpage_bytes=1280)
+        rows.append(
+            [
+                2**q,
+                cfg.peak_bandwidth / 1e9,
+                cfg.prefetch_buffer_bytes / MB,
+                prefetch_buffer_bytes(2048, 1280, partitions=2**q) / MB,
+            ]
+        )
+    print(
+        format_table(
+            ["merge cores p", "merge GB/s", "PRaP buffer (MiB)", "partitioning buffer (MiB)"],
+            rows,
+            title="PRaP width sweep: bandwidth scales, buffer does not (sec 4.2)",
+        )
+    )
+
+
+def sweep_scratchpad() -> None:
+    rows = []
+    for mb in (4, 8, 16, 32):
+        point = with_vector_buffer(TS_ASIC, mb * MB)
+        rows.append([mb, point.max_nodes / 1e9])
+    print(
+        format_table(
+            ["vector buffer (MB)", "max nodes (billion)"],
+            rows,
+            title="\nScratchpad scaling: dimension doubles with the buffer (sec 6)",
+        )
+    )
+
+
+def compare_design_points(dataset: str) -> None:
+    spec = get_dataset(dataset)
+    rows = []
+    for point in ALL_DESIGN_POINTS:
+        if spec.n_nodes > point.max_nodes:
+            rows.append([point.name, "n/a (exceeds max dimension)", "", ""])
+            continue
+        est = estimate_performance(point, spec.n_nodes, spec.n_edges)
+        rows.append([point.name, est.gteps, est.nj_per_edge, est.bound])
+    print(
+        format_table(
+            ["design point", "GTEPS", "nJ/edge", "bound"],
+            rows,
+            title=f"\nTable 2 design points on {dataset} "
+            f"({spec.n_nodes / 1e6:.1f}M nodes, degree {spec.avg_degree})",
+        )
+    )
+
+
+def main() -> None:
+    sweep_prap_width()
+    sweep_scratchpad()
+    compare_design_points("TW")
+    compare_design_points("Sy-1B")
+
+
+if __name__ == "__main__":
+    main()

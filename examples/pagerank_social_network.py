@@ -1,0 +1,66 @@
+"""PageRank on a power-law social network with the full optimization set.
+
+Exercises the three section-5 optimizations end to end:
+
+* ITS iteration overlap (PageRank is the paper's motivating workload);
+* VLDI compression of the intermediate vectors;
+* Bloom-filter HDN detection for the hub nodes of the power-law graph.
+
+Run:  python examples/pagerank_social_network.py
+"""
+
+import numpy as np
+
+from repro import TwoStepConfig
+from repro.apps.pagerank import pagerank, pagerank_reference
+from repro.core.its import plain_iteration_traffic
+from repro.filters.hdn import HDNConfig, HDNDetector
+from repro.generators import rmat_graph
+
+
+def main() -> None:
+    # RMAT scale-13: ~8k nodes with a heavy-tailed degree distribution,
+    # the structure the Bloom/HDN pipeline targets.
+    graph = rmat_graph(scale=13, avg_degree=12.0, seed=3)
+    degrees = graph.row_degrees()
+    print(
+        f"graph: {graph.n_rows:,} nodes, {graph.nnz:,} edges, "
+        f"max degree {degrees.max()} (mean {degrees.mean():.1f})"
+    )
+
+    detector = HDNDetector(degrees, HDNConfig(degree_threshold=int(8 * degrees.mean())))
+    print(
+        f"HDNs above threshold: {detector.n_hdns} "
+        f"({detector.n_hdns / graph.n_rows:.2%} of nodes), "
+        f"Bloom filter: {detector.filter_bytes} B on-chip, "
+        f"expected FPR {detector.expected_false_positive_rate():.3%}"
+    )
+
+    config = TwoStepConfig(
+        segment_width=2_048,
+        q=3,
+        vldi_vector_block_bits=8,
+        hdn=HDNConfig(degree_threshold=int(8 * degrees.mean())),
+    )
+    result = pagerank(graph, config, damping=0.85, tol=1e-8, max_iterations=120)
+    reference = pagerank_reference(graph, damping=0.85, tol=1e-8, max_iterations=120)
+    assert np.allclose(result.ranks, reference.ranks, atol=1e-7)
+
+    top = np.argsort(result.ranks)[::-1][:5]
+    print(f"\nconverged in {result.iterations} iterations "
+          f"(residual {result.residuals[-1]:.2e}); top-5 nodes: {top.tolist()}")
+
+    report = result.its_report
+    plain = plain_iteration_traffic(report.per_iteration)
+    saved = plain.total_bytes - report.traffic.total_bytes
+    print(
+        f"ITS saved {saved / 1e6:.2f} MB of x/y round-trip traffic over "
+        f"{report.iterations} iterations; overlap cycle speedup "
+        f"{report.cycle_speedup:.2f}x"
+    )
+    hdn_records = sum(r.step1.hdn_records for r in report.per_iteration)
+    print(f"records routed to the HDN pipeline: {hdn_records:,}")
+
+
+if __name__ == "__main__":
+    main()

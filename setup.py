@@ -1,0 +1,6 @@
+"""Setuptools shim enabling editable installs on environments whose pip
+cannot build PEP 517 editable wheels offline (no ``wheel`` package)."""
+
+from setuptools import setup
+
+setup()

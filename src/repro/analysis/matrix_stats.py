@@ -1,0 +1,111 @@
+"""Structural statistics of sparse matrices.
+
+The accelerator's tuning knobs all key on input structure: the HDN
+threshold on the degree tail, the VLDI block width on index gaps, format
+selection on per-stripe density.  This module computes those statistics
+in one pass so callers (and the CLI) can characterize an input before
+choosing parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Structure summary of one sparse matrix.
+
+    Attributes:
+        n_rows: Dimension.
+        n_cols: Columns.
+        nnz: Nonzeros.
+        avg_degree: Mean row nonzeros.
+        max_degree: Largest row.
+        degree_p99: 99th-percentile row degree.
+        degree_skew: max / mean (1 for regular, large for power law).
+        power_law_alpha: Fitted degree-distribution exponent (MLE over
+            rows with degree >= 1); NaN when degenerate.
+        hypersparse_stripe_fraction: Fraction of stripes that would be
+            hypersparse at the given stripe width.
+        empty_row_fraction: Rows with no nonzeros.
+        bandwidth_p50: Median |row - col| distance (index locality).
+    """
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    avg_degree: float
+    max_degree: int
+    degree_p99: float
+    degree_skew: float
+    power_law_alpha: float
+    hypersparse_stripe_fraction: float
+    empty_row_fraction: float
+    bandwidth_p50: float
+
+    @property
+    def is_power_law(self) -> bool:
+        """Heuristic: heavy degree tail (skew above ~8)."""
+        return self.degree_skew > 8.0
+
+    def suggested_hdn_threshold(self, factor: float = 8.0) -> int:
+        """Degree threshold for the HDN pipeline (multiples of the mean)."""
+        return max(1, int(factor * max(self.avg_degree, 1.0)))
+
+
+def fit_power_law_alpha(degrees: np.ndarray, d_min: int = 1) -> float:
+    """MLE exponent of ``P(d) ~ d^-alpha`` over degrees >= d_min."""
+    degrees = np.asarray(degrees, dtype=np.float64)
+    sample = degrees[degrees >= d_min]
+    if sample.size < 2:
+        return float("nan")
+    logs = np.log(sample / (d_min - 0.5))
+    mean_log = logs.mean()
+    if mean_log <= 0:
+        return float("nan")
+    return 1.0 + sample.size / logs.sum()
+
+
+def compute_stats(matrix: COOMatrix, stripe_width: int = None) -> MatrixStats:
+    """Compute the structure summary.
+
+    Args:
+        matrix: The matrix.
+        stripe_width: Stripe width for the hypersparsity fraction; default
+            is one-sixteenth of the column count.
+
+    Returns:
+        :class:`MatrixStats`.
+    """
+    degrees = matrix.row_degrees()
+    nnz = matrix.nnz
+    avg = float(degrees.mean()) if degrees.size else 0.0
+    width = stripe_width or max(1, matrix.n_cols // 16)
+    n_stripes = -(-matrix.n_cols // width)
+    if nnz:
+        stripe_ids = matrix.cols // width
+        stripe_counts = np.bincount(stripe_ids, minlength=n_stripes)
+        hyper = float(np.count_nonzero(stripe_counts < matrix.n_rows) / n_stripes)
+        distances = np.abs(matrix.rows - matrix.cols)
+        band_p50 = float(np.median(distances))
+    else:
+        hyper = 1.0
+        band_p50 = 0.0
+    return MatrixStats(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        nnz=nnz,
+        avg_degree=avg,
+        max_degree=int(degrees.max()) if degrees.size else 0,
+        degree_p99=float(np.percentile(degrees, 99)) if degrees.size else 0.0,
+        degree_skew=float(degrees.max() / avg) if avg else 0.0,
+        power_law_alpha=fit_power_law_alpha(degrees),
+        hypersparse_stripe_fraction=hyper,
+        empty_row_fraction=float(np.count_nonzero(degrees == 0) / max(matrix.n_rows, 1)),
+        bandwidth_p50=band_p50,
+    )

@@ -1,0 +1,34 @@
+"""Evaluation metrics.
+
+The paper reports GTEPS (Giga Traversed Edges Per Second) for performance
+and nanojoules per edge traversal for efficiency; improvement spans are
+ratios between the proposed accelerator and each benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def gteps(n_edges: float, runtime_s: float) -> float:
+    """Giga traversed edges per second."""
+    if runtime_s <= 0:
+        raise ValueError("runtime must be positive")
+    return n_edges / runtime_s / 1e9
+
+
+def speedup(proposed: float, baseline: float) -> float:
+    """Improvement ratio (higher-is-better metric)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return proposed / baseline
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,85 @@
+"""Run records: serializable results of benchmark/experiment executions.
+
+A real evaluation campaign accumulates many runs across configurations;
+``RunRecord`` captures one execution's identity and metrics, and the
+JSON round-trip lets harnesses archive and re-aggregate results without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One execution's identity and metrics.
+
+    Attributes:
+        experiment: Experiment/bench id (e.g. ``"fig17"``).
+        workload: Input identity (dataset name or generator spec).
+        configuration: Design point / parameter description.
+        metrics: Name -> float metric values (GTEPS, nJ/edge, bytes...).
+        notes: Free-form annotations.
+    """
+
+    experiment: str
+    workload: str
+    configuration: str
+    metrics: dict = field(default_factory=dict)
+    notes: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "RunRecord":
+        """Deserialize from :meth:`to_json` output."""
+        data = json.loads(text)
+        return RunRecord(**data)
+
+
+def save_records(records: list, path) -> None:
+    """Write records as JSON lines."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        for record in records:
+            fh.write(record.to_json() + "\n")
+
+
+def load_records(path) -> list:
+    """Read records written by :func:`save_records`."""
+    path = pathlib.Path(path)
+    records = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(RunRecord.from_json(line))
+    return records
+
+
+def aggregate_metric(records: list, metric: str) -> dict:
+    """Group a metric by configuration: config -> list of values."""
+    grouped: dict = {}
+    for record in records:
+        if metric in record.metrics:
+            grouped.setdefault(record.configuration, []).append(record.metrics[metric])
+    return grouped
+
+
+def best_configuration(records: list, metric: str, higher_is_better: bool = True) -> str:
+    """Configuration with the best mean of ``metric``.
+
+    Raises:
+        ValueError: When no record carries the metric.
+    """
+    grouped = aggregate_metric(records, metric)
+    if not grouped:
+        raise ValueError(f"no records carry metric {metric!r}")
+    means = {cfg: sum(vals) / len(vals) for cfg, vals in grouped.items()}
+    pick = max if higher_is_better else min
+    return pick(means, key=lambda cfg: means[cfg])

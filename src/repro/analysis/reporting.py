@@ -1,0 +1,113 @@
+"""Plain-text rendering of tables and figures.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: tables as aligned columns, figures as horizontal ASCII bar charts
+(log-scaled when the data spans orders of magnitude, as the paper's
+GTEPS/energy plots do).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte count."""
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    value = float(n_bytes)
+    for unit in units:
+        if abs(value) < 1024 or unit == units[-1]:
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    return f"{value:.2f} TiB"
+
+
+def format_table(headers: list, rows: list, title: str = None) -> str:
+    """Render an aligned text table.
+
+    Args:
+        headers: Column names.
+        rows: Sequences of cells (converted with ``str``); floats are
+            formatted to 3 significant digits.
+        title: Optional caption printed above the table.
+
+    Returns:
+        The rendered multi-line string.
+    """
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1000 or magnitude < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: list,
+    series: dict,
+    width: int = 40,
+    log_scale: bool = False,
+    title: str = None,
+    unit: str = "",
+) -> str:
+    """Render grouped horizontal bars, one group per label.
+
+    Args:
+        labels: Group labels (x-axis categories of the paper's figures).
+        series: Mapping of series name to per-label values (None = not
+            reported, rendered as ``n/a``).
+        width: Maximum bar width in characters.
+        log_scale: Scale bar lengths logarithmically.
+        title: Optional caption.
+        unit: Value unit appended to numbers.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    values = [v for vs in series.values() for v in vs if v is not None and v > 0]
+    if not values:
+        return (title or "") + "\n(no data)"
+    vmax = max(values)
+    vmin = min(values)
+
+    def bar_len(v: float) -> int:
+        if v is None or v <= 0:
+            return 0
+        if log_scale and vmax > vmin:
+            lo = math.log10(vmin) - 0.5
+            return max(1, int(round((math.log10(v) - lo) / (math.log10(vmax) - lo) * width)))
+        return max(1, int(round(v / vmax * width)))
+
+    name_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, vals in series.items():
+            v = vals[i]
+            if v is None:
+                lines.append(f"  {name.ljust(name_width)} | n/a")
+            else:
+                lines.append(
+                    f"  {name.ljust(name_width)} | {'#' * bar_len(v)} {v:.3g}{unit}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Roofline analysis of SpMV across the compared platforms.
+
+SpMV's arithmetic intensity (~2 FLOPs per 10-20 DRAM bytes, i.e.
+~0.1-0.25 FLOP/byte) puts every platform deep in the memory-bound region
+of its roofline -- which is why the paper's entire design is about
+*effective* bandwidth, not FLOPs.  This module computes each platform's
+roofline position for a given workload and quantifies the bandwidth
+efficiency (achieved / peak) that separates the accelerator from COTS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.traffic import TrafficLedger
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One platform's position on its roofline for one workload.
+
+    Attributes:
+        platform: Name.
+        peak_gflops: Compute roof (GFLOP/s).
+        peak_bandwidth_gbs: Memory roof (GB/s).
+        arithmetic_intensity: FLOPs per DRAM byte for the workload.
+        achieved_gflops: Sustained GFLOP/s on the workload.
+    """
+
+    platform: str
+    peak_gflops: float
+    peak_bandwidth_gbs: float
+    arithmetic_intensity: float
+    achieved_gflops: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the compute and memory roofs meet."""
+        return self.peak_gflops / self.peak_bandwidth_gbs
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """True when the workload sits left of the ridge."""
+        return self.arithmetic_intensity < self.ridge_intensity
+
+    @property
+    def roof_gflops(self) -> float:
+        """Attainable GFLOP/s at this intensity."""
+        return min(self.peak_gflops, self.peak_bandwidth_gbs * self.arithmetic_intensity)
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved performance as a fraction of the attainable roof."""
+        return self.achieved_gflops / self.roof_gflops if self.roof_gflops else 0.0
+
+    @property
+    def bandwidth_efficiency(self) -> float:
+        """Achieved DRAM bandwidth over peak (the paper's real metric)."""
+        achieved_bw = self.achieved_gflops / self.arithmetic_intensity
+        return achieved_bw / self.peak_bandwidth_gbs if self.peak_bandwidth_gbs else 0.0
+
+
+def spmv_intensity(traffic: TrafficLedger, n_edges: float, flops_per_edge: float = 2.0) -> float:
+    """Arithmetic intensity of one SpMV execution (FLOP per DRAM byte)."""
+    if traffic.total_bytes <= 0:
+        raise ValueError("traffic must be positive")
+    return n_edges * flops_per_edge / traffic.total_bytes
+
+
+def roofline_point(
+    platform: str,
+    peak_gflops: float,
+    peak_bandwidth_gbs: float,
+    traffic: TrafficLedger,
+    n_edges: float,
+    runtime_s: float,
+    flops_per_edge: float = 2.0,
+) -> RooflinePoint:
+    """Build the roofline point for one measured/modeled execution."""
+    if runtime_s <= 0:
+        raise ValueError("runtime must be positive")
+    intensity = spmv_intensity(traffic, n_edges, flops_per_edge)
+    achieved = n_edges * flops_per_edge / runtime_s / 1e9
+    return RooflinePoint(
+        platform=platform,
+        peak_gflops=peak_gflops,
+        peak_bandwidth_gbs=peak_bandwidth_gbs,
+        arithmetic_intensity=intensity,
+        achieved_gflops=achieved,
+    )

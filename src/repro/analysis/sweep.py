@@ -1,0 +1,114 @@
+"""Generic parameter-sweep harness producing run records.
+
+Evaluation campaigns are grids: configurations x workloads, with a few
+metrics extracted per cell.  :func:`run_sweep` executes such a grid over
+arbitrary callables and returns :class:`~repro.analysis.records.RunRecord`
+rows that the records utilities can archive and aggregate; the CLI's and
+benches' one-off loops can be expressed through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.records import RunRecord
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One sweep definition.
+
+    Attributes:
+        experiment: Identifier stamped on every record.
+        configurations: Name -> configuration object.
+        workloads: Name -> workload object.
+        evaluate: ``(configuration, workload) -> {metric: float}``; may
+            raise ``SweepSkip`` to mark a cell unsupported.
+    """
+
+    experiment: str
+    configurations: dict
+    workloads: dict
+    evaluate: object
+
+
+class SweepSkip(Exception):
+    """Raised by an evaluate callable to skip an unsupported cell."""
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep."""
+
+    records: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)
+
+    def metric_grid(self, metric: str) -> dict:
+        """``{(configuration, workload): value}`` for one metric."""
+        grid = {}
+        for record in self.records:
+            if metric in record.metrics:
+                grid[(record.configuration, record.workload)] = record.metrics[metric]
+        return grid
+
+
+def run_sweep(spec: SweepSpec) -> SweepResult:
+    """Execute the full grid.
+
+    Returns:
+        :class:`SweepResult`; skipped cells (``SweepSkip``) are listed,
+        any other exception propagates (a sweep should not hide bugs).
+    """
+    result = SweepResult()
+    for config_name, config in spec.configurations.items():
+        for workload_name, workload in spec.workloads.items():
+            try:
+                metrics = spec.evaluate(config, workload)
+            except SweepSkip as skip:
+                result.skipped.append((config_name, workload_name, str(skip)))
+                continue
+            result.records.append(
+                RunRecord(
+                    experiment=spec.experiment,
+                    workload=workload_name,
+                    configuration=config_name,
+                    metrics=dict(metrics),
+                )
+            )
+    return result
+
+
+def design_point_sweep(dataset_names, points, iterations: int = 1) -> SweepResult:
+    """Ready-made sweep: paper datasets x design points -> GTEPS/energy.
+
+    Args:
+        dataset_names: Table 4/5/6 names.
+        points: Design points.
+        iterations: Model an iterative run when > 1.
+
+    Returns:
+        :class:`SweepResult` with ``gteps`` and ``nj_per_edge`` metrics;
+        capacity violations become skipped cells (the paper's n/a bars).
+    """
+    from repro.core.perf import estimate_iterative, estimate_performance
+    from repro.generators.datasets import get_dataset
+
+    def evaluate(point, spec):
+        if spec.n_nodes > point.max_nodes:
+            raise SweepSkip(f"{spec.n_nodes} nodes exceed {point.name} capacity")
+        if iterations > 1:
+            run = estimate_iterative(point, spec.n_nodes, spec.n_edges, iterations)
+            per = run.per_iteration
+            return {"gteps": run.gteps, "nj_per_edge": per.nj_per_edge,
+                    "runtime_s": run.runtime_s}
+        est = estimate_performance(point, spec.n_nodes, spec.n_edges)
+        return {"gteps": est.gteps, "nj_per_edge": est.nj_per_edge,
+                "runtime_s": est.runtime_s}
+
+    spec = SweepSpec(
+        experiment=f"design_point_sweep_x{iterations}",
+        configurations={p.name: p for p in points},
+        workloads={name: get_dataset(name) for name in dataset_names},
+        evaluate=evaluate,
+    )
+    return run_sweep(spec)

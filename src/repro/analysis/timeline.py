@@ -1,0 +1,37 @@
+"""ASCII Gantt rendering of phase/segment schedules."""
+
+from __future__ import annotations
+
+from repro.core.schedule import ITSSchedule
+
+
+def render_gantt(schedule: ITSSchedule, width: int = 72) -> str:
+    """Render an ITS schedule as an ASCII Gantt chart.
+
+    One row per (iteration, phase); time flows left to right; each
+    segment is drawn with its segment digit so the interleaving of step 2
+    of iteration ``i`` with step 1 of iteration ``i+1`` is visible.
+
+    Args:
+        schedule: The schedule to draw.
+        width: Character width of the time axis.
+
+    Returns:
+        Multi-line string.
+    """
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    scale = width / makespan
+    lines = [f"time 0 {'-' * (width - 12)} {makespan:,.0f} cycles"]
+    for it in range(schedule.iterations):
+        for phase in (1, 2):
+            row = [" "] * width
+            for task in schedule.phase_tasks(it, phase):
+                lo = int(task.start * scale)
+                hi = max(lo + 1, int(task.end * scale))
+                glyph = str(task.segment % 10)
+                for pos in range(lo, min(hi, width)):
+                    row[pos] = glyph
+            lines.append(f"iter {it} step {phase} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Cross-validation of the analytic model against the functional engine.
+
+The paper-scale figures come from closed-form traffic/time formulas
+(:mod:`repro.core.perf`); their credibility rests on agreeing with the
+*measured* ledgers of the functional engine wherever both can run.  This
+module sweeps a parameter grid (dimension, degree, stripe width), runs
+both, and reports per-category relative errors -- the calibration
+evidence cited by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.config import TwoStepConfig
+from repro.core.design_points import TS_ASIC
+from repro.core.perf import twostep_traffic
+from repro.core.twostep import TwoStepEngine
+from repro.generators.erdos_renyi import erdos_renyi_graph
+
+
+@dataclass
+class ValidationCase:
+    """One grid point's measured-vs-modeled comparison."""
+
+    n_nodes: int
+    avg_degree: float
+    segment_width: int
+    measured_total: float
+    modeled_total: float
+    intermediate_error: float
+    matrix_error: float
+
+    @property
+    def total_error(self) -> float:
+        """Relative error of the total traffic."""
+        return abs(self.modeled_total - self.measured_total) / self.measured_total
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate of a validation sweep."""
+
+    cases: list = field(default_factory=list)
+
+    @property
+    def worst_total_error(self) -> float:
+        """Maximum relative total-traffic error across the grid."""
+        return max(c.total_error for c in self.cases) if self.cases else 0.0
+
+    @property
+    def mean_total_error(self) -> float:
+        """Mean relative total-traffic error."""
+        if not self.cases:
+            return 0.0
+        return float(np.mean([c.total_error for c in self.cases]))
+
+
+def validate_traffic_model(
+    dimensions=(10_000, 30_000),
+    degrees=(2.0, 4.0, 8.0),
+    segment_widths=(1_000, 5_000),
+    seed: int = 0,
+) -> ValidationReport:
+    """Sweep the grid and compare measured vs modeled traffic.
+
+    Args:
+        dimensions: Node counts to test.
+        degrees: Average degrees.
+        segment_widths: Stripe widths (scratchpad sizes).
+        seed: Base RNG seed.
+
+    Returns:
+        :class:`ValidationReport`.
+    """
+    report = ValidationReport()
+    for i, n in enumerate(dimensions):
+        for j, degree in enumerate(degrees):
+            graph = erdos_renyi_graph(n, degree, seed=seed + 31 * i + j)
+            for width in segment_widths:
+                engine = TwoStepEngine(TwoStepConfig(segment_width=width, q=2))
+                _, measured = engine.run(graph, np.ones(n))
+                point = replace(
+                    TS_ASIC,
+                    vector_buffer_bytes=width * TS_ASIC.value_bytes,
+                    merge_ways=max(64, -(-n // width)),
+                )
+                modeled = twostep_traffic(n, graph.nnz, point)
+                m = measured.traffic
+                inter_err = (
+                    abs(modeled.intermediate_write_bytes - m.intermediate_write_bytes)
+                    / m.intermediate_write_bytes
+                )
+                mat_err = abs(modeled.matrix_bytes - m.matrix_bytes) / m.matrix_bytes
+                report.cases.append(
+                    ValidationCase(
+                        n_nodes=n,
+                        avg_degree=degree,
+                        segment_width=width,
+                        measured_total=m.total_bytes,
+                        modeled_total=modeled.total_bytes,
+                        intermediate_error=inter_err,
+                        matrix_error=mat_err,
+                    )
+                )
+    return report

@@ -1,0 +1,129 @@
+"""CPU and many-core co-processor baseline models (Figs. 21-22).
+
+The paper runs Intel MKL's ``mkl_scoogemv`` on a dual-socket Xeon E5-2620
+(12 threads, 30 MB LLC, 102 GB/s) and on a Xeon Phi 5110P (60 cores,
+30 MB LLC, 352 GB/s).  Neither platform is available offline, so the
+models below combine:
+
+* the latency-bound traffic model (random x gathers through the LLC);
+* an instruction-throughput cap -- the paper's section 1 observation that
+  >94% of sparse-kernel instructions are traversal overhead, so edges/s is
+  bounded by ``cores x freq x IPC / instructions_per_edge``;
+* the platform energy constants of :mod:`repro.memory.energy`.
+
+Both platforms also have a *practical maximum dimension*: the paper could
+not run graphs over 70M nodes on the Xeon E5 nor over 30M on the Phi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.latency_bound import estimate_latency_bound
+from repro.memory.dram import DDR4_DUAL_SOCKET, MCDRAM_PHI, DRAMConfig
+from repro.memory.energy import CPU_ENERGY, PHI_ENERGY, EnergyModel
+from repro.memory.traffic import TrafficLedger
+
+
+@dataclass(frozen=True)
+class BaselineEstimate:
+    """Modeled baseline execution of one SpMV."""
+
+    platform: str
+    n_nodes: int
+    n_edges: int
+    traffic: TrafficLedger
+    runtime_s: float
+    gteps: float
+    energy_j: float
+    nj_per_edge: float
+
+
+@dataclass(frozen=True)
+class CPUPlatform:
+    """A cache-based COTS platform running latency-bound SpMV.
+
+    Attributes:
+        name: Platform identifier.
+        dram: Memory system.
+        llc_bytes: Last-level cache capacity.
+        cores: Hardware threads/cores used.
+        frequency_hz: Core clock.
+        ipc: Sustained instructions per cycle per core on sparse code.
+        instructions_per_edge: Dispatched instructions per traversed edge.
+        energy: Energy model.
+        max_nodes: Largest dimension the paper managed to run.
+        locality: Spatial-locality discount for the x gather (0 = none).
+    """
+
+    name: str
+    dram: DRAMConfig
+    llc_bytes: int
+    cores: int
+    frequency_hz: float
+    ipc: float
+    instructions_per_edge: float
+    energy: EnergyModel
+    max_nodes: float
+    locality: float = 0.0
+
+    @property
+    def compute_edge_rate(self) -> float:
+        """Edges per second at the instruction-throughput cap."""
+        return self.cores * self.frequency_hz * self.ipc / self.instructions_per_edge
+
+    def supports(self, n_nodes: int) -> bool:
+        """True when the paper's runs succeeded at this dimension."""
+        return n_nodes <= self.max_nodes
+
+    def estimate(self, n_nodes: int, n_edges: int, value_bytes: int = 4) -> BaselineEstimate:
+        """Model one SpMV execution."""
+        lb = estimate_latency_bound(
+            n_nodes,
+            n_edges,
+            self.dram,
+            self.llc_bytes,
+            value_bytes=value_bytes,
+            locality=self.locality,
+            compute_edge_rate=self.compute_edge_rate,
+        )
+        energy = self.energy.energy_j(lb.traffic, n_edges, lb.runtime_s)
+        return BaselineEstimate(
+            platform=self.name,
+            n_nodes=n_nodes,
+            n_edges=n_edges,
+            traffic=lb.traffic,
+            runtime_s=lb.runtime_s,
+            gteps=lb.gteps,
+            energy_j=energy,
+            nj_per_edge=energy / n_edges * 1e9,
+        )
+
+
+#: Dual-socket Xeon E5-2620 running MKL (paper: 12 threads, 30 MB LLC).
+XEON_E5_MKL = CPUPlatform(
+    name="Xeon E5 (12 threads)",
+    dram=DDR4_DUAL_SOCKET,
+    llc_bytes=30 * (1 << 20),
+    cores=12,
+    frequency_hz=2.0e9,
+    ipc=0.55,
+    instructions_per_edge=16.0,
+    energy=CPU_ENERGY,
+    max_nodes=70e6,
+    locality=0.15,
+)
+
+#: Xeon Phi 5110P (60 cores, 30 MB LLC, 352 GB/s).
+XEON_PHI_5110 = CPUPlatform(
+    name="Xeon Phi 5110",
+    dram=MCDRAM_PHI,
+    llc_bytes=30 * (1 << 20),
+    cores=60,
+    frequency_hz=1.053e9,
+    ipc=0.25,
+    instructions_per_edge=16.0,
+    energy=PHI_ENERGY,
+    max_nodes=30e6,
+    locality=0.1,
+)

@@ -1,0 +1,84 @@
+"""GPU cluster baseline (Figs. 19-20).
+
+The paper's GPU comparison point is an 8-node Tesla M2050 cluster running
+PageRank [Rungsawang & Manaskasemsak 2012].  SpMV on scale-free web graphs
+is gather-bound on GPUs: coalescing fails on the random x accesses and the
+cluster additionally pays inter-node vector exchange per iteration.  The
+model charges:
+
+* matrix streaming at aggregate GDDR5 bandwidth;
+* x gathers at random-access bandwidth with a GPU-specific coalescing
+  factor (several lanes of a warp often fall in one 128 B segment);
+* an inter-node all-gather of the rank vector per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cpu_model import BaselineEstimate
+from repro.baselines.latency_bound import latency_bound_traffic
+from repro.memory.dram import GDDR5, DRAMConfig
+from repro.memory.energy import GPU_ENERGY, EnergyModel
+
+
+@dataclass(frozen=True)
+class GPUCluster:
+    """A multi-node GPU cluster running iterative SpMV.
+
+    Attributes:
+        name: Identifier.
+        nodes: Cluster size.
+        dram: Per-node memory system.
+        l2_bytes: Per-GPU L2 cache.
+        coalescing: Average useful fraction of each fetched 128 B segment
+            (1/32 = no coalescing, 1.0 = perfect).
+        interconnect_bandwidth: Aggregate inter-node bandwidth (bytes/s)
+            for the per-iteration vector exchange.
+        energy: Cluster energy model.
+    """
+
+    name: str
+    nodes: int
+    dram: DRAMConfig
+    l2_bytes: int
+    coalescing: float
+    interconnect_bandwidth: float
+    energy: EnergyModel
+
+    def estimate(self, n_nodes: int, n_edges: int, value_bytes: int = 4) -> BaselineEstimate:
+        """Model one SpMV iteration across the cluster."""
+        per_node_edges = n_edges / self.nodes
+        traffic = latency_bound_traffic(
+            n_nodes, n_edges, self.nodes * self.l2_bytes, self.dram.cache_line_bytes, value_bytes
+        )
+        misses = traffic.notes["x_gather_misses"]
+        # Effective gathers after warp coalescing.
+        effective_misses = misses * (1.0 - self.coalescing)
+        stream_bytes = traffic.matrix_bytes / self.nodes + n_nodes * value_bytes
+        gather_time = self.dram.random_time(effective_misses / self.nodes)
+        exchange_time = (self.nodes * n_nodes * value_bytes) / self.interconnect_bandwidth
+        runtime = self.dram.stream_time(stream_bytes) + gather_time + exchange_time
+        energy = self.energy.energy_j(traffic, n_edges, runtime)
+        return BaselineEstimate(
+            platform=self.name,
+            n_nodes=n_nodes,
+            n_edges=n_edges,
+            traffic=traffic,
+            runtime_s=runtime,
+            gteps=n_edges / runtime / 1e9,
+            energy_j=energy,
+            nj_per_edge=energy / n_edges * 1e9,
+        )
+
+
+#: The paper's BM1_GPU: 8 nodes of Tesla M2050 (16 GB GDDR5 each).
+TESLA_M2050_CLUSTER = GPUCluster(
+    name="BM1_GPU (8x Tesla M2050)",
+    nodes=8,
+    dram=GDDR5,
+    l2_bytes=768 * 1024,
+    coalescing=0.5,
+    interconnect_bandwidth=5e9,
+    energy=GPU_ENERGY,
+)

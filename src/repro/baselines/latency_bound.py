@@ -1,0 +1,134 @@
+"""The latency-bound SpMV baseline (paper Fig. 4).
+
+Conventional cache-based SpMV streams the matrix in CSR row order and
+randomly gathers ``x[col]`` per nonzero.  Algorithmically it moves the
+*fewest* bytes, but each gather that misses fetches a whole cache line of
+which only one element is used -- the "cache line wastage" of Fig. 4 --
+and the accesses serialize on DRAM latency, hence the name.
+
+Provided at two fidelities:
+
+* :func:`simulate_latency_bound` -- drives the set-associative
+  :class:`~repro.memory.cache.CacheSim` with the real column trace of a
+  (scaled) matrix and charges measured misses.
+* :func:`latency_bound_traffic` / :func:`estimate_latency_bound` -- the
+  closed-form expectation used at billion-node scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import index_bytes
+from repro.formats.coo import COOMatrix
+from repro.memory.cache import CacheConfig, CacheSim, analytic_miss_rate
+from repro.memory.dram import DRAMConfig
+from repro.memory.traffic import TrafficLedger
+
+
+def latency_bound_traffic(
+    n_nodes: int,
+    n_edges: int,
+    cache_bytes: float,
+    line_bytes: int,
+    value_bytes: int = 4,
+    locality: float = 0.0,
+) -> TrafficLedger:
+    """Expected off-chip traffic of cache-based CSR SpMV.
+
+    Matrix and ``y`` stream; every ``x`` gather that misses moves one cache
+    line of which ``value_bytes`` are useful.
+
+    Args:
+        n_nodes: Matrix dimension N.
+        n_edges: Nonzeros.
+        cache_bytes: Last-level cache capacity.
+        line_bytes: Cache-line size.
+        value_bytes: Element size.
+        locality: Spatial-locality discount for clustered indices.
+
+    Returns:
+        Traffic ledger with the x-gather wastage split out.
+    """
+    idx = index_bytes(max(n_nodes, 2))
+    miss_rate = analytic_miss_rate(
+        n_nodes * value_bytes, cache_bytes, line_bytes, value_bytes, locality
+    )
+    misses = n_edges * miss_rate
+    ledger = TrafficLedger(
+        matrix_bytes=n_edges * (idx + value_bytes) + (n_nodes + 1) * 4,
+        source_vector_bytes=misses * value_bytes,
+        result_vector_bytes=n_nodes * value_bytes,
+        cache_line_wastage_bytes=misses * (line_bytes - value_bytes),
+    )
+    ledger.notes["x_gather_misses"] = misses
+    ledger.notes["miss_rate"] = miss_rate
+    return ledger
+
+
+def simulate_latency_bound(
+    matrix: COOMatrix,
+    cache: CacheConfig,
+    value_bytes: int = 4,
+) -> TrafficLedger:
+    """Trace-driven traffic measurement at simulation scale.
+
+    Replays the exact column-index trace (CSR order) of ``matrix`` through
+    a set-associative LRU cache and charges a line fetch per miss.
+    """
+    sim = CacheSim(cache)
+    addresses = matrix.cols * value_bytes
+    misses = sim.access_trace(addresses)
+    idx = index_bytes(max(matrix.n_rows, 2))
+    ledger = TrafficLedger(
+        matrix_bytes=matrix.nnz * (idx + value_bytes) + (matrix.n_rows + 1) * 4,
+        source_vector_bytes=misses * value_bytes,
+        result_vector_bytes=matrix.n_rows * value_bytes,
+        cache_line_wastage_bytes=misses * (cache.line_bytes - value_bytes),
+    )
+    ledger.notes["x_gather_misses"] = misses
+    ledger.notes["miss_rate"] = sim.miss_rate
+    return ledger
+
+
+@dataclass(frozen=True)
+class LatencyBoundEstimate:
+    """Modeled latency-bound execution."""
+
+    n_nodes: int
+    n_edges: int
+    traffic: TrafficLedger
+    runtime_s: float
+    gteps: float
+
+
+def estimate_latency_bound(
+    n_nodes: int,
+    n_edges: int,
+    dram: DRAMConfig,
+    cache_bytes: float,
+    value_bytes: int = 4,
+    locality: float = 0.0,
+    compute_edge_rate: float = float("inf"),
+) -> LatencyBoundEstimate:
+    """Runtime model: streaming part at stream bandwidth, misses at the
+    latency-limited random-access bandwidth, optionally capped by an
+    instruction-throughput edge rate (COTS cores).
+    """
+    traffic = latency_bound_traffic(
+        n_nodes, n_edges, cache_bytes, dram.cache_line_bytes, value_bytes, locality
+    )
+    streaming = traffic.matrix_bytes + traffic.result_vector_bytes
+    misses = traffic.notes["x_gather_misses"]
+    time = (
+        dram.stream_time(streaming)
+        + dram.random_time(misses)
+        + n_edges / compute_edge_rate
+    )
+    return LatencyBoundEstimate(
+        n_nodes=n_nodes,
+        n_edges=n_edges,
+        traffic=traffic,
+        runtime_s=time,
+        gteps=n_edges / time / 1e9,
+    )

@@ -1,0 +1,144 @@
+"""Merge-path SpMV (Merrill & Garland, SC'16) -- the software merge-based
+baseline.
+
+The calibration notes for this reproduction observe that merge-based SpMV
+variants exist in software only in CUB; this module implements that
+algorithm so the repository contains the closest software relative of the
+paper's hardware merge approach.
+
+Merge-path SpMV views CSR SpMV as a merge of two sorted lists -- the row
+descriptors (``row_ptr[1:]``) and the nonzero indices ``0..nnz-1`` -- and
+splits the combined *merge path* of length ``n_rows + nnz`` into equal
+chunks with a binary search (``merge_path_search``).  Every chunk then
+does the same amount of work regardless of row-length skew, which is the
+software answer to the load-imbalance problem the paper's missing-key
+injection solves in hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+
+def merge_path_search(diagonal: int, row_end_offsets: np.ndarray, nnz: int) -> tuple:
+    """Locate where merge-path diagonal ``diagonal`` crosses the path.
+
+    The merge consumes one element per step from either the row-end list
+    (length ``n_rows``) or the nonzero list (length ``nnz``).  Coordinates
+    ``(i, j)`` with ``i + j == diagonal`` are valid split points iff all
+    row ends before ``i`` are <= all nonzeros before ``j``.
+
+    Args:
+        diagonal: Position along the merge path, ``0..n_rows+nnz``.
+        row_end_offsets: ``row_ptr[1:]`` of the CSR matrix.
+        nnz: Total nonzeros.
+
+    Returns:
+        ``(row_idx, nnz_idx)`` -- the split coordinates.
+    """
+    n_rows = row_end_offsets.size
+    lo = max(0, diagonal - nnz)
+    hi = min(diagonal, n_rows)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if row_end_offsets[mid] <= diagonal - mid - 1:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo, diagonal - lo
+
+
+@dataclass
+class MergePathStats:
+    """Work-balance accounting of one merge-path execution."""
+
+    n_chunks: int = 0
+    items_per_chunk: int = 0
+    rows_per_chunk: np.ndarray = None
+    nnz_per_chunk: np.ndarray = None
+
+    def path_balance(self) -> float:
+        """Max/mean merge-path items per chunk (1.0 = perfectly even)."""
+        totals = self.rows_per_chunk + self.nnz_per_chunk
+        mean = totals.mean()
+        return float(totals.max() / mean) if mean else 1.0
+
+
+def merge_path_spmv(
+    matrix: CSRMatrix,
+    x: np.ndarray,
+    n_chunks: int = 8,
+    y: np.ndarray = None,
+) -> tuple:
+    """CSR SpMV with merge-path work partitioning.
+
+    Each chunk processes an equal slice of the merge path, accumulating
+    partial row sums; rows split across chunk boundaries are fixed up with
+    per-chunk carry-out values, exactly as in the parallel algorithm.
+
+    Args:
+        matrix: CSR matrix.
+        x: Dense source vector.
+        n_chunks: Parallel chunks (threads in the original algorithm).
+        y: Optional accumulator.
+
+    Returns:
+        ``(result, MergePathStats)``; the result equals the reference
+        SpMV bit-for-bit up to float associativity.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.n_cols,):
+        raise ValueError(f"x must have shape ({matrix.n_cols},)")
+    if n_chunks <= 0:
+        raise ValueError("n_chunks must be positive")
+    out = np.zeros(matrix.n_rows) if y is None else np.array(y, dtype=np.float64)
+    if out.shape != (matrix.n_rows,):
+        raise ValueError(f"y must have shape ({matrix.n_rows},)")
+
+    row_ends = matrix.row_ptr[1:]
+    nnz = matrix.nnz
+    path_len = matrix.n_rows + nnz
+    per_chunk = -(-path_len // n_chunks) if path_len else 0
+    products = matrix.vals * x[matrix.cols] if nnz else np.empty(0)
+
+    stats = MergePathStats(
+        n_chunks=n_chunks,
+        items_per_chunk=per_chunk,
+        rows_per_chunk=np.zeros(n_chunks, dtype=np.int64),
+        nnz_per_chunk=np.zeros(n_chunks, dtype=np.int64),
+    )
+    carry_rows = np.full(n_chunks, -1, dtype=np.int64)
+    carry_vals = np.zeros(n_chunks)
+    for chunk in range(n_chunks):
+        start_diag = min(chunk * per_chunk, path_len)
+        end_diag = min(start_diag + per_chunk, path_len)
+        row_i, nnz_j = merge_path_search(start_diag, row_ends, nnz)
+        row_end, nnz_end = merge_path_search(end_diag, row_ends, nnz)
+        stats.rows_per_chunk[chunk] = row_end - row_i
+        stats.nnz_per_chunk[chunk] = nnz_end - nnz_j
+        running = 0.0
+        while row_i < row_end:
+            # Consume nonzeros until this row's end, then emit the row.
+            while nnz_j < int(row_ends[row_i]):
+                running += products[nnz_j]
+                nnz_j += 1
+            out[row_i] += running
+            running = 0.0
+            row_i += 1
+        # Leftover products belong to the row split across the boundary.
+        while nnz_j < nnz_end:
+            running += products[nnz_j]
+            nnz_j += 1
+        if running != 0.0 or nnz_end > nnz_j - 1:
+            carry_rows[chunk] = row_i
+            carry_vals[chunk] = running
+    # Carry fix-up: add each chunk's partial sum to its split row.
+    for chunk in range(n_chunks):
+        row = carry_rows[chunk]
+        if 0 <= row < matrix.n_rows:
+            out[row] += carry_vals[chunk]
+    return out, stats

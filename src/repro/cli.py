@@ -1,0 +1,289 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``repro generate`` -- synthesize a graph (Erdős–Rényi, RMAT or a named
+  paper dataset stand-in) and write it as Matrix Market or packed binary.
+* ``repro run``      -- run Two-Step SpMV on a matrix file through a
+  design point, verify against the dense reference, print the traffic
+  ledger and cycle statistics.
+* ``repro estimate`` -- paper-scale analytic performance for a named
+  dataset across design points.
+* ``repro datasets`` -- list the paper's evaluation graphs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.accelerator import Accelerator
+from repro.core.design_points import ALL_DESIGN_POINTS, get_design_point
+from repro.formats.io import read_binary, read_matrix_market, write_binary, write_matrix_market
+from repro.generators.datasets import CPU_GRAPHS, CUSTOM_HW_GRAPHS, GPU_GRAPHS, get_dataset, instantiate
+from repro.generators.erdos_renyi import erdos_renyi_graph
+from repro.generators.rmat import rmat_graph
+
+
+def _load_matrix(path: str):
+    if path.endswith(".mtx"):
+        return read_matrix_market(path)
+    return read_binary(path)
+
+
+def _save_matrix(matrix, path: str) -> None:
+    if path.endswith(".mtx"):
+        write_matrix_market(matrix, path)
+    else:
+        write_binary(matrix, path)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "er":
+        matrix = erdos_renyi_graph(args.nodes, args.degree, seed=args.seed)
+    elif args.family == "rmat":
+        scale = max(1, int(np.ceil(np.log2(max(args.nodes, 2)))))
+        matrix = rmat_graph(scale, args.degree, seed=args.seed)
+    else:
+        spec = get_dataset(args.family)
+        matrix = instantiate(spec, max_nodes=args.nodes, seed=args.seed)
+    _save_matrix(matrix, args.output)
+    print(f"wrote {matrix.n_rows:,} x {matrix.n_cols:,} matrix with {matrix.nnz:,} nonzeros to {args.output}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    point = get_design_point(args.design_point)
+    if args.autotune:
+        from repro.core.autotune import autotune
+        from repro.core.twostep import TwoStepEngine
+
+        tuned = autotune(matrix, point, segment_width=args.segment_width)
+        print(
+            f"autotune: vldi_block={tuned.config.vldi_vector_block_bits}, "
+            f"hdn={'on (threshold %d)' % tuned.config.hdn.degree_threshold if tuned.hdn_enabled else 'off'}, "
+            f"stripe={tuned.config.segment_width}"
+        )
+        engine = TwoStepEngine(tuned.config)
+        x = np.random.default_rng(args.seed).uniform(size=matrix.n_cols)
+        y, report = engine.run(matrix, x)
+    else:
+        accelerator = Accelerator(point, simulation_segment_width=args.segment_width)
+        x = np.random.default_rng(args.seed).uniform(size=matrix.n_cols)
+        y, report = accelerator.run(matrix, x)
+    ok = np.allclose(y, matrix.spmv(x))
+    print(f"design point: {point.name}")
+    print(f"matrix: {matrix.n_rows:,} x {matrix.n_cols:,}, nnz {matrix.nnz:,}")
+    print(f"verified against dense reference: {'OK' if ok else 'MISMATCH'}")
+    print(f"stripes: {report.n_stripes}, intermediate records: {report.intermediate_records:,}")
+    print(f"step-1 cycles: {report.step1.cycles:,.0f}, step-2 cycles: {report.step2.cycles:,.0f}")
+    print(report.traffic)
+    return 0 if ok else 1
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    spec = get_dataset(args.dataset)
+    rows = []
+    for point in ALL_DESIGN_POINTS:
+        if args.design_point and point.name != args.design_point:
+            continue
+        if spec.n_nodes > point.max_nodes:
+            rows.append([point.name, "n/a", "n/a", "exceeds max dimension"])
+            continue
+        est = Accelerator(point).estimate_dataset(spec)
+        rows.append([point.name, est.gteps, est.nj_per_edge, est.bound])
+    print(
+        format_table(
+            ["design point", "GTEPS", "nJ/edge", "bound"],
+            rows,
+            title=f"{spec.name}: {spec.n_nodes / 1e6:.2f}M nodes, "
+            f"{spec.n_edges / 1e6:.1f}M edges (paper-scale model)",
+        )
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.matrix_stats import compute_stats
+
+    matrix = _load_matrix(args.matrix)
+    stats = compute_stats(matrix, stripe_width=args.stripe_width)
+    rows = [
+        ["dimension", f"{stats.n_rows:,} x {stats.n_cols:,}"],
+        ["nonzeros", f"{stats.nnz:,}"],
+        ["avg degree", stats.avg_degree],
+        ["max degree", stats.max_degree],
+        ["99th-pct degree", stats.degree_p99],
+        ["degree skew (max/mean)", stats.degree_skew],
+        ["power-law alpha (MLE)", stats.power_law_alpha],
+        ["power-law heuristic", stats.is_power_law],
+        ["hypersparse stripes", f"{stats.hypersparse_stripe_fraction:.1%}"],
+        ["empty rows", f"{stats.empty_row_fraction:.1%}"],
+        ["median |row-col|", stats.bandwidth_p50],
+        ["suggested HDN threshold", stats.suggested_hdn_threshold()],
+    ]
+    print(format_table(["statistic", "value"], rows, title=f"Structure of {args.matrix}"))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import validate_traffic_model
+
+    report = validate_traffic_model()
+    rows = [
+        [c.n_nodes, c.avg_degree, c.segment_width, f"{c.total_error:.1%}",
+         f"{c.intermediate_error:.1%}", f"{c.matrix_error:.1%}"]
+        for c in report.cases
+    ]
+    print(
+        format_table(
+            ["N", "degree", "stripe", "total err", "intermediate err", "matrix err"],
+            rows,
+            title="Analytic traffic model vs functional engine",
+        )
+    )
+    print(
+        f"\nworst total error {report.worst_total_error:.1%}, "
+        f"mean {report.mean_total_error:.1%}"
+    )
+    return 0 if report.worst_total_error < 0.15 else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulator import Step1SimConfig, Step2SimConfig, SystemSim
+
+    matrix = _load_matrix(args.matrix)
+    sim = SystemSim(
+        segment_width=args.segment_width,
+        step1=Step1SimConfig(pipelines=args.pipelines),
+        step2=Step2SimConfig(q=args.q),
+        overlapped=args.its,
+    )
+    x = np.random.default_rng(args.seed).uniform(size=matrix.n_cols)
+    y, report = sim.run(matrix, x)
+    ok = np.allclose(y, matrix.spmv(x))
+    rows = [
+        ["schedule", "ITS (overlapped)" if args.its else "TS (sequential)"],
+        ["step-1 cycles", f"{report.step1_cycles:,}"],
+        ["step-2 cycles", f"{report.step2_cycles:,}"],
+        ["total cycles", f"{report.total_cycles:,}"],
+        ["step-1 utilization", f"{report.step1_utilization:.2f}"],
+        ["bank-conflict stalls", f"{report.bank_conflict_stalls:,}"],
+        ["hazard stalls", f"{report.hazard_stalls:,}"],
+        ["GTEPS @1.4 GHz", f"{report.gteps(matrix.nnz, 1.4e9):.2f}"],
+        ["verified", "OK" if ok else "MISMATCH"],
+    ]
+    print(format_table(["quantity", "value"], rows, title=f"Clocked simulation of {args.matrix}"))
+    return 0 if ok else 1
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    if args.all:
+        import pathlib
+
+        out_dir = pathlib.Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for exp_id in EXPERIMENTS:
+            text = run_experiment(exp_id)
+            (out_dir / f"{exp_id}.txt").write_text(text + "\n")
+            print(f"wrote {out_dir / (exp_id + '.txt')}")
+        return 0
+    if args.list or args.experiment is None:
+        rows = [[exp_id, desc] for exp_id, (desc, _) in EXPERIMENTS.items()]
+        print(format_table(["id", "regenerates"], rows, title="Available experiments"))
+        return 0
+    print(run_experiment(args.experiment))
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = [
+        [spec.name, spec.table, spec.n_nodes / 1e6, spec.avg_degree, spec.n_edges / 1e6, spec.family]
+        for spec in CUSTOM_HW_GRAPHS + GPU_GRAPHS + CPU_GRAPHS
+    ]
+    print(
+        format_table(
+            ["name", "table", "nodes (M)", "avg degree", "edges (M)", "family"],
+            rows,
+            title="Evaluation datasets (paper Tables 4, 5, 6)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two-Step SpMV accelerator model (MICRO 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a graph and write it to disk")
+    gen.add_argument("--family", default="er", help="er, rmat, or a dataset name (see 'datasets')")
+    gen.add_argument("--nodes", type=int, default=100_000)
+    gen.add_argument("--degree", type=float, default=3.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", required=True, help=".mtx or packed binary path")
+    gen.set_defaults(func=cmd_generate)
+
+    run = sub.add_parser("run", help="run Two-Step SpMV on a matrix file")
+    run.add_argument("matrix", help=".mtx or packed binary path")
+    run.add_argument("--design-point", default="TS_ASIC")
+    run.add_argument("--segment-width", type=int, default=8192)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--autotune",
+        action="store_true",
+        help="choose VLDI block / HDN threshold from the input structure",
+    )
+    run.set_defaults(func=cmd_run)
+
+    est = sub.add_parser("estimate", help="paper-scale performance for a dataset")
+    est.add_argument("dataset", help="dataset name from 'repro datasets'")
+    est.add_argument("--design-point", default=None)
+    est.set_defaults(func=cmd_estimate)
+
+    ds = sub.add_parser("datasets", help="list the paper's evaluation graphs")
+    ds.set_defaults(func=cmd_datasets)
+
+    fig = sub.add_parser("figure", help="regenerate a paper table/figure as text")
+    fig.add_argument("experiment", nargs="?", help="experiment id (e.g. fig17); omit to list")
+    fig.add_argument("--list", action="store_true", help="list available experiments")
+    fig.add_argument("--all", action="store_true", help="render every experiment to files")
+    fig.add_argument("--output-dir", default="figures", help="directory for --all output")
+    fig.set_defaults(func=cmd_figure)
+
+    stats = sub.add_parser("stats", help="structural statistics of a matrix file")
+    stats.add_argument("matrix", help=".mtx or packed binary path")
+    stats.add_argument("--stripe-width", type=int, default=None)
+    stats.set_defaults(func=cmd_stats)
+
+    val = sub.add_parser("validate", help="cross-check the analytic model vs the engine")
+    val.set_defaults(func=cmd_validate)
+
+    simulate = sub.add_parser("simulate", help="clocked microarchitecture simulation")
+    simulate.add_argument("matrix", help=".mtx or packed binary path")
+    simulate.add_argument("--segment-width", type=int, default=8192)
+    simulate.add_argument("--pipelines", type=int, default=16)
+    simulate.add_argument("--q", type=int, default=4)
+    simulate.add_argument("--its", action="store_true", help="overlap the phases")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Streaming VLDI decoder model (the hardware decompressor).
+
+The ITS_VC design point inserts a VLDI decoder between the DRAM interface
+and the merge network.  The decoder is a simple state machine: each cycle
+it consumes one VLDI string per lane, accumulates blocks while the
+continuation bit is set, and emits a delta (plus the running absolute
+index) when a terminating string arrives.
+
+Consequences modelled here:
+
+* decode *rate*: one string per lane per cycle, so a record spanning
+  ``s`` strings occupies its lane for ``s`` cycles -- the decoder's
+  records/cycle is ``1 / E[strings per record]``;
+* the decoder must keep up with the merge cores (p records/cycle), which
+  sets the required number of decoder lanes;
+* functional correctness: the streamed decode must reproduce the exact
+  index sequence (tested against the bit-exact codec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.vldi import VLDICodec, encoded_bits
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of one streaming decode."""
+
+    values: np.ndarray
+    cycles: int
+    strings_consumed: int
+
+    @property
+    def records_per_cycle(self) -> float:
+        """Sustained decode rate of one lane."""
+        return self.values.size / self.cycles if self.cycles else 0.0
+
+
+class StreamingVLDIDecoder:
+    """One decoder lane: consumes one VLDI string per cycle."""
+
+    def __init__(self, block_bits: int):
+        self.codec = VLDICodec(block_bits)
+        self.block_bits = block_bits
+
+    def decode_stream(self, bits: np.ndarray, count: int) -> DecodeResult:
+        """Decode ``count`` values, one string per cycle.
+
+        Args:
+            bits: Packed VLDI bit stream.
+            count: Number of encoded values.
+
+        Returns:
+            :class:`DecodeResult` with the decoded deltas and the cycle
+            count (= strings consumed: the state machine never stalls).
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        string_bits = self.block_bits + 1
+        values = np.empty(count, dtype=np.int64)
+        pos = 0
+        cycles = 0
+        for out_idx in range(count):
+            value = 0
+            while True:
+                if pos + string_bits > bits.size:
+                    raise ValueError("truncated VLDI stream")
+                cont = int(bits[pos])
+                block = 0
+                for bit in bits[pos + 1 : pos + string_bits]:
+                    block = (block << 1) | int(bit)
+                pos += string_bits
+                cycles += 1
+                value = (value << self.block_bits) | block
+                if not cont:
+                    break
+            values[out_idx] = value
+        return DecodeResult(values=values, cycles=cycles, strings_consumed=cycles)
+
+
+def expected_strings_per_record(deltas: np.ndarray, block_bits: int) -> float:
+    """Mean VLDI strings per encoded delta (the decode-cycle cost)."""
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if deltas.size == 0:
+        return 0.0
+    return float(encoded_bits(deltas, block_bits).mean()) / (block_bits + 1)
+
+
+def decoder_lanes_required(
+    deltas: np.ndarray,
+    block_bits: int,
+    merge_records_per_cycle: int,
+) -> int:
+    """Decoder lanes needed to keep the merge network fed.
+
+    Each lane sustains ``1 / E[strings]`` records per cycle; the network
+    consumes ``p`` per cycle.
+
+    Args:
+        deltas: Representative delta sample.
+        block_bits: VLDI block width.
+        merge_records_per_cycle: p, the PRaP output width.
+
+    Returns:
+        Minimum lane count (>= p since strings/record >= 1).
+    """
+    strings = expected_strings_per_record(deltas, block_bits)
+    if strings <= 0:
+        return merge_records_per_cycle
+    import math
+
+    return int(math.ceil(merge_records_per_cycle * strings))

@@ -1,0 +1,70 @@
+"""Configuration of one Two-Step SpMV execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import Precision
+from repro.filters.hdn import HDNConfig
+
+
+@dataclass(frozen=True)
+class TwoStepConfig:
+    """Parameters controlling the functional Two-Step engine.
+
+    Attributes:
+        segment_width: Source-vector elements per scratchpad-resident
+            segment; dictates the stripe width (paper: set by scratchpad
+            capacity / value bytes).
+        q: Radix bits of the PRaP merge network (``p = 2**q`` cores).
+        precision: Value precision for traffic accounting (the functional
+            datapath always computes in float64).
+        vldi_vector_block_bits: VLDI block width applied to intermediate
+            vector indices; None disables vector compression.
+        vldi_matrix_block_bits: VLDI block width applied to stripe column
+            indices; None disables matrix compression.
+        dpage_bytes: DRAM page size for prefetch-buffer accounting.
+        step1_pipelines: P, parallel multiplier/adder-chain sets in step 1.
+        hdn: High-degree-node handling; None disables the HDN pipeline.
+        check_interleave: Route step-2 assembly through the store-queue
+            invariant checker (slower but verifies section 4.2.2).
+        index_field_bytes: Width of an uncompressed index field in the
+            DRAM layout.  The hardware uses fixed 32-bit fields (4 bytes)
+            for row/column/intermediate indices regardless of the actual
+            dimension; VLDI is what removes that slack.
+    """
+
+    segment_width: int
+    q: int = 4
+    precision: Precision = Precision.SINGLE
+    vldi_vector_block_bits: int = None
+    vldi_matrix_block_bits: int = None
+    dpage_bytes: int = 2048
+    step1_pipelines: int = 8
+    hdn: HDNConfig = None
+    check_interleave: bool = False
+    index_field_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.segment_width <= 0:
+            raise ValueError("segment_width must be positive")
+        if self.q < 0:
+            raise ValueError("q must be non-negative")
+        if self.step1_pipelines <= 0:
+            raise ValueError("step1_pipelines must be positive")
+        if self.dpage_bytes <= 0:
+            raise ValueError("dpage_bytes must be positive")
+        for width in (self.vldi_vector_block_bits, self.vldi_matrix_block_bits):
+            if width is not None and not 1 <= width <= 62:
+                raise ValueError("VLDI block width must be in [1, 62]")
+        if self.index_field_bytes <= 0:
+            raise ValueError("index_field_bytes must be positive")
+
+    @property
+    def n_cores(self) -> int:
+        """PRaP merge cores."""
+        return 1 << self.q
+
+    def n_stripes(self, n_cols: int) -> int:
+        """Column blocks for a matrix with ``n_cols`` columns."""
+        return -(-n_cols // self.segment_width)

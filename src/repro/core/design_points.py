@@ -1,0 +1,277 @@
+"""The accelerator design points of Table 2.
+
+Each design point fixes the merge-network geometry (cores x ways), clock,
+on-chip memory split and main-memory system, and records the paper's
+published maximum dimension and sustained throughput for validation.
+
+Derivation of the maximum dimension (checked by tests): the merge network
+can merge at most ``ways`` intermediate vectors, and each stripe covers
+``vector_buffer / (value_bytes * segments)`` columns, so
+
+    max_nodes = ways * vector_buffer_bytes / (value_bytes * segments)
+
+with ``segments = 2`` under ITS (two vector segments resident, section
+5.2).  For the ASIC: 2048 ways x 8 MB / 4 B = 4.29e9 (paper: 4 billion);
+halved to 2.1e9 by ITS.  For FPGA1 (64-way): 134.2M, FPGA2 (32-way): 67.1M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.memory.dram import DRAMConfig, HBM2_4STACK
+from repro.memory.energy import ASIC_16NM_ENERGY, FPGA_ENERGY, EnergyModel
+from repro.merge.merge_core import MergeCoreConfig
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One implementation variant of the proposed accelerator.
+
+    Attributes:
+        name: Table 2 implementation ID (e.g. ``"TS_ASIC"``).
+        platform: ``"ASIC"``, ``"FPGA1"`` or ``"FPGA2"``.
+        frequency_hz: Core clock.
+        n_merge_cores: p, parallel merge cores (PRaP width).
+        merge_ways: K, ways per merge core = maximum stripes.
+        step1_pipelines: P, multiplier/adder-chain sets.
+        record_bytes: DRAM record footprint used for throughput accounting.
+        value_bytes: Element precision in the vector buffers.
+        vector_buffer_bytes: Scratchpad bytes for source-vector segments.
+        prefetch_buffer_bytes: Scratchpad bytes for the shared K x dpage
+            prefetch buffer.
+        compute_sram_bytes: SRAM inside the computation core (MC FIFOs).
+        dram: Main-memory system.
+        energy: Platform energy model.
+        step1_record_bytes: DRAM footprint of one step-1 input record
+            (compressed column index + value), for the ITS throughput sum.
+        efficiency: Fraction of the merge network's peak the pipeline
+            sustains (fills, drains, page turnarounds).
+        vldi_record_factor: Record-size shrink under VLDI vector
+            compression (18 B vs 20 B -> 0.9 for the ASIC's layout).
+        its: Iteration-overlap enabled (halves max dimension).
+        vldi: VLDI vector compression enabled.
+        published_max_nodes: Table 2 "Maximum nodes (M)" x 1e6.
+        published_sustained_gbps: Table 2 sustained throughput (GB/s).
+    """
+
+    name: str
+    platform: str
+    frequency_hz: float
+    n_merge_cores: int
+    merge_ways: int
+    step1_pipelines: int
+    record_bytes: float
+    value_bytes: int
+    vector_buffer_bytes: int
+    prefetch_buffer_bytes: int
+    compute_sram_bytes: int
+    dram: DRAMConfig
+    energy: EnergyModel
+    step1_record_bytes: float
+    efficiency: float
+    vldi_record_factor: float
+    its: bool
+    vldi: bool
+    published_max_nodes: float
+    published_sustained_gbps: float
+
+    @property
+    def segments_resident(self) -> int:
+        """Vector segments held on-chip: 2 under ITS, else 1."""
+        return 2 if self.its else 1
+
+    @property
+    def segment_elements(self) -> int:
+        """Source-vector elements per segment."""
+        return self.vector_buffer_bytes // (self.value_bytes * self.segments_resident)
+
+    @property
+    def max_nodes(self) -> int:
+        """Largest handled dimension: ways x segment elements."""
+        return self.merge_ways * self.segment_elements
+
+    @property
+    def onchip_bytes(self) -> int:
+        """Total fast on-chip memory (Table 1 column)."""
+        return self.vector_buffer_bytes + self.prefetch_buffer_bytes + self.compute_sram_bytes
+
+    @property
+    def step2_record_rate(self) -> float:
+        """Merge-network output records/second: one per core per cycle."""
+        return self.n_merge_cores * self.frequency_hz
+
+    @property
+    def step1_record_rate(self) -> float:
+        """Step-1 pipeline records/second."""
+        return self.step1_pipelines * self.frequency_hz
+
+    @property
+    def step2_peak_gbps(self) -> float:
+        """Merge-network peak bandwidth in GB/s."""
+        return self.step2_record_rate * self.record_bytes / 1e9
+
+    @property
+    def modeled_sustained_gbps(self) -> float:
+        """Sustained throughput derived from the geometry (Table 2 check).
+
+        Plain Two-Step alternates phases, so sustained throughput is the
+        merge network's effective bandwidth.  ITS overlaps step 1 with
+        step 2, adding the step-1 stream; VLDI shrinks each record, so the
+        same record rate moves fewer DRAM bytes.
+        """
+        sustained = self.efficiency * self.step2_peak_gbps
+        if self.its:
+            sustained += self.step1_record_rate * self.step1_record_bytes / 1e9
+        if self.vldi:
+            sustained *= self.vldi_record_factor
+        return sustained
+
+    def merge_core_config(self) -> MergeCoreConfig:
+        """Per-core merge configuration for the cycle models."""
+        return MergeCoreConfig(
+            ways=self.merge_ways,
+            record_bits=int(self.record_bytes * 8),
+            frequency_hz=self.frequency_hz,
+        )
+
+
+MB = 1 << 20
+
+_ASIC_BASE = dict(
+    platform="ASIC",
+    frequency_hz=1.4e9,
+    n_merge_cores=16,
+    merge_ways=2048,
+    step1_pipelines=16,
+    record_bytes=20.0,
+    value_bytes=4,
+    vector_buffer_bytes=8 * MB,
+    prefetch_buffer_bytes=int(2.5 * MB),
+    compute_sram_bytes=int(0.5 * MB),
+    dram=HBM2_4STACK,
+    energy=ASIC_16NM_ENERGY,
+    step1_record_bytes=13.3,
+    efficiency=0.964,
+    vldi_record_factor=0.9,
+)
+
+TS_ASIC = DesignPoint(
+    name="TS_ASIC",
+    its=False,
+    vldi=False,
+    published_max_nodes=4000e6,
+    published_sustained_gbps=432.0,
+    **_ASIC_BASE,
+)
+
+ITS_ASIC = DesignPoint(
+    name="ITS_ASIC",
+    its=True,
+    vldi=False,
+    published_max_nodes=2000e6,
+    published_sustained_gbps=729.0,
+    **_ASIC_BASE,
+)
+
+ITS_VC_ASIC = DesignPoint(
+    name="ITS_VC_ASIC",
+    its=True,
+    vldi=True,
+    published_max_nodes=2000e6,
+    published_sustained_gbps=656.0,
+    **_ASIC_BASE,
+)
+
+#: FPGA main memory: four simulated HBM channels, as in section 7.2.
+_FPGA_DRAM = HBM2_4STACK
+
+_FPGA1_BASE = dict(
+    platform="FPGA1",
+    frequency_hz=300e6,
+    n_merge_cores=16,
+    merge_ways=64,
+    step1_pipelines=16,
+    record_bytes=20.0,
+    value_bytes=4,
+    vector_buffer_bytes=8 * MB,
+    prefetch_buffer_bytes=1 * MB,
+    compute_sram_bytes=1 * MB,
+    dram=_FPGA_DRAM,
+    energy=FPGA_ENERGY,
+    step1_record_bytes=17.1,
+    efficiency=1.0,
+    vldi_record_factor=0.9,
+)
+
+TS_FPGA1 = DesignPoint(
+    name="TS_FPGA1",
+    its=False,
+    vldi=False,
+    published_max_nodes=134.2e6,
+    published_sustained_gbps=96.0,
+    **_FPGA1_BASE,
+)
+
+ITS_FPGA1 = DesignPoint(
+    name="ITS_FPGA1",
+    its=True,
+    vldi=False,
+    published_max_nodes=67.1e6,
+    published_sustained_gbps=178.0,
+    **_FPGA1_BASE,
+)
+
+_FPGA2_BASE = dict(
+    platform="FPGA2",
+    frequency_hz=300e6,
+    n_merge_cores=32,
+    merge_ways=32,
+    step1_pipelines=32,
+    record_bytes=20.0,
+    value_bytes=4,
+    vector_buffer_bytes=8 * MB,
+    prefetch_buffer_bytes=1 * MB,
+    compute_sram_bytes=1 * MB,
+    dram=_FPGA_DRAM,
+    energy=FPGA_ENERGY,
+    step1_record_bytes=17.1,
+    efficiency=0.99,
+    vldi_record_factor=0.9,
+)
+
+TS_FPGA2 = DesignPoint(
+    name="TS_FPGA2",
+    its=False,
+    vldi=False,
+    published_max_nodes=67.1e6,
+    published_sustained_gbps=190.0,
+    **_FPGA2_BASE,
+)
+
+ITS_FPGA2 = DesignPoint(
+    name="ITS_FPGA2",
+    its=True,
+    vldi=False,
+    published_max_nodes=33.6e6,
+    published_sustained_gbps=357.0,
+    **_FPGA2_BASE,
+)
+
+ALL_DESIGN_POINTS = [TS_ASIC, ITS_ASIC, ITS_VC_ASIC, TS_FPGA1, ITS_FPGA1, TS_FPGA2, ITS_FPGA2]
+
+ASIC_POINTS = [TS_ASIC, ITS_ASIC, ITS_VC_ASIC]
+FPGA_POINTS = [TS_FPGA1, ITS_FPGA1, TS_FPGA2, ITS_FPGA2]
+
+
+def get_design_point(name: str) -> DesignPoint:
+    """Look up a design point by its Table 2 ID."""
+    for point in ALL_DESIGN_POINTS:
+        if point.name == name:
+            return point
+    raise KeyError(f"unknown design point {name!r}")
+
+
+def with_vector_buffer(point: DesignPoint, vector_buffer_bytes: int) -> DesignPoint:
+    """Scale a design point's vector buffer (section 6 scaling argument)."""
+    return replace(point, vector_buffer_bytes=vector_buffer_bytes)

@@ -1,0 +1,141 @@
+"""ITS -- Iteration-overlapped Two-Step (paper section 5.2).
+
+Iterative SpMV applications feed the result of iteration ``i`` back as the
+source of iteration ``i + 1``.  ITS overlaps step 2 of iteration ``i``
+with step 1 of iteration ``i + 1``: as soon as the merge network has
+produced one *segment* of ``y_i = x_{i+1}`` it is parked in a second
+on-chip vector buffer and step 1 of the next iteration starts on it, while
+step 2 keeps filling the following segment.
+
+Effects modelled (and tested):
+
+* the DRAM round trip of ``y_i = x_{i+1}`` disappears for interior
+  iterations (first x-read and last y-write remain);
+* per-iteration time drops from ``t1 + t2`` to ``max(t1, t2)`` in steady
+  state because both fabrics stay busy;
+* the scratchpad must hold two segments, halving the maximum dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TwoStepConfig
+from repro.core.twostep import TwoStepEngine
+from repro.formats.coo import COOMatrix
+from repro.memory.traffic import TrafficLedger
+
+
+@dataclass
+class ITSRunReport:
+    """Aggregate of an ITS iterative run."""
+
+    iterations: int
+    per_iteration: list = field(default_factory=list)
+    traffic: TrafficLedger = field(default_factory=TrafficLedger)
+    overlapped_cycles: float = 0.0
+    sequential_cycles: float = 0.0
+
+    @property
+    def cycle_speedup(self) -> float:
+        """Sequential (plain TS) cycles over overlapped (ITS) cycles."""
+        return self.sequential_cycles / self.overlapped_cycles if self.overlapped_cycles else 1.0
+
+
+class ITSEngine:
+    """Iteration-overlapped Two-Step executor.
+
+    The functional result is identical to running the plain engine
+    repeatedly; the instrumentation applies the overlap accounting.
+    """
+
+    def __init__(self, config: TwoStepConfig, max_dimension: int = None):
+        """
+        Args:
+            config: Two-Step configuration.  Note ITS requires buffering
+                two vector segments, so a scratchpad that holds
+                ``segment_width`` elements under plain TS only supports
+                ``segment_width // 2`` here -- pass the halved width.
+            max_dimension: Optional capacity check (reject matrices whose
+                dimension exceeds the ITS maximum).
+        """
+        self.config = config
+        self.max_dimension = max_dimension
+        self._engine = TwoStepEngine(config)
+
+    def run_iterations(
+        self,
+        matrix: COOMatrix,
+        x0: np.ndarray,
+        n_iterations: int,
+        transform=None,
+        stop_condition=None,
+    ) -> tuple:
+        """Run ``x_{i+1} = transform(A @ x_i)`` for up to ``n_iterations``.
+
+        Args:
+            matrix: Square sparse matrix.
+            x0: Initial vector.
+            n_iterations: Maximum iterations to run (>= 1).
+            transform: Optional element-wise post-step applied on-chip
+                between iterations (e.g. PageRank damping); must be a
+                callable ``vector -> vector``.
+            stop_condition: Optional ``(previous, new) -> bool`` callable
+                checked after every iteration; True stops the run early
+                (convergence test).
+
+        Returns:
+            ``(x_final, ITSRunReport)``.
+        """
+        if matrix.n_rows != matrix.n_cols:
+            raise ValueError("iterative SpMV requires a square matrix")
+        if self.max_dimension is not None and matrix.n_rows > self.max_dimension:
+            raise ValueError(
+                f"ITS supports at most {self.max_dimension} nodes "
+                f"(two segments resident), got {matrix.n_rows}"
+            )
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+
+        report = ITSRunReport(iterations=0)
+        x = np.asarray(x0, dtype=np.float64)
+        for i in range(n_iterations):
+            previous = x
+            x, step_report = self._engine.run(matrix, x)
+            if transform is not None:
+                x = transform(x)
+            report.iterations += 1
+            ledger = step_report.traffic
+            # Interior transitions keep y_i = x_{i+1} on chip: drop the
+            # y-write and the next iteration's x-read; the ledger keeps the
+            # first x-read, and the final y-write is re-added after the loop.
+            adjusted = TrafficLedger(
+                matrix_bytes=ledger.matrix_bytes,
+                source_vector_bytes=ledger.source_vector_bytes if i == 0 else 0.0,
+                result_vector_bytes=0.0,
+                intermediate_write_bytes=ledger.intermediate_write_bytes,
+                intermediate_read_bytes=ledger.intermediate_read_bytes,
+                notes=dict(ledger.notes),
+            )
+            report.per_iteration.append(step_report)
+            report.traffic = report.traffic.add(adjusted)
+            report.sequential_cycles += step_report.step1.cycles + step_report.step2.cycles
+            report.overlapped_cycles += max(step_report.step1.cycles, step_report.step2.cycles)
+            if stop_condition is not None and stop_condition(previous, x):
+                break
+        # The last result still streams out to DRAM once.
+        report.traffic.result_vector_bytes += report.per_iteration[-1].traffic.result_vector_bytes
+        # The first iteration has no preceding step 2 to overlap with.
+        first = report.per_iteration[0]
+        report.overlapped_cycles += min(first.step1.cycles, first.step2.cycles)
+        return x, report
+
+
+def plain_iteration_traffic(reports: list) -> TrafficLedger:
+    """Summed traffic of the same run *without* ITS (for the comparison)."""
+    total = TrafficLedger()
+    for report in reports:
+        total = total.add(report.traffic)
+    return total

@@ -1,0 +1,220 @@
+"""Analytic performance model of the accelerator at paper scale.
+
+Simulating billion-node graphs record-by-record is infeasible in Python,
+and unnecessary: Two-Step's behaviour is closed-form in the graph size,
+degree and design-point geometry because *all* DRAM access is streaming.
+The functions below compute the off-chip traffic, phase times, GTEPS and
+energy that the evaluation figures report, using the same formulas the
+functional engine's measured ledgers validate at simulation scale (see
+``tests/test_perf_model.py`` for the cross-check).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.design_points import DesignPoint
+from repro.memory.traffic import TrafficLedger
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Modeled execution of one SpMV (or one iteration of iterative SpMV).
+
+    Attributes:
+        design_point: Name of the accelerator variant.
+        n_nodes: Matrix dimension.
+        n_edges: Nonzeros.
+        traffic: Off-chip traffic ledger (per iteration).
+        step1_time_s: Modeled step-1 phase time.
+        step2_time_s: Modeled step-2 phase time.
+        runtime_s: Total per-iteration time (phases overlap under ITS).
+        bound: ``"compute"`` or ``"memory"``, whichever limits runtime.
+        gteps: Giga traversed edges per second.
+        energy_j: Per-iteration energy.
+        nj_per_edge: Energy per traversed edge in nanojoules.
+    """
+
+    design_point: str
+    n_nodes: int
+    n_edges: int
+    traffic: TrafficLedger
+    step1_time_s: float
+    step2_time_s: float
+    runtime_s: float
+    bound: str
+    gteps: float
+    energy_j: float
+    nj_per_edge: float
+
+
+def intermediate_records(n_nodes: int, n_edges: int, n_stripes: int) -> float:
+    """Expected total records across all intermediate vectors.
+
+    A stripe with ``nnz_k`` uniformly spread nonzeros hits
+    ``N * (1 - (1 - 1/N)^nnz_k) ~ N * (1 - exp(-nnz_k / N))`` distinct rows;
+    row-major accumulation in step 1 emits one record per distinct row.
+    For the hypersparse stripes of large problems this approaches ``nnz``
+    (collisions are rare), which is the paper's operating regime.
+    """
+    if n_stripes <= 0:
+        raise ValueError("n_stripes must be positive")
+    nnz_per_stripe = n_edges / n_stripes
+    distinct = n_nodes * (1.0 - math.exp(-nnz_per_stripe / max(n_nodes, 1)))
+    return n_stripes * min(distinct, nnz_per_stripe)
+
+
+def twostep_traffic(
+    n_nodes: int,
+    n_edges: int,
+    point: DesignPoint,
+    iteration_overlap: bool = None,
+) -> TrafficLedger:
+    """Per-iteration off-chip traffic of Two-Step on a design point.
+
+    Args:
+        n_nodes: Matrix dimension N.
+        n_edges: Nonzeros.
+        point: Accelerator variant (controls stripe width, precision,
+            VLDI and ITS).
+        iteration_overlap: Override the point's ITS setting (interior
+            iterations of an ITS run skip the x-read and y-write).
+
+    Returns:
+        Traffic ledger; all categories are streaming, wastage is zero.
+    """
+    its = point.its if iteration_overlap is None else iteration_overlap
+    vb = point.value_bytes
+    # Fixed 32-bit index fields in the DRAM layout (the hardware does not
+    # shrink fields to the problem dimension; VLDI removes the slack).
+    row_idx_bytes = 4
+    seg_idx_bytes = 4
+    n_stripes = max(1, -(-n_nodes // point.segment_elements))
+    nnz_per_stripe = n_edges / n_stripes
+
+    # Stripe meta-data: RM-COO when hypersparse, else CSR.
+    if nnz_per_stripe < n_nodes:
+        matrix_meta = n_edges * (row_idx_bytes + seg_idx_bytes)
+    else:
+        matrix_meta = n_edges * seg_idx_bytes + n_stripes * (n_nodes + 1) * 4
+    matrix_bytes = matrix_meta + n_edges * vb
+
+    records = intermediate_records(n_nodes, n_edges, n_stripes)
+    record_bytes = row_idx_bytes + vb
+    if point.vldi:
+        record_bytes *= point.vldi_record_factor
+    intermediate_oneway = records * record_bytes
+
+    ledger = TrafficLedger(
+        matrix_bytes=matrix_bytes,
+        source_vector_bytes=0.0 if its else n_nodes * vb,
+        result_vector_bytes=0.0 if its else n_nodes * vb,
+        intermediate_write_bytes=intermediate_oneway,
+        intermediate_read_bytes=intermediate_oneway,
+    )
+    ledger.notes["n_stripes"] = n_stripes
+    ledger.notes["intermediate_records"] = records
+    return ledger
+
+
+def estimate_performance(
+    point: DesignPoint,
+    n_nodes: int,
+    n_edges: int,
+    check_capacity: bool = True,
+) -> PerfEstimate:
+    """Model one SpMV iteration on a design point at full problem scale.
+
+    Phase times take the max of compute rate and streaming bandwidth;
+    plain Two-Step serializes the phases while ITS overlaps them in steady
+    state (section 5.2).
+
+    Raises:
+        ValueError: When the problem dimension exceeds the design point's
+            maximum (and ``check_capacity``).
+    """
+    if check_capacity and n_nodes > point.max_nodes:
+        raise ValueError(
+            f"{point.name} handles at most {point.max_nodes} nodes, got {n_nodes}"
+        )
+    traffic = twostep_traffic(n_nodes, n_edges, point)
+    records = traffic.notes["intermediate_records"]
+    bw = point.dram.stream_bandwidth
+    eff = point.efficiency
+
+    step1_bytes = traffic.source_vector_bytes + traffic.matrix_bytes + traffic.intermediate_write_bytes
+    step2_bytes = traffic.intermediate_read_bytes + traffic.result_vector_bytes
+    t1_compute = n_edges / (point.step1_record_rate * eff)
+    t1_memory = step1_bytes / bw
+    t1 = max(t1_compute, t1_memory)
+    t2_compute = max(records, float(n_nodes)) / (point.step2_record_rate * eff)
+    t2_memory = step2_bytes / bw
+    t2 = max(t2_compute, t2_memory)
+
+    runtime = max(t1, t2) if point.its else t1 + t2
+    compute_bound = (t1_compute + t2_compute) >= (t1_memory + t2_memory)
+    gteps = n_edges / runtime / 1e9
+    onchip = n_edges * point.value_bytes + records * point.record_bytes
+    energy = point.energy.energy_j(traffic, n_edges, runtime, onchip_bytes=onchip)
+    return PerfEstimate(
+        design_point=point.name,
+        n_nodes=n_nodes,
+        n_edges=n_edges,
+        traffic=traffic,
+        step1_time_s=t1,
+        step2_time_s=t2,
+        runtime_s=runtime,
+        bound="compute" if compute_bound else "memory",
+        gteps=gteps,
+        energy_j=energy,
+        nj_per_edge=energy / n_edges * 1e9,
+    )
+
+
+@dataclass(frozen=True)
+class IterativeEstimate:
+    """Modeled multi-iteration run (e.g. PageRank) on a design point."""
+
+    design_point: str
+    iterations: int
+    runtime_s: float
+    traffic: TrafficLedger
+    per_iteration: PerfEstimate
+
+    @property
+    def gteps(self) -> float:
+        """Aggregate traversed-edge rate over the whole run."""
+        return self.per_iteration.n_edges * self.iterations / self.runtime_s / 1e9
+
+
+def estimate_iterative(
+    point: DesignPoint,
+    n_nodes: int,
+    n_edges: int,
+    iterations: int,
+    check_capacity: bool = True,
+) -> IterativeEstimate:
+    """Model an ``iterations``-long iterative SpMV run (section 5.2).
+
+    For ITS points the per-iteration estimate already omits the x/y round
+    trip; the boundary transfers (first x-read, last y-write) are added
+    back once.  Plain TS simply repeats the single-SpMV estimate.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    est = estimate_performance(point, n_nodes, n_edges, check_capacity=check_capacity)
+    runtime = est.runtime_s * iterations
+    traffic = est.traffic.scaled(iterations)
+    if point.its:
+        boundary = 2 * n_nodes * point.value_bytes
+        traffic.source_vector_bytes += boundary / 2
+        traffic.result_vector_bytes += boundary / 2
+        runtime += boundary / point.dram.stream_bandwidth
+    return IterativeEstimate(
+        design_point=point.name,
+        iterations=iterations,
+        runtime_s=runtime,
+        traffic=traffic,
+        per_iteration=est,
+    )

@@ -1,0 +1,51 @@
+"""Record layout and value-precision definitions.
+
+A *record* is the key-value pair flowing through the accelerator: the key
+is a row index, the value the multiplier/accumulator output (paper section
+3.1).  Figure 14 evaluates VLDI under value precisions from quadruple
+(128-bit) down to unweighted binary matrices (value omitted entirely);
+:class:`Precision` enumerates exactly those design points.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class Precision(enum.Enum):
+    """Value precision of matrix/vector elements, in bits (Fig. 14)."""
+
+    QUADRUPLE = 128
+    DOUBLE = 64
+    SINGLE = 32
+    HALF = 16
+    QUARTER = 8
+    BIT = 1
+
+    @property
+    def bits(self) -> int:
+        """Value width in bits."""
+        return self.value
+
+    @property
+    def bytes(self) -> float:
+        """Value width in bytes (fractional for sub-byte precisions)."""
+        return self.value / 8.0
+
+
+def index_bytes(dimension: int) -> float:
+    """Bytes of an uncompressed absolute index for a given dimension.
+
+    Rounded up to whole bytes, minimum 1 (hardware packs indices at byte
+    granularity in DRAM).
+    """
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    bits = max(1, math.ceil(math.log2(dimension))) if dimension > 1 else 1
+    return max(1.0, math.ceil(bits / 8.0))
+
+
+def record_bytes(dimension: int, precision: Precision) -> float:
+    """Uncompressed DRAM footprint of one ``(index, value)`` record."""
+    return index_bytes(dimension) + precision.bytes

@@ -1,0 +1,154 @@
+"""Segment-level ITS pipeline schedule (paper Fig. 15).
+
+ITS does not overlap whole iterations -- it overlaps at *segment*
+granularity: as soon as step 2 of iteration ``i`` finishes producing the
+first segment of ``x_{i+1}`` into the second on-chip buffer, step 1 of
+iteration ``i+1`` starts consuming it while step 2 keeps filling the next
+segment.  Two constraints shape the schedule:
+
+* only two vector segments are resident (the producing one and the
+  consuming one), which is exactly why ITS halves the maximum dimension;
+* step 1 of iteration ``i+1`` on segment ``s`` cannot start before step 2
+  of iteration ``i`` has finished segment ``s``.
+
+:class:`ITSSchedule` builds the explicit timeline from per-segment cycle
+counts, checks the buffer constraint, and reports the makespan against
+the non-overlapped baseline; :func:`render_gantt` draws it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SegmentTask:
+    """One scheduled phase-segment occurrence."""
+
+    iteration: int
+    phase: int  # 1 or 2
+    segment: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ITSSchedule:
+    """Explicit segment-level timeline of an ITS run."""
+
+    tasks: list = field(default_factory=list)
+    n_segments: int = 0
+    iterations: int = 0
+
+    @property
+    def makespan(self) -> float:
+        """Total scheduled cycles."""
+        return max((t.end for t in self.tasks), default=0.0)
+
+    def phase_tasks(self, iteration: int, phase: int) -> list:
+        """Tasks of one phase of one iteration, in segment order."""
+        return sorted(
+            (t for t in self.tasks if t.iteration == iteration and t.phase == phase),
+            key=lambda t: t.segment,
+        )
+
+    def max_resident_segments(self) -> int:
+        """Peak number of result segments buffered on-chip.
+
+        A segment occupies a buffer from when step 2 finishes producing it
+        until its consumer (next iteration's step 1) finishes with it.
+        ITS provisions exactly two buffers, so the peak must never exceed
+        2 (one being consumed, one freshly produced).
+        """
+        events = []
+        for t in self.tasks:
+            if t.phase == 2 and t.iteration < self.iterations - 1:
+                events.append((t.end, +1))  # segment produced
+        for t in self.tasks:
+            if t.phase == 1 and t.iteration > 0:
+                events.append((t.end, -1))  # segment consumed
+        resident = peak = 0
+        for _, delta in sorted(events):
+            resident += delta
+            peak = max(peak, resident)
+        return peak
+
+
+def build_its_schedule(
+    step1_segment_cycles: np.ndarray,
+    step2_segment_cycles: np.ndarray,
+    iterations: int,
+) -> ITSSchedule:
+    """Construct the ITS timeline from per-segment phase costs.
+
+    Args:
+        step1_segment_cycles: Step-1 cycles to consume each source
+            segment (length = number of segments).
+        step2_segment_cycles: Step-2 cycles to produce each result
+            segment.
+        iterations: Iterations to schedule.
+
+    Returns:
+        :class:`ITSSchedule`; dependencies: within a phase, segments run
+        back-to-back on that phase's fabric; step 1 of iteration ``i+1``
+        segment ``s`` additionally waits for step 2 of iteration ``i``
+        segment ``s``.
+    """
+    s1 = np.asarray(step1_segment_cycles, dtype=np.float64)
+    s2 = np.asarray(step2_segment_cycles, dtype=np.float64)
+    if s1.shape != s2.shape or s1.ndim != 1 or s1.size == 0:
+        raise ValueError("segment cycle arrays must be equal-length 1-D and non-empty")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    n_seg = s1.size
+    schedule = ITSSchedule(n_segments=n_seg, iterations=iterations)
+
+    # Iteration 0's step 1 reads x_0 from DRAM: segments run back to back.
+    f1_free = 0.0
+    step1_end = np.zeros(n_seg)
+    for s in range(n_seg):
+        start = f1_free
+        f1_free = start + s1[s]
+        step1_end[s] = f1_free
+        schedule.tasks.append(SegmentTask(0, 1, s, start, f1_free))
+
+    f2_free = 0.0
+    for it in range(iterations):
+        # Step 2 of iteration `it` starts only after its step 1 finished
+        # every stripe (the merge needs all intermediate vectors).
+        f2_free = max(f2_free, step1_end[-1])
+        last = it == iterations - 1
+        next_end = np.zeros(n_seg)
+        for s in range(n_seg):
+            # Two-buffer back-pressure: writing segment s reuses the
+            # buffer freed when the consumer finished segment s - 2; the
+            # final iteration streams y to DRAM and needs no buffer.
+            buffer_free = next_end[s - 2] if (not last and s >= 2) else 0.0
+            start2 = max(f2_free, buffer_free)
+            end2 = start2 + s2[s]
+            f2_free = end2
+            schedule.tasks.append(SegmentTask(it, 2, s, start2, end2))
+            if not last:
+                # The consumer: step 1 of the next iteration on segment s.
+                start1 = max(f1_free, end2)
+                f1_free = start1 + s1[s]
+                next_end[s] = f1_free
+                schedule.tasks.append(SegmentTask(it + 1, 1, s, start1, f1_free))
+        step1_end = next_end
+    return schedule
+
+
+def sequential_makespan(
+    step1_segment_cycles: np.ndarray,
+    step2_segment_cycles: np.ndarray,
+    iterations: int,
+) -> float:
+    """Non-overlapped (plain TS) makespan for the same work."""
+    total = float(np.sum(step1_segment_cycles) + np.sum(step2_segment_cycles))
+    return total * iterations

@@ -1,0 +1,73 @@
+"""Figure 4: off-chip traffic, latency-bound vs Two-Step SpMV.
+
+Paper setup: 1-billion-node graph with average degree 3.  Latency-bound
+SpMV moves the least payload but drowns in cache-line wastage; Two-Step
+moves more payload (the intermediate round trip) yet less total traffic,
+all of it streaming.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_bytes, format_table
+from repro.baselines.latency_bound import latency_bound_traffic, simulate_latency_bound
+from repro.core.design_points import TS_ASIC
+from repro.core.perf import twostep_traffic
+from repro.generators.erdos_renyi import erdos_renyi_graph
+from repro.memory.cache import CacheConfig
+
+N_NODES = 10**9
+N_EDGES = 3 * 10**9
+CACHE_BYTES = 30 << 20
+LINE_BYTES = 64
+
+
+def collect() -> tuple:
+    """Paper-scale ledgers: ``(latency_bound, twostep)``."""
+    lb = latency_bound_traffic(N_NODES, N_EDGES, CACHE_BYTES, LINE_BYTES)
+    ts = twostep_traffic(N_NODES, N_EDGES, TS_ASIC)
+    return lb, ts
+
+
+def cross_check(n_nodes: int = 50_000, cache_bytes: int = 16 << 10) -> tuple:
+    """Trace-driven vs analytic miss rate at simulation scale."""
+    graph = erdos_renyi_graph(n_nodes, 3.0, seed=4)
+    cache = CacheConfig(capacity_bytes=cache_bytes, line_bytes=64, associativity=4)
+    measured = simulate_latency_bound(graph, cache)
+    analytic = latency_bound_traffic(graph.n_rows, graph.nnz, cache_bytes, 64)
+    return measured.notes["miss_rate"], analytic.notes["miss_rate"]
+
+
+def render() -> str:
+    """The regenerated Fig. 4 as text."""
+    lb, ts = collect()
+    rows = []
+    for name, ledger in (("Latency-bound", lb), ("Two-Step", ts)):
+        rows.append(
+            [
+                name,
+                format_bytes(ledger.matrix_bytes),
+                format_bytes(ledger.source_vector_bytes),
+                format_bytes(ledger.result_vector_bytes),
+                format_bytes(ledger.intermediate_bytes),
+                format_bytes(ledger.cache_line_wastage_bytes),
+                format_bytes(ledger.payload_bytes),
+                format_bytes(ledger.total_bytes),
+            ]
+        )
+    table = format_table(
+        ["algorithm", "matrix", "x", "y", "intermediate", "wastage", "payload", "TOTAL"],
+        rows,
+        title="Fig. 4 -- off-chip traffic, 1B nodes / avg degree 3 (paper scale)",
+    )
+    measured_rate, analytic_rate = cross_check()
+    checks = [
+        f"Two-Step payload > latency-bound payload: "
+        f"{ts.payload_bytes > lb.payload_bytes} (paper: yes)",
+        f"Two-Step total < latency-bound total:    "
+        f"{ts.total_bytes < lb.total_bytes} (paper: yes)",
+        f"total traffic ratio (LB / Two-Step): {lb.total_bytes / ts.total_bytes:.2f}x",
+        "Two-Step wastage: 0 B (100% streaming access)",
+        f"cross-check at N=50k (16 KiB cache): measured miss rate "
+        f"{measured_rate:.3f}, analytic {analytic_rate:.3f}",
+    ]
+    return table + "\n\n" + "\n".join(checks)

@@ -1,0 +1,65 @@
+"""Figures 17 and 18: GTEPS vs custom hardware benchmarks on Table 4.
+
+Fig. 17 compares the three ASIC variants (paper: 5x - 90x improvement);
+Fig. 18 the four FPGA implementations (paper: 3x - 60x), with n/a entries
+where a graph exceeds an FPGA point's maximum dimension.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_bar_chart
+from repro.baselines.custom_hw import reported_gteps
+from repro.core.design_points import (
+    ASIC_POINTS,
+    FPGA_POINTS,
+)
+from repro.core.perf import estimate_performance
+from repro.generators.datasets import CUSTOM_HW_GRAPHS
+
+
+def collect(points: list) -> tuple:
+    """``(labels, series, improvement_ratios)`` for a design-point group."""
+    labels, series = [], {"benchmark": []}
+    for point in points:
+        series[point.name] = []
+    ratios = []
+    for spec in CUSTOM_HW_GRAPHS:
+        bench_id, bench = reported_gteps(spec.name)
+        labels.append(f"{spec.name} ({bench_id})")
+        series["benchmark"].append(bench)
+        for point in points:
+            if spec.n_nodes > point.max_nodes:
+                series[point.name].append(None)
+                continue
+            est = estimate_performance(point, spec.n_nodes, spec.n_edges)
+            series[point.name].append(est.gteps)
+            ratios.append(est.gteps / bench)
+    return labels, series, ratios
+
+
+def _render(points: list, title: str, paper_span: str) -> str:
+    labels, series, ratios = collect(points)
+    chart = ascii_bar_chart(labels, series, width=40, title=title, unit=" GTEPS")
+    return (
+        chart
+        + f"\n\nimprovement span: {min(ratios):.1f}x - {max(ratios):.1f}x "
+        + f"(paper: {paper_span})"
+    )
+
+
+def render_asic() -> str:
+    """The regenerated Fig. 17 as text."""
+    return _render(
+        ASIC_POINTS,
+        "Fig. 17 -- GTEPS, proposed ASIC vs custom hardware benchmarks",
+        "5x - 90x",
+    )
+
+
+def render_fpga() -> str:
+    """The regenerated Fig. 18 as text."""
+    return _render(
+        FPGA_POINTS,
+        "Fig. 18 -- GTEPS, proposed FPGA implementations vs custom benchmarks",
+        "3x - 60x",
+    )

@@ -1,0 +1,69 @@
+"""Figures 19 and 20: GTEPS and energy per edge vs the GPU cluster.
+
+Fig. 19: ASIC variants (paper: 22x - 100x GTEPS, 150x - 1000x energy);
+Fig. 20: FPGA implementations (paper: 3x - 70x / 13x - 400x).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_bar_chart
+from repro.baselines.gpu_model import TESLA_M2050_CLUSTER
+from repro.core.design_points import ASIC_POINTS, FPGA_POINTS
+from repro.core.perf import estimate_performance
+from repro.generators.datasets import GPU_GRAPHS
+
+
+def collect(points: list) -> tuple:
+    """``(labels, gteps_series, energy_series, gteps_ratios, energy_ratios)``."""
+    labels = []
+    gteps = {"BM1_GPU": []}
+    energy = {"BM1_GPU": []}
+    for point in points:
+        gteps[point.name] = []
+        energy[point.name] = []
+    g_ratios, e_ratios = [], []
+    for spec in GPU_GRAPHS:
+        labels.append(spec.name)
+        gpu = TESLA_M2050_CLUSTER.estimate(spec.n_nodes, spec.n_edges)
+        gteps["BM1_GPU"].append(gpu.gteps)
+        energy["BM1_GPU"].append(gpu.nj_per_edge)
+        for point in points:
+            if spec.n_nodes > point.max_nodes:
+                gteps[point.name].append(None)
+                energy[point.name].append(None)
+                continue
+            est = estimate_performance(point, spec.n_nodes, spec.n_edges)
+            gteps[point.name].append(est.gteps)
+            energy[point.name].append(est.nj_per_edge)
+            g_ratios.append(est.gteps / gpu.gteps)
+            e_ratios.append(gpu.nj_per_edge / est.nj_per_edge)
+    return labels, gteps, energy, g_ratios, e_ratios
+
+
+def _render(points, fig_id, paper_gteps, paper_energy) -> str:
+    labels, gteps, energy, g_ratios, e_ratios = collect(points)
+    parts = [
+        ascii_bar_chart(
+            labels, gteps, width=40, log_scale=True,
+            title=f"Fig. {fig_id}(a) -- GTEPS vs GPU benchmark", unit=" GTEPS",
+        ),
+        ascii_bar_chart(
+            labels, energy, width=40, log_scale=True,
+            title=f"Fig. {fig_id}(b) -- energy per edge traversal", unit=" nJ",
+        ),
+        f"GTEPS improvement span:  {min(g_ratios):.1f}x - {max(g_ratios):.1f}x "
+        f"(paper: {paper_gteps})",
+        f"energy improvement span: {min(e_ratios):.1f}x - {max(e_ratios):.1f}x "
+        f"(paper: {paper_energy})",
+    ]
+    return "\n\n".join(parts)
+
+
+def render_asic() -> str:
+    """The regenerated Fig. 19 as text."""
+    return _render(ASIC_POINTS, 19, "22x - 100x", "150x - 1000x")
+
+
+def render_fpga() -> str:
+    """The regenerated Fig. 20 as text."""
+    return _render(FPGA_POINTS, 20, "3x - 70x", "13x - 400x")

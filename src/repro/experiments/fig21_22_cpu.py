@@ -1,0 +1,81 @@
+"""Figures 21 and 22: GTEPS and energy per edge vs CPU / co-processor.
+
+Fig. 21: ASIC variants (paper: 16x - 800x GTEPS, 170x - 1500x energy);
+Fig. 22: FPGA implementations (paper: 10x - 260x / 20x - 300x).  COTS
+entries beyond each platform's practical maximum (70M nodes on the Xeon,
+30M on the Phi) are n/a, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_bar_chart
+from repro.baselines.cpu_model import XEON_E5_MKL, XEON_PHI_5110
+from repro.core.design_points import ASIC_POINTS, FPGA_POINTS
+from repro.core.perf import estimate_performance
+from repro.generators.datasets import CPU_GRAPHS
+
+PLATFORMS = [XEON_E5_MKL, XEON_PHI_5110]
+
+
+def collect(points: list) -> tuple:
+    """``(labels, gteps_series, energy_series, gteps_ratios, energy_ratios)``."""
+    labels = []
+    gteps = {p.name: [] for p in PLATFORMS}
+    energy = {p.name: [] for p in PLATFORMS}
+    for point in points:
+        gteps[point.name] = []
+        energy[point.name] = []
+    g_ratios, e_ratios = [], []
+    for spec in CPU_GRAPHS:
+        labels.append(spec.name)
+        cots = []
+        for platform in PLATFORMS:
+            if platform.supports(spec.n_nodes):
+                est = platform.estimate(spec.n_nodes, spec.n_edges)
+                gteps[platform.name].append(est.gteps)
+                energy[platform.name].append(est.nj_per_edge)
+                cots.append(est)
+            else:
+                gteps[platform.name].append(None)
+                energy[platform.name].append(None)
+        for point in points:
+            if spec.n_nodes > point.max_nodes:
+                gteps[point.name].append(None)
+                energy[point.name].append(None)
+                continue
+            est = estimate_performance(point, spec.n_nodes, spec.n_edges)
+            gteps[point.name].append(est.gteps)
+            energy[point.name].append(est.nj_per_edge)
+            for base in cots:
+                g_ratios.append(est.gteps / base.gteps)
+                e_ratios.append(base.nj_per_edge / est.nj_per_edge)
+    return labels, gteps, energy, g_ratios, e_ratios
+
+
+def _render(points, fig_id, paper_gteps, paper_energy) -> str:
+    labels, gteps, energy, g_ratios, e_ratios = collect(points)
+    parts = [
+        ascii_bar_chart(
+            labels, gteps, width=40, log_scale=True,
+            title=f"Fig. {fig_id}(a) -- GTEPS vs CPU / co-processor", unit=" GTEPS",
+        ),
+        ascii_bar_chart(
+            labels, energy, width=40, log_scale=True,
+            title=f"Fig. {fig_id}(b) -- energy per edge traversal", unit=" nJ",
+        ),
+        f"GTEPS improvement span:  {min(g_ratios):.1f}x - {max(g_ratios):.1f}x "
+        f"(paper: {paper_gteps})",
+        f"energy improvement span: {min(e_ratios):.1f}x - {max(e_ratios):.1f}x "
+        f"(paper: {paper_energy})",
+    ]
+    return "\n\n".join(parts)
+
+
+def render_asic() -> str:
+    """The regenerated Fig. 21 as text."""
+    return _render(ASIC_POINTS, 21, "16x - 800x", "170x - 1500x")
+
+
+def render_fpga() -> str:
+    """The regenerated Fig. 22 as text."""
+    return _render(FPGA_POINTS, 22, "10x - 260x", "20x - 300x")

@@ -1,0 +1,30 @@
+"""Table 1: fast on-chip memory vs largest graph dimension."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.baselines.custom_hw import COTS_MEMORY_ROWS
+from repro.core.design_points import ITS_ASIC, MB, TS_ASIC
+
+
+def collect() -> list:
+    """Rows of ``(solution, on-chip MB, max vertices in millions)``."""
+    rows = [[name, onchip, max_m] for name, onchip, max_m in COTS_MEMORY_ROWS]
+    for point, label in ((ITS_ASIC, "ITS (proposed ASIC)"), (TS_ASIC, "TS (proposed ASIC)")):
+        rows.append([label, point.onchip_bytes / MB, point.max_nodes / 1e6])
+    return rows
+
+
+def render() -> str:
+    """The regenerated Table 1 as text."""
+    table = format_table(
+        ["Solution", "Fast on-chip memory (MB)", "Max vertices (Million)"],
+        collect(),
+        title="Table 1 -- on-chip memory requirement vs largest dimension",
+    )
+    paper = (
+        "paper rows: ITS 11.0 MB / 2000 M, TS 11.0 MB / 4000 M\n"
+        f"derived:    ITS {ITS_ASIC.onchip_bytes / MB:.1f} MB / {ITS_ASIC.max_nodes / 1e6:.0f} M, "
+        f"TS {TS_ASIC.onchip_bytes / MB:.1f} MB / {TS_ASIC.max_nodes / 1e6:.0f} M"
+    )
+    return table + "\n\n" + paper

@@ -1,0 +1,165 @@
+"""Bloom filters for HDN membership (paper section 5.3).
+
+Two variants:
+
+* :class:`BloomFilter` -- the textbook structure: ``g`` hash functions over
+  an ``m``-bit array; ``g`` independent memory accesses per query.
+* :class:`OneMemoryAccessBloomFilter` -- the Qiao et al. 2011 scheme the
+  paper implements: the first hash selects one SRAM *word*, the remaining
+  ``g - 1`` hashes select bits within that word, so every query touches
+  exactly one memory word.  Hash budget: ``log2(d) + (g-1) * log2(w)`` bits
+  for ``d`` words of width ``w`` (the paper's worked example: 32 bits for
+  d=16384, w=64, g=4).
+
+Both guarantee zero false negatives; :func:`false_positive_rate` is the
+paper's Eq. 1 false-positive model used to size the filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.filters.hashing import xor_fold_hash
+
+
+def false_positive_rate(m_bits: int, n_members: int, g_hashes: int) -> float:
+    """Eq. 1: probability of treating a non-member as a member.
+
+    ``f_B = (1 - (1 - 1/m)^(n*g))^g``
+
+    Args:
+        m_bits: Bloom filter array size in bits.
+        n_members: Number of encoded members (q in the paper).
+        g_hashes: Number of hash functions.
+
+    Returns:
+        Expected false-positive probability.
+    """
+    if m_bits <= 0 or n_members < 0 or g_hashes <= 0:
+        raise ValueError("invalid Bloom filter parameters")
+    fill = 1.0 - (1.0 - 1.0 / m_bits) ** (n_members * g_hashes)
+    return fill**g_hashes
+
+
+class BloomFilter:
+    """Standard Bloom filter over integer keys."""
+
+    def __init__(self, m_bits: int, g_hashes: int, seed: int = 0):
+        """
+        Args:
+            m_bits: Bit-array size (rounded up to a power of two so the
+                hardware hash can address it with whole bits).
+            g_hashes: Number of hash functions.
+            seed: Base seed for the hash family.
+        """
+        if m_bits <= 0 or g_hashes <= 0:
+            raise ValueError("m_bits and g_hashes must be positive")
+        self.addr_bits = max(1, int(np.ceil(np.log2(m_bits))))
+        self.m_bits = 1 << self.addr_bits
+        self.g_hashes = g_hashes
+        self.seed = seed
+        self._bits = np.zeros(self.m_bits, dtype=bool)
+        self.n_inserted = 0
+
+    def insert(self, keys: np.ndarray) -> None:
+        """Record membership of ``keys`` (vectorized)."""
+        keys = np.atleast_1d(np.asarray(keys))
+        for g in range(self.g_hashes):
+            self._bits[xor_fold_hash(keys, self.addr_bits, seed=self.seed + g)] = True
+        self.n_inserted += keys.size
+
+    def query(self, keys: np.ndarray) -> np.ndarray:
+        """Membership check; True may be a false positive, False is exact."""
+        keys = np.atleast_1d(np.asarray(keys))
+        result = np.ones(keys.shape, dtype=bool)
+        for g in range(self.g_hashes):
+            result &= self._bits[xor_fold_hash(keys, self.addr_bits, seed=self.seed + g)]
+        return result
+
+    @property
+    def load_factor(self) -> float:
+        """Inserted members per bit (q/m in the paper's notation)."""
+        return self.n_inserted / self.m_bits
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of set bits."""
+        return float(self._bits.mean())
+
+    def memory_accesses_per_query(self) -> int:
+        """SRAM reads per membership check: one per hash function."""
+        return self.g_hashes
+
+
+class OneMemoryAccessBloomFilter:
+    """Word-based Bloom filter with a single SRAM access per query.
+
+    The filter is an array of ``d`` words of ``w`` bits.  Hash 0 picks the
+    word; hashes ``1..g-1`` pick bit positions inside it.  Membership of a
+    key is encoded by setting those ``g - 1`` bits of its word.
+    """
+
+    def __init__(self, n_words: int, word_bits: int = 64, g_hashes: int = 4, seed: int = 0):
+        """
+        Args:
+            n_words: d, number of SRAM words (rounded up to a power of two).
+            word_bits: w, bits per word (power of two).
+            g_hashes: Total hash functions g (one word selector plus
+                ``g - 1`` bit selectors).
+            seed: Base seed for the hash family.
+        """
+        if n_words <= 0 or g_hashes < 2:
+            raise ValueError("need at least one word and two hashes")
+        if word_bits & (word_bits - 1):
+            raise ValueError("word_bits must be a power of two")
+        self.word_addr_bits = max(1, int(np.ceil(np.log2(n_words))))
+        self.n_words = 1 << self.word_addr_bits
+        self.word_bits = word_bits
+        self.bit_addr_bits = int(np.log2(word_bits))
+        self.g_hashes = g_hashes
+        self.seed = seed
+        self._words = np.zeros((self.n_words, word_bits), dtype=bool)
+        self.n_inserted = 0
+
+    @property
+    def m_bits(self) -> int:
+        """Total bit capacity d * w."""
+        return self.n_words * self.word_bits
+
+    @property
+    def hash_bits_per_query(self) -> int:
+        """Hash bits consumed per query: log2(d) + (g-1) * log2(w)."""
+        return self.word_addr_bits + (self.g_hashes - 1) * self.bit_addr_bits
+
+    def _locate(self, keys: np.ndarray) -> tuple:
+        keys = np.atleast_1d(np.asarray(keys))
+        words = xor_fold_hash(keys, self.word_addr_bits, seed=self.seed).astype(np.int64)
+        bit_positions = [
+            xor_fold_hash(keys, self.bit_addr_bits, seed=self.seed + g).astype(np.int64)
+            for g in range(1, self.g_hashes)
+        ]
+        return words, bit_positions
+
+    def insert(self, keys: np.ndarray) -> None:
+        """Record membership of ``keys``."""
+        words, bit_positions = self._locate(keys)
+        for bits in bit_positions:
+            self._words[words, bits] = True
+        self.n_inserted += np.atleast_1d(keys).size
+
+    def query(self, keys: np.ndarray) -> np.ndarray:
+        """Single-word membership check (no false negatives)."""
+        words, bit_positions = self._locate(keys)
+        result = np.ones(words.shape, dtype=bool)
+        for bits in bit_positions:
+            result &= self._words[words, bits]
+        return result
+
+    @property
+    def load_factor(self) -> float:
+        """Members per bit."""
+        return self.n_inserted / self.m_bits
+
+    def memory_accesses_per_query(self) -> int:
+        """SRAM reads per membership check: always one word."""
+        return 1

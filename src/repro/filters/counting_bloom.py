@@ -1,0 +1,86 @@
+"""Counting Bloom filter: HDN membership with deletion support.
+
+Dynamic graphs (streamed edge insertions/removals) change node degrees,
+so HDN membership must be updatable.  A counting Bloom filter replaces
+each bit with a small saturating counter: insertion increments, deletion
+decrements, and the membership test checks all counters are nonzero.
+Same zero-false-negative guarantee as the plain filter while counters do
+not saturate; the paper's static filter is the ``width=1`` degenerate
+case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.filters.hashing import xor_fold_hash
+
+
+class CountingBloomFilter:
+    """Bloom filter over saturating counters."""
+
+    def __init__(self, m_cells: int, g_hashes: int = 4, counter_bits: int = 4, seed: int = 0):
+        """
+        Args:
+            m_cells: Number of counters (rounded up to a power of two).
+            g_hashes: Hash functions.
+            counter_bits: Counter width; counters saturate at
+                ``2**counter_bits - 1`` and then stop tracking exact
+                counts (deletions of saturated counters are refused).
+            seed: Hash family seed.
+        """
+        if m_cells <= 0 or g_hashes <= 0 or counter_bits <= 0:
+            raise ValueError("counting Bloom filter parameters must be positive")
+        self.addr_bits = max(1, int(np.ceil(np.log2(m_cells))))
+        self.m_cells = 1 << self.addr_bits
+        self.g_hashes = g_hashes
+        self.max_count = (1 << counter_bits) - 1
+        self.counter_bits = counter_bits
+        self.seed = seed
+        self._counters = np.zeros(self.m_cells, dtype=np.int64)
+        self.n_members = 0
+
+    @property
+    def storage_bits(self) -> int:
+        """On-chip footprint."""
+        return self.m_cells * self.counter_bits
+
+    def _cells(self, keys: np.ndarray) -> list:
+        keys = np.atleast_1d(np.asarray(keys))
+        return [
+            xor_fold_hash(keys, self.addr_bits, seed=self.seed + g).astype(np.int64)
+            for g in range(self.g_hashes)
+        ]
+
+    def insert(self, keys: np.ndarray) -> None:
+        """Add members; counters saturate rather than wrap."""
+        for cells in self._cells(keys):
+            np.add.at(self._counters, cells, 1)
+        np.minimum(self._counters, self.max_count, out=self._counters)
+        self.n_members += np.atleast_1d(np.asarray(keys)).size
+
+    def remove(self, keys: np.ndarray) -> None:
+        """Remove members previously inserted.
+
+        Raises:
+            ValueError: If any touched counter is zero (key was never
+                inserted) or saturated (count no longer exact).
+        """
+        cell_lists = self._cells(keys)
+        for cells in cell_lists:
+            touched = self._counters[cells]
+            if np.any(touched == 0):
+                raise ValueError("removing a key that is not in the filter")
+            if np.any(touched >= self.max_count):
+                raise ValueError("cannot remove through a saturated counter")
+        for cells in cell_lists:
+            np.subtract.at(self._counters, cells, 1)
+        self.n_members -= np.atleast_1d(np.asarray(keys)).size
+
+    def query(self, keys: np.ndarray) -> np.ndarray:
+        """Membership check (no false negatives while unsaturated)."""
+        keys_arr = np.atleast_1d(np.asarray(keys))
+        result = np.ones(keys_arr.shape, dtype=bool)
+        for cells in self._cells(keys_arr):
+            result &= self._counters[cells] > 0
+        return result

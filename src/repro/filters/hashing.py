@@ -1,0 +1,74 @@
+"""XOR-fold hash functions modelling the accelerator's hardware hashers.
+
+The paper (section 5.3.1) uses "simple XOR based hardware hash functions"
+to produce the ``log2(d) + g * log2(w)`` hash bits for the one-memory-access
+Bloom filter.  The functions below emulate that: a keyed multiply-xorshift
+mix (cheap in hardware as XOR trees over shifted key copies) folded to the
+requested bit width.  They are deterministic, vectorized and pairwise
+decorrelated by their seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MIX_CONSTANTS = np.array(
+    [
+        0x9E3779B97F4A7C15,
+        0xBF58476D1CE4E5B9,
+        0x94D049BB133111EB,
+        0xD6E8FEB86659FD93,
+        0xA5CB3B1F8E9855F1,
+        0xC2B2AE3D27D4EB4F,
+        0x165667B19E3779F9,
+        0x27D4EB2F165667C5,
+    ],
+    dtype=np.uint64,
+)
+
+
+def xor_fold_hash(keys: np.ndarray, bits: int, seed: int = 0) -> np.ndarray:
+    """Hash keys to ``bits``-wide values via multiply + xorshift folding.
+
+    Args:
+        keys: Integer keys (row indices).
+        bits: Output width in bits (1..63).
+        seed: Selects the mixing constant / rotation, decorrelating
+            different hash functions of the family.
+
+    Returns:
+        ``uint64`` array of hash values in ``[0, 2**bits)``.
+    """
+    if not 1 <= bits <= 63:
+        raise ValueError("bits must be in [1, 63]")
+    keys = np.asarray(keys).astype(np.uint64)
+    constant = _MIX_CONSTANTS[seed % len(_MIX_CONSTANTS)]
+    rotation = np.uint64(17 + 7 * (seed % 6))
+    with np.errstate(over="ignore"):
+        h = keys * constant
+        h ^= h >> np.uint64(33)
+        h *= np.uint64(0xFF51AFD7ED558CCD)
+        h ^= h >> rotation
+        h *= np.uint64(0xC4CEB9FE1A85EC53)
+        h ^= h >> np.uint64(33)
+        # XOR-fold the top half onto the bottom half, then mask.
+        h ^= h >> np.uint64(32)
+    return h & np.uint64((1 << bits) - 1)
+
+
+def hash_family(n_hashes: int, bits: int):
+    """Build ``n_hashes`` decorrelated hash callables of width ``bits``.
+
+    Returns:
+        List of functions mapping a key array to hash values.
+    """
+    if n_hashes <= 0:
+        raise ValueError("n_hashes must be positive")
+
+    def make(seed: int):
+        def h(keys: np.ndarray) -> np.ndarray:
+            return xor_fold_hash(keys, bits, seed=seed)
+
+        return h
+
+    return [make(seed) for seed in range(n_hashes)]

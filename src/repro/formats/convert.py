@@ -1,0 +1,49 @@
+"""Conversions between the sparse formats.
+
+All conversions are loss-free and preserve the canonical within-row /
+within-column ordering that the merge machinery depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    """Convert RM-COO to CSR.
+
+    The COO triples are already sorted by ``(row, col)`` so the conversion
+    only builds the row-pointer prefix sum.
+    """
+    counts = np.bincount(coo.rows, minlength=coo.n_rows)
+    row_ptr = np.zeros(coo.n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptr[1:])
+    return CSRMatrix(coo.n_rows, coo.n_cols, row_ptr, coo.cols.copy(), coo.vals.copy())
+
+
+def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
+    """Convert CSR to RM-COO by materializing per-nonzero row indices."""
+    return COOMatrix(csr.n_rows, csr.n_cols, csr.expand_rows(), csr.cols.copy(), csr.vals.copy())
+
+
+def coo_to_csc(coo: COOMatrix) -> CSCMatrix:
+    """Convert RM-COO to CSC (re-sorts by ``(col, row)``)."""
+    order = np.lexsort((coo.rows, coo.cols))
+    rows = coo.rows[order]
+    cols = coo.cols[order]
+    vals = coo.vals[order]
+    counts = np.bincount(cols, minlength=coo.n_cols)
+    col_ptr = np.zeros(coo.n_cols + 1, dtype=np.int64)
+    np.cumsum(counts, out=col_ptr[1:])
+    return CSCMatrix(coo.n_rows, coo.n_cols, col_ptr, rows, vals)
+
+
+def csc_to_coo(csc: CSCMatrix) -> COOMatrix:
+    """Convert CSC to RM-COO (re-sorts by ``(row, col)``)."""
+    return COOMatrix.from_triples(
+        csc.n_rows, csc.n_cols, csc.rows, csc.expand_cols(), csc.vals, sum_duplicates=False
+    )

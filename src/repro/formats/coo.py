@@ -1,0 +1,175 @@
+"""Row-Major Coordinate (RM-COO) sparse matrix format.
+
+RM-COO stores one ``(row, col, value)`` triple per nonzero, sorted
+lexicographically by ``(row, col)``.  Its space complexity is ``O(nnz)``,
+which the paper (section 3.1) prefers over CSR for *hypersparse* stripes
+where ``nnz < n_rows`` and the CSR row-pointer array would be dominated by
+repeated entries for empty rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """A sparse matrix in row-major coordinate format.
+
+    Attributes:
+        n_rows: Number of rows (matrix dimension ``N`` for square graphs).
+        n_cols: Number of columns.
+        rows: ``int64`` array of row indices, one per nonzero, sorted
+            non-decreasing; ties sorted by column.
+        cols: ``int64`` array of column indices, one per nonzero.
+        vals: ``float64`` array of nonzero values.
+    """
+
+    n_rows: int
+    n_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        rows = np.ascontiguousarray(self.rows, dtype=np.int64)
+        cols = np.ascontiguousarray(self.cols, dtype=np.int64)
+        vals = np.ascontiguousarray(self.vals, dtype=np.float64)
+        if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
+            raise ValueError("rows, cols and vals must be 1-D arrays of equal length")
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= self.n_rows:
+                raise ValueError("row index out of range")
+            if cols.min() < 0 or cols.max() >= self.n_cols:
+                raise ValueError("column index out of range")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "vals", vals)
+
+    @classmethod
+    def from_triples(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        sum_duplicates: bool = True,
+    ) -> "COOMatrix":
+        """Build an RM-COO matrix from unsorted triples.
+
+        Args:
+            n_rows: Number of rows.
+            n_cols: Number of columns.
+            rows: Row indices (any order, duplicates allowed).
+            cols: Column indices.
+            vals: Values.
+            sum_duplicates: When True, duplicate ``(row, col)`` entries are
+                accumulated into a single nonzero, matching the usual sparse
+                assembly semantics.
+
+        Returns:
+            A canonically sorted :class:`COOMatrix`.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if sum_duplicates and rows.size:
+            # Boundary mask: start of each unique (row, col) run.
+            new_run = np.empty(rows.size, dtype=bool)
+            new_run[0] = True
+            new_run[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            run_ids = np.cumsum(new_run) - 1
+            summed = np.zeros(int(run_ids[-1]) + 1, dtype=np.float64)
+            np.add.at(summed, run_ids, vals)
+            rows, cols, vals = rows[new_run], cols[new_run], summed
+        return cls(n_rows, n_cols, rows, cols, vals)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.rows.size)
+
+    @property
+    def shape(self) -> tuple:
+        """``(n_rows, n_cols)``."""
+        return (self.n_rows, self.n_cols)
+
+    def is_row_sorted(self) -> bool:
+        """True when triples are sorted by ``(row, col)`` (the RM-COO invariant)."""
+        if self.nnz <= 1:
+            return True
+        r, c = self.rows, self.cols
+        row_ok = np.all(r[1:] >= r[:-1])
+        ties = r[1:] == r[:-1]
+        col_ok = np.all(c[1:][ties] >= c[:-1][ties])
+        return bool(row_ok and col_ok)
+
+    def is_hypersparse(self) -> bool:
+        """True when ``nnz < n_rows``, the paper's hypersparsity criterion."""
+        return self.nnz < self.n_rows
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of nonzeros in each row (out-degree for adjacency matrices)."""
+        return np.bincount(self.rows, minlength=self.n_rows).astype(np.int64)
+
+    def col_degrees(self) -> np.ndarray:
+        """Number of nonzeros in each column (in-degree for adjacency matrices)."""
+        return np.bincount(self.cols, minlength=self.n_cols).astype(np.int64)
+
+    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+        """Reference dense SpMV ``y = A x + y`` used as ground truth in tests.
+
+        Args:
+            x: Dense source vector of length ``n_cols``.
+            y: Optional dense accumulator of length ``n_rows``; zeros when
+                omitted.
+
+        Returns:
+            The dense result vector.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},), got {x.shape}")
+        out = np.zeros(self.n_rows, dtype=np.float64) if y is None else np.array(y, dtype=np.float64)
+        if out.shape != (self.n_rows,):
+            raise ValueError(f"y must have shape ({self.n_rows},), got {out.shape}")
+        np.add.at(out, self.rows, self.vals * x[self.cols])
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (small matrices / tests only)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.vals)
+        return dense
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transposed matrix, re-sorted into RM-COO order."""
+        return COOMatrix.from_triples(
+            self.n_cols, self.n_rows, self.cols, self.rows, self.vals, sum_duplicates=False
+        )
+
+    def select_columns(self, col_lo: int, col_hi: int) -> "COOMatrix":
+        """Extract the vertical stripe ``[:, col_lo:col_hi)`` with *local* columns.
+
+        This is the primitive behind 1-D column blocking: the returned
+        stripe's column indices are shifted by ``-col_lo`` so they address a
+        vector *segment* directly (the paper streams segment ``x_k`` into
+        scratchpad and indexes it with local offsets).
+        """
+        if not (0 <= col_lo <= col_hi <= self.n_cols):
+            raise ValueError("invalid column range")
+        mask = (self.cols >= col_lo) & (self.cols < col_hi)
+        return COOMatrix(
+            self.n_rows,
+            col_hi - col_lo,
+            self.rows[mask],
+            self.cols[mask] - col_lo,
+            self.vals[mask],
+        )

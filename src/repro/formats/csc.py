@@ -1,0 +1,98 @@
+"""Compressed Sparse Column (CSC) format.
+
+CSC is the column-major dual of CSR.  It is used here by the latency-bound
+baseline model (column-oriented gather of ``x``) and as a construction
+convenience; the Two-Step engine itself only consumes row-major stripes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """A sparse matrix in CSC format.
+
+    Attributes:
+        n_rows: Number of rows.
+        n_cols: Number of columns.
+        col_ptr: ``int64`` array of length ``n_cols + 1``; column ``j`` owns
+            nonzeros ``col_ptr[j]:col_ptr[j+1]``.
+        rows: ``int64`` row indices per nonzero, sorted within each column.
+        vals: ``float64`` values per nonzero.
+    """
+
+    n_rows: int
+    n_cols: int
+    col_ptr: np.ndarray
+    rows: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        col_ptr = np.ascontiguousarray(self.col_ptr, dtype=np.int64)
+        rows = np.ascontiguousarray(self.rows, dtype=np.int64)
+        vals = np.ascontiguousarray(self.vals, dtype=np.float64)
+        if col_ptr.shape != (self.n_cols + 1,):
+            raise ValueError("col_ptr must have length n_cols + 1")
+        if col_ptr[0] != 0 or col_ptr[-1] != rows.size:
+            raise ValueError("col_ptr must start at 0 and end at nnz")
+        if np.any(col_ptr[1:] < col_ptr[:-1]):
+            raise ValueError("col_ptr must be non-decreasing")
+        if rows.shape != vals.shape or rows.ndim != 1:
+            raise ValueError("rows and vals must be 1-D arrays of equal length")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.n_rows):
+            raise ValueError("row index out of range")
+        object.__setattr__(self, "col_ptr", col_ptr)
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "vals", vals)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.rows.size)
+
+    @property
+    def shape(self) -> tuple:
+        """``(n_rows, n_cols)``."""
+        return (self.n_rows, self.n_cols)
+
+    def column(self, j: int) -> tuple:
+        """Return ``(rows, vals)`` views for column ``j``."""
+        lo, hi = int(self.col_ptr[j]), int(self.col_ptr[j + 1])
+        return self.rows[lo:hi], self.vals[lo:hi]
+
+    def col_degrees(self) -> np.ndarray:
+        """Nonzeros per column."""
+        return (self.col_ptr[1:] - self.col_ptr[:-1]).astype(np.int64)
+
+    def expand_cols(self) -> np.ndarray:
+        """Materialize the implicit column index of each nonzero."""
+        return np.repeat(np.arange(self.n_cols, dtype=np.int64), self.col_degrees())
+
+    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+        """Reference dense SpMV ``y = A x + y`` (scatter formulation).
+
+        Args:
+            x: Dense source vector of length ``n_cols``.
+            y: Optional accumulator of length ``n_rows``.
+
+        Returns:
+            The dense result vector.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},), got {x.shape}")
+        out = np.zeros(self.n_rows, dtype=np.float64) if y is None else np.array(y, dtype=np.float64)
+        if out.shape != (self.n_rows,):
+            raise ValueError(f"y must have shape ({self.n_rows},), got {out.shape}")
+        np.add.at(out, self.rows, self.vals * x[self.expand_cols()])
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (small matrices / tests only)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.expand_cols()), self.vals)
+        return dense

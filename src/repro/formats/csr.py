@@ -1,0 +1,107 @@
+"""Compressed Sparse Row (CSR) format.
+
+CSR stores per-row extents in a ``row_ptr`` array of length ``n_rows + 1``
+plus column indices and values per nonzero.  Space is ``O(nnz + n_rows)``;
+the paper (section 3.1) notes this row-pointer overhead makes CSR wasteful
+for hypersparse stripes, where RM-COO is selected instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """A sparse matrix in CSR format.
+
+    Attributes:
+        n_rows: Number of rows.
+        n_cols: Number of columns.
+        row_ptr: ``int64`` array of length ``n_rows + 1``; row ``i`` owns
+            nonzeros ``row_ptr[i]:row_ptr[i+1]``.
+        cols: ``int64`` column indices per nonzero, sorted within each row.
+        vals: ``float64`` values per nonzero.
+    """
+
+    n_rows: int
+    n_cols: int
+    row_ptr: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        row_ptr = np.ascontiguousarray(self.row_ptr, dtype=np.int64)
+        cols = np.ascontiguousarray(self.cols, dtype=np.int64)
+        vals = np.ascontiguousarray(self.vals, dtype=np.float64)
+        if row_ptr.shape != (self.n_rows + 1,):
+            raise ValueError("row_ptr must have length n_rows + 1")
+        if row_ptr[0] != 0 or row_ptr[-1] != cols.size:
+            raise ValueError("row_ptr must start at 0 and end at nnz")
+        if np.any(row_ptr[1:] < row_ptr[:-1]):
+            raise ValueError("row_ptr must be non-decreasing")
+        if cols.shape != vals.shape or cols.ndim != 1:
+            raise ValueError("cols and vals must be 1-D arrays of equal length")
+        if cols.size and (cols.min() < 0 or cols.max() >= self.n_cols):
+            raise ValueError("column index out of range")
+        object.__setattr__(self, "row_ptr", row_ptr)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "vals", vals)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.cols.size)
+
+    @property
+    def shape(self) -> tuple:
+        """``(n_rows, n_cols)``."""
+        return (self.n_rows, self.n_cols)
+
+    def row(self, i: int) -> tuple:
+        """Return ``(cols, vals)`` views for row ``i``."""
+        lo, hi = int(self.row_ptr[i]), int(self.row_ptr[i + 1])
+        return self.cols[lo:hi], self.vals[lo:hi]
+
+    def row_degrees(self) -> np.ndarray:
+        """Nonzeros per row."""
+        return (self.row_ptr[1:] - self.row_ptr[:-1]).astype(np.int64)
+
+    def expand_rows(self) -> np.ndarray:
+        """Materialize the implicit row index of each nonzero (CSR -> COO rows)."""
+        return np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_degrees())
+
+    def is_hypersparse(self) -> bool:
+        """True when ``nnz < n_rows`` (RM-COO would be more compact)."""
+        return self.nnz < self.n_rows
+
+    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+        """Reference dense SpMV ``y = A x + y``.
+
+        Args:
+            x: Dense source vector of length ``n_cols``.
+            y: Optional accumulator of length ``n_rows``.
+
+        Returns:
+            The dense result vector.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},), got {x.shape}")
+        out = np.zeros(self.n_rows, dtype=np.float64) if y is None else np.array(y, dtype=np.float64)
+        if out.shape != (self.n_rows,):
+            raise ValueError(f"y must have shape ({self.n_rows},), got {out.shape}")
+        products = self.vals * x[self.cols]
+        # Per-row segmented sum via cumulative trick (vectorized CSR SpMV).
+        if products.size:
+            csum = np.concatenate(([0.0], np.cumsum(products)))
+            out += csum[self.row_ptr[1:]] - csum[self.row_ptr[:-1]]
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (small matrices / tests only)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.expand_rows(), self.cols), self.vals)
+        return dense

@@ -1,0 +1,72 @@
+"""Hypersparse stripe handling (paper section 3.1).
+
+A matrix (or stripe) is *hypersparse* when ``nnz < n_rows`` [Buluc &
+Gilbert 2008].  For hypersparse stripes the CSR row-pointer array costs
+``O(n_rows)`` bits regardless of how few nonzeros exist, so the paper's
+accelerator stores such stripes in RM-COO (``O(nnz)``).  This module holds
+the selection rule and the meta-data size accounting used by the traffic
+models.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class StripeFormat(enum.Enum):
+    """Row-major storage format chosen for a matrix stripe."""
+
+    RM_COO = "rm-coo"
+    CSR = "csr"
+
+
+def choose_stripe_format(nnz: int, n_rows: int) -> StripeFormat:
+    """Pick RM-COO for hypersparse stripes, CSR otherwise.
+
+    Args:
+        nnz: Nonzeros in the stripe.
+        n_rows: Stripe row dimension (= matrix dimension for column blocks).
+
+    Returns:
+        The cheaper of the two row-major formats under the paper's rule.
+    """
+    if nnz < 0 or n_rows < 0:
+        raise ValueError("nnz and n_rows must be non-negative")
+    return StripeFormat.RM_COO if nnz < n_rows else StripeFormat.CSR
+
+
+def index_bits(dimension: int) -> int:
+    """Bits needed to address ``dimension`` distinct indices (at least 1)."""
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    return max(1, math.ceil(math.log2(dimension))) if dimension > 1 else 1
+
+
+def stripe_metadata_bits(
+    fmt: StripeFormat,
+    nnz: int,
+    n_rows: int,
+    stripe_width: int,
+) -> int:
+    """Meta-data (index) storage in bits for one stripe, excluding values.
+
+    RM-COO stores a full ``(row, col)`` pair per nonzero; CSR stores one
+    local column index per nonzero plus the ``n_rows + 1`` row-pointer
+    array (pointer width sized by ``nnz``).
+
+    Args:
+        fmt: Storage format.
+        nnz: Nonzeros in the stripe.
+        n_rows: Stripe row count.
+        stripe_width: Stripe column count (local column index range).
+
+    Returns:
+        Total index bits for the stripe.
+    """
+    row_bits = index_bits(max(n_rows, 1))
+    col_bits = index_bits(max(stripe_width, 1))
+    if fmt is StripeFormat.RM_COO:
+        return nnz * (row_bits + col_bits)
+    ptr_bits = index_bits(max(nnz, 1) + 1)
+    return nnz * col_bits + (n_rows + 1) * ptr_bits

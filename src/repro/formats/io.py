@@ -1,0 +1,125 @@
+"""Matrix I/O: Matrix Market exchange format and a packed binary format.
+
+The paper's real-world inputs come from the UF sparse matrix collection,
+which distributes Matrix Market (``.mtx``) files; a downstream user of
+this library will want to load those directly.  The binary format is the
+accelerator's own RM-COO DRAM image (little-endian ``int64`` indices +
+``float64`` values), convenient for large generated inputs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+_MM_HEADER = "%%MatrixMarket matrix coordinate {field} {symmetry}"
+
+
+def write_matrix_market(matrix: COOMatrix, path, comment: str = None) -> None:
+    """Write a matrix as a Matrix Market coordinate file.
+
+    Args:
+        matrix: The matrix (written as ``general real``).
+        path: Destination file path.
+        comment: Optional comment line (without the leading ``%``).
+    """
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        fh.write(_MM_HEADER.format(field="real", symmetry="general") + "\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{matrix.n_rows} {matrix.n_cols} {matrix.nnz}\n")
+        for r, c, v in zip(matrix.rows.tolist(), matrix.cols.tolist(), matrix.vals.tolist()):
+            fh.write(f"{r + 1} {c + 1} {v!r}\n")
+
+
+def read_matrix_market(path) -> COOMatrix:
+    """Read a Matrix Market coordinate file into canonical RM-COO.
+
+    Supports ``real``, ``integer`` and ``pattern`` fields and ``general``
+    or ``symmetric`` symmetry (symmetric entries are mirrored, diagonal
+    kept single), which covers the UF collection graphs the paper uses.
+
+    Raises:
+        ValueError: On malformed headers or unsupported qualifiers.
+    """
+    path = pathlib.Path(path)
+    with path.open() as fh:
+        header = fh.readline().strip()
+        parts = header.split()
+        if (
+            len(parts) != 5
+            or parts[0] != "%%MatrixMarket"
+            or parts[1].lower() != "matrix"
+            or parts[2].lower() != "coordinate"
+        ):
+            raise ValueError(f"unsupported MatrixMarket header: {header!r}")
+        field = parts[3].lower()
+        symmetry = parts[4].lower()
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise ValueError(f"malformed size line: {line!r}")
+        n_rows, n_cols, nnz = (int(d) for d in dims)
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for i in range(nnz):
+            entry = fh.readline().split()
+            if len(entry) < 2:
+                raise ValueError(f"truncated file: expected {nnz} entries, got {i}")
+            rows[i] = int(entry[0]) - 1
+            cols[i] = int(entry[1]) - 1
+            vals[i] = float(entry[2]) if field != "pattern" else 1.0
+
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        mirrored_rows = cols[off_diag]
+        mirrored_cols = rows[off_diag]
+        mirrored_vals = vals[off_diag]
+        rows = np.concatenate([rows, mirrored_rows])
+        cols = np.concatenate([cols, mirrored_cols])
+        vals = np.concatenate([vals, mirrored_vals])
+    return COOMatrix.from_triples(n_rows, n_cols, rows, cols, vals, sum_duplicates=True)
+
+
+_BINARY_MAGIC = b"RMCOO1\x00\x00"
+
+
+def write_binary(matrix: COOMatrix, path) -> None:
+    """Write the accelerator's packed RM-COO DRAM image."""
+    path = pathlib.Path(path)
+    with path.open("wb") as fh:
+        fh.write(_BINARY_MAGIC)
+        np.asarray([matrix.n_rows, matrix.n_cols, matrix.nnz], dtype="<i8").tofile(fh)
+        matrix.rows.astype("<i8").tofile(fh)
+        matrix.cols.astype("<i8").tofile(fh)
+        matrix.vals.astype("<f8").tofile(fh)
+
+
+def read_binary(path) -> COOMatrix:
+    """Read a packed RM-COO image written by :func:`write_binary`."""
+    path = pathlib.Path(path)
+    with path.open("rb") as fh:
+        magic = fh.read(len(_BINARY_MAGIC))
+        if magic != _BINARY_MAGIC:
+            raise ValueError(f"not a packed RM-COO file: {path}")
+        n_rows, n_cols, nnz = np.fromfile(fh, dtype="<i8", count=3).tolist()
+        rows = np.fromfile(fh, dtype="<i8", count=nnz)
+        cols = np.fromfile(fh, dtype="<i8", count=nnz)
+        vals = np.fromfile(fh, dtype="<f8", count=nnz)
+    if rows.size != nnz or cols.size != nnz or vals.size != nnz:
+        raise ValueError(f"truncated packed RM-COO file: {path}")
+    return COOMatrix(int(n_rows), int(n_cols), rows, cols, vals)

@@ -1,0 +1,91 @@
+"""Matrix reordering (bandwidth-reducing renumbering).
+
+The paper's intro lists "preconditioning" among the locality tricks that
+stop working for large unstructured matrices.  This module makes that
+argument testable: :func:`rcm_ordering` is a Cuthill-McKee-style BFS
+renumbering that dramatically shrinks index bandwidth on meshes (helping
+caches, SELL padding and VLDI gaps) yet barely moves the needle on
+power-law graphs -- while Two-Step's behaviour is invariant under any
+permutation, which is the point of a locality-free design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+
+def permute(matrix: COOMatrix, perm: np.ndarray) -> COOMatrix:
+    """Symmetric permutation ``P A P^T`` (relabel rows and columns).
+
+    Args:
+        matrix: Square matrix.
+        perm: ``perm[new] = old`` -- the node visited ``new``-th keeps
+            label ``new``.
+
+    Returns:
+        The relabeled matrix in canonical RM-COO.
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError("symmetric permutation requires a square matrix")
+    perm = np.asarray(perm, dtype=np.int64)
+    if sorted(perm.tolist()) != list(range(matrix.n_rows)):
+        raise ValueError("perm must be a permutation of 0..n-1")
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size, dtype=np.int64)
+    return COOMatrix.from_triples(
+        matrix.n_rows,
+        matrix.n_cols,
+        inverse[matrix.rows],
+        inverse[matrix.cols],
+        matrix.vals,
+        sum_duplicates=False,
+    )
+
+
+def rcm_ordering(matrix: COOMatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee-style ordering via degree-sorted BFS.
+
+    Treats edges as undirected; BFS starts from the minimum-degree node of
+    each component and visits neighbors in increasing-degree order; the
+    final order is reversed (the classic RCM refinement).
+
+    Returns:
+        ``perm`` with ``perm[new] = old``, usable with :func:`permute`.
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError("ordering requires a square matrix")
+    n = matrix.n_rows
+    src = np.concatenate([matrix.rows, matrix.cols])
+    dst = np.concatenate([matrix.cols, matrix.rows])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    starts = np.searchsorted(src, np.arange(n + 1))
+    degrees = starts[1:] - starts[:-1]
+
+    visited = np.zeros(n, dtype=bool)
+    ordering = []
+    for seed in np.argsort(degrees, kind="stable"):
+        if visited[seed]:
+            continue
+        queue = [int(seed)]
+        visited[seed] = True
+        while queue:
+            node = queue.pop(0)
+            ordering.append(node)
+            neigh = dst[starts[node] : starts[node + 1]]
+            neigh = np.unique(neigh[~visited[neigh]])
+            for nxt in neigh[np.argsort(degrees[neigh], kind="stable")].tolist():
+                if not visited[nxt]:
+                    visited[nxt] = True
+                    queue.append(nxt)
+    perm = np.asarray(ordering[::-1], dtype=np.int64)
+    return perm
+
+
+def index_bandwidth(matrix: COOMatrix) -> float:
+    """Median ``|row - col|`` distance (the locality a renumbering buys)."""
+    if matrix.nnz == 0:
+        return 0.0
+    return float(np.median(np.abs(matrix.rows - matrix.cols)))

@@ -1,0 +1,143 @@
+"""SELL-C-sigma: a locality-exploiting sliced format (the contrast case).
+
+The paper's introduction argues that "SpMV acceleration techniques by
+somehow exploiting locality in the nonzero patterns ... such as
+sophisticated formats ... are widely practiced" but become *ineffective*
+for highly sparse, unstructured matrices.  SELL-C-sigma [Kreutzer et al.
+2014] is the canonical such format: rows are sorted by length within
+windows of ``sigma``, grouped into chunks of ``C``, and each chunk is
+padded to its longest row so SIMD lanes stay dense.
+
+Implemented here so the claim can be *measured*: on banded/mesh matrices
+the padding overhead is tiny, on power-law graphs it explodes (see
+``bench_sell_padding.py``), which is exactly why the accelerator avoids
+locality-dependent formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.convert import coo_to_csr
+from repro.formats.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class SellMatrix:
+    """A matrix in SELL-C-sigma layout.
+
+    Attributes:
+        n_rows: Logical row count.
+        n_cols: Column count.
+        chunk: C, rows per chunk (SIMD width).
+        sigma: Sorting-window size (rows sorted by length within windows).
+        chunk_ptr: Offsets of each chunk's slab in ``cols``/``vals``.
+        chunk_len: Padded row length of each chunk.
+        cols: Column indices, chunk-major, column-of-chunk order; padded
+            lanes hold 0.
+        vals: Values; padded lanes hold 0.0.
+        row_order: Permutation mapping storage row slots to logical rows.
+    """
+
+    n_rows: int
+    n_cols: int
+    chunk: int
+    sigma: int
+    chunk_ptr: np.ndarray
+    chunk_len: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    row_order: np.ndarray
+
+    @property
+    def n_chunks(self) -> int:
+        """Chunks in the layout."""
+        return int(self.chunk_len.size)
+
+    @property
+    def stored_slots(self) -> int:
+        """Total lane slots including padding."""
+        return int(self.cols.size)
+
+    @property
+    def padding_overhead(self) -> float:
+        """Padded slots as a fraction of real nonzeros."""
+        nnz = int(np.count_nonzero(self.vals))
+        return (self.stored_slots - nnz) / nnz if nnz else 0.0
+
+    def spmv(self, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+        """Chunk-wise SpMV ``y = A x + y`` (the SIMD access pattern)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},)")
+        out = np.zeros(self.n_rows) if y is None else np.array(y, dtype=np.float64)
+        if out.shape != (self.n_rows,):
+            raise ValueError(f"y must have shape ({self.n_rows},)")
+        for c in range(self.n_chunks):
+            width = int(self.chunk_len[c])
+            if width == 0:
+                continue
+            base = int(self.chunk_ptr[c])
+            rows_in_chunk = min(self.chunk, self.n_rows - c * self.chunk)
+            slab_cols = self.cols[base : base + width * self.chunk].reshape(width, self.chunk)
+            slab_vals = self.vals[base : base + width * self.chunk].reshape(width, self.chunk)
+            acc = (slab_vals * x[slab_cols]).sum(axis=0)
+            logical = self.row_order[c * self.chunk : c * self.chunk + rows_in_chunk]
+            out[logical] += acc[:rows_in_chunk]
+        return out
+
+
+def coo_to_sell(matrix: COOMatrix, chunk: int = 8, sigma: int = 64) -> SellMatrix:
+    """Convert RM-COO to SELL-C-sigma.
+
+    Args:
+        matrix: Source matrix.
+        chunk: C, rows per chunk.
+        sigma: Sorting window (multiple of ``chunk`` recommended).
+
+    Returns:
+        The sliced, sorted, padded layout.
+    """
+    if chunk <= 0 or sigma <= 0:
+        raise ValueError("chunk and sigma must be positive")
+    csr = coo_to_csr(matrix)
+    lengths = csr.row_degrees()
+    order = np.arange(matrix.n_rows, dtype=np.int64)
+    # Sort rows by descending length within sigma windows.
+    for lo in range(0, matrix.n_rows, sigma):
+        hi = min(lo + sigma, matrix.n_rows)
+        window = order[lo:hi]
+        order[lo:hi] = window[np.argsort(-lengths[window], kind="stable")]
+
+    n_chunks = -(-matrix.n_rows // chunk)
+    chunk_len = np.zeros(n_chunks, dtype=np.int64)
+    for c in range(n_chunks):
+        rows = order[c * chunk : (c + 1) * chunk]
+        chunk_len[c] = lengths[rows].max() if rows.size else 0
+    chunk_ptr = np.zeros(n_chunks + 1, dtype=np.int64)
+    np.cumsum(chunk_len * chunk, out=chunk_ptr[1:])
+
+    cols = np.zeros(int(chunk_ptr[-1]), dtype=np.int64)
+    vals = np.zeros(int(chunk_ptr[-1]), dtype=np.float64)
+    for c in range(n_chunks):
+        base = int(chunk_ptr[c])
+        width = int(chunk_len[c])
+        rows = order[c * chunk : (c + 1) * chunk]
+        for lane, row in enumerate(rows.tolist()):
+            row_cols, row_vals = csr.row(row)
+            for j in range(row_cols.size):
+                cols[base + j * chunk + lane] = row_cols[j]
+                vals[base + j * chunk + lane] = row_vals[j]
+    return SellMatrix(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        chunk=chunk,
+        sigma=sigma,
+        chunk_ptr=chunk_ptr,
+        chunk_len=chunk_len,
+        cols=cols,
+        vals=vals,
+        row_order=order,
+    )

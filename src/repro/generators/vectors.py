@@ -1,0 +1,52 @@
+"""Dense and sparse vector generators for SpMV inputs and tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dense_vector(n: int, seed: int = 0, distribution: str = "uniform") -> np.ndarray:
+    """Generate a dense source vector ``x``.
+
+    Args:
+        n: Vector length.
+        seed: RNG seed.
+        distribution: ``"uniform"`` in ``[0, 1)``, ``"ones"`` (all 1.0, the
+            PageRank initial state), or ``"normal"`` (standard normal).
+
+    Returns:
+        ``float64`` array of length ``n``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    if distribution == "uniform":
+        return rng.uniform(size=n)
+    if distribution == "ones":
+        return np.ones(n, dtype=np.float64)
+    if distribution == "normal":
+        return rng.standard_normal(n)
+    raise ValueError(f"unknown distribution {distribution!r}")
+
+
+def sparse_vector(n: int, nnz: int, seed: int = 0) -> tuple:
+    """Generate a sorted sparse vector as ``(indices, values)``.
+
+    Used to synthesize intermediate-vector-like inputs for merge tests
+    without running step 1.
+
+    Args:
+        n: Logical vector length (index space).
+        nnz: Number of nonzeros (clamped to ``n``).
+        seed: RNG seed.
+
+    Returns:
+        ``(indices, values)`` with strictly increasing ``int64`` indices.
+    """
+    if n < 0 or nnz < 0:
+        raise ValueError("n and nnz must be non-negative")
+    nnz = min(nnz, n)
+    rng = np.random.default_rng(seed)
+    indices = np.sort(rng.choice(n, size=nnz, replace=False).astype(np.int64))
+    values = rng.uniform(0.1, 1.0, size=nnz)
+    return indices, values

@@ -1,0 +1,125 @@
+"""DRAM / HBM channel models.
+
+The accelerator's performance argument rests on two bandwidth regimes:
+
+* **streaming** -- long sequential bursts that amortize row activations and
+  achieve near-peak pin bandwidth (what Two-Step uses exclusively);
+* **random** -- cache-line-granular accesses that pay a row-buffer miss with
+  high probability (what the latency-bound baseline is stuck with).
+
+``DRAMConfig`` captures both regimes plus the page (row-buffer) geometry
+that sizes the merge network's prefetch buffer (``dpage``) and energy per
+byte.  The presets mirror the platforms of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GIB = float(1 << 30)
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Parameters of one off-chip memory system.
+
+    Attributes:
+        name: Human-readable identifier.
+        stream_bandwidth: Sustained sequential bandwidth in bytes/second.
+        random_bandwidth: Effective bandwidth of cache-line-granular random
+            access in bytes/second (latency-limited regime).
+        page_bytes: DRAM page / row-buffer size; the merge prefetch buffer
+            allocates one page per input list (``dpage``).
+        cache_line_bytes: Minimum transfer granule for cached architectures.
+        random_latency_s: Average latency of an isolated random access
+            (row miss included), used by latency-bound time estimates.
+        pj_per_byte: Access energy per byte transferred.
+    """
+
+    name: str
+    stream_bandwidth: float
+    random_bandwidth: float
+    page_bytes: int
+    cache_line_bytes: int
+    random_latency_s: float
+    pj_per_byte: float
+
+    def stream_time(self, n_bytes: float) -> float:
+        """Seconds to move ``n_bytes`` sequentially."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return n_bytes / self.stream_bandwidth
+
+    def random_time(self, n_accesses: float, bytes_per_access: float = None) -> float:
+        """Seconds to serve ``n_accesses`` independent random accesses.
+
+        The effective rate is limited by ``random_bandwidth``; each access
+        moves at least one cache line.
+        """
+        if n_accesses < 0:
+            raise ValueError("n_accesses must be non-negative")
+        granule = self.cache_line_bytes if bytes_per_access is None else bytes_per_access
+        return n_accesses * granule / self.random_bandwidth
+
+    def transfer_energy_j(self, n_bytes: float) -> float:
+        """Joules for moving ``n_bytes`` across the interface."""
+        return n_bytes * self.pj_per_byte * 1e-12
+
+
+#: Single HBM2 stack as used per channel group in the proposed accelerator.
+HBM2_STACK = DRAMConfig(
+    name="HBM2 (1 stack)",
+    stream_bandwidth=128 * GB,
+    random_bandwidth=16 * GB,
+    page_bytes=2048,
+    cache_line_bytes=32,
+    random_latency_s=120e-9,
+    pj_per_byte=3.7,
+)
+
+#: The paper's main-memory subsystem: 4 HBM stacks, 512 GB/s streaming.
+HBM2_4STACK = DRAMConfig(
+    name="HBM2 (4 stacks)",
+    stream_bandwidth=512 * GB,
+    random_bandwidth=64 * GB,
+    page_bytes=2048,
+    cache_line_bytes=32,
+    random_latency_s=120e-9,
+    pj_per_byte=3.7,
+)
+
+#: Dual-socket Xeon E5-2620 class DDR4 system (paper: 102 GB/s peak).
+DDR4_DUAL_SOCKET = DRAMConfig(
+    name="DDR4 (dual-socket Xeon)",
+    stream_bandwidth=102 * GB,
+    # Dependent single-element gathers sustain far below pin bandwidth:
+    # ~64 B per ~90 ns miss across limited MLP.
+    random_bandwidth=4 * GB,
+    page_bytes=8192,
+    cache_line_bytes=64,
+    random_latency_s=90e-9,
+    pj_per_byte=15.0,
+)
+
+#: Tesla M2050-era GDDR5 (per node of the 8-node GPU cluster benchmark).
+GDDR5 = DRAMConfig(
+    name="GDDR5 (Tesla M2050)",
+    stream_bandwidth=148 * GB,
+    random_bandwidth=4.3 * GB,
+    page_bytes=2048,
+    cache_line_bytes=128,
+    random_latency_s=400e-9,
+    pj_per_byte=12.0,
+)
+
+#: Xeon Phi 5110P MCDRAM/GDDR5 (paper: 352 GB/s peak).
+MCDRAM_PHI = DRAMConfig(
+    name="Xeon Phi 5110P memory",
+    stream_bandwidth=352 * GB,
+    random_bandwidth=6 * GB,
+    page_bytes=2048,
+    cache_line_bytes=64,
+    random_latency_s=250e-9,
+    pj_per_byte=12.0,
+)

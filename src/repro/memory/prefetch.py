@@ -1,0 +1,113 @@
+"""DRAM-page-granular prefetch buffer for the merge network.
+
+During step 2 the merge network dequeues from one unpredictable list per
+cycle.  Issuing a cache-line-sized random DRAM read per dequeue would waste
+bandwidth, so whenever a list runs dry the accelerator prefetches a whole
+DRAM page (``dpage``, the row-buffer size) of that list and serves
+subsequent dequeues from on-chip storage.
+
+The buffer provisions ``K x dpage`` bytes (one page slot per input list).
+
+* Under **parallelization by partitioning** (section 4.1) each of the ``m``
+  merge cores owns private lists, so the total cost is ``m * K * dpage`` --
+  this linear growth is what makes partitioning unscalable.
+* Under **PRaP** (section 4.2) all ``p`` cores consume from the *same*
+  ``K x dpage`` buffer: each page slot is internally divided into ``p``
+  per-radix slots filled by the bitonic pre-sorter.  Buffer size is
+  independent of ``p``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+def prefetch_buffer_bytes(n_lists: int, dpage_bytes: int, partitions: int = 1) -> int:
+    """On-chip bytes needed for prefetch buffering.
+
+    Args:
+        n_lists: K, number of merged input lists per core.
+        dpage_bytes: DRAM page (row-buffer) size.
+        partitions: Number of partition-private buffers; 1 for PRaP
+            regardless of core count, ``m`` for partitioning.
+
+    Returns:
+        Total prefetch-buffer bytes.
+    """
+    if n_lists < 0 or dpage_bytes <= 0 or partitions <= 0:
+        raise ValueError("invalid prefetch buffer parameters")
+    return partitions * n_lists * dpage_bytes
+
+
+class PrefetchBuffer:
+    """Functional page-granular prefetch buffer over sorted input lists.
+
+    The buffer tracks, per list, the queue of records already fetched from
+    "DRAM" and counts page fetches.  Each fetch moves one page of records
+    sequentially, so ``page_fetches * dpage`` approximates step-2 streaming
+    read traffic (the last partial page of each list transfers fewer bytes;
+    the exact byte count is the caller's ledger entry).
+    """
+
+    def __init__(self, lists: list, dpage_bytes: int, record_bytes: int):
+        """
+        Args:
+            lists: Sequence of per-list record sequences (already sorted).
+            dpage_bytes: Page size in bytes.
+            record_bytes: Bytes per record (key + value as stored in DRAM).
+        """
+        if dpage_bytes <= 0 or record_bytes <= 0:
+            raise ValueError("dpage_bytes and record_bytes must be positive")
+        if record_bytes > dpage_bytes:
+            raise ValueError("a record must fit within one page")
+        self.records_per_page = dpage_bytes // record_bytes
+        self.dpage_bytes = dpage_bytes
+        self.record_bytes = record_bytes
+        self._sources = [deque(lst) for lst in lists]
+        self._buffered = [deque() for _ in lists]
+        self.page_fetches = 0
+        self.records_served = 0
+
+    @property
+    def n_lists(self) -> int:
+        """Number of input lists (K)."""
+        return len(self._sources)
+
+    def exhausted(self, list_idx: int) -> bool:
+        """True when list ``list_idx`` has no records left anywhere."""
+        return not self._sources[list_idx] and not self._buffered[list_idx]
+
+    def peek(self, list_idx: int):
+        """Return the head record of a list without consuming it.
+
+        Triggers a page fetch if the list's buffer slot is empty.
+
+        Returns:
+            The head record, or None when the list is exhausted.
+        """
+        buf = self._buffered[list_idx]
+        if not buf:
+            self._fetch_page(list_idx)
+        return buf[0] if buf else None
+
+    def pop(self, list_idx: int):
+        """Consume and return the head record of a list."""
+        head = self.peek(list_idx)
+        if head is None:
+            raise IndexError(f"list {list_idx} is exhausted")
+        self._buffered[list_idx].popleft()
+        self.records_served += 1
+        return head
+
+    def _fetch_page(self, list_idx: int) -> None:
+        source = self._sources[list_idx]
+        if not source:
+            return
+        self.page_fetches += 1
+        for _ in range(min(self.records_per_page, len(source))):
+            self._buffered[list_idx].append(source.popleft())
+
+    @property
+    def fetched_bytes(self) -> int:
+        """Bytes moved by page fetches (page-aligned upper bound)."""
+        return self.page_fetches * self.dpage_bytes

@@ -1,0 +1,115 @@
+"""Banked on-chip scratchpad (eDRAM / SRAM / BRAM) model.
+
+The scratchpad stores the source-vector segment during step 1 and therefore
+*dictates the stripe width* (paper section 3).  It is organized in many
+banks so that step 1's ``P`` parallel pipelines can gather ``x[col]``
+concurrently; bank conflicts serialize colliding accesses.  The conflict
+model below gives the expected slowdown for ``P`` uniform random accesses
+across ``B`` banks per cycle, used by the step-1 pipeline timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScratchpadConfig:
+    """Scratchpad geometry.
+
+    Attributes:
+        name: Identifier (e.g. ``"eDRAM 8MB"``).
+        capacity_bytes: Usable capacity for vector segments.
+        n_banks: Independently addressable banks.
+        word_bytes: Access word width.
+        pj_per_access: Energy per word access.
+    """
+
+    name: str
+    capacity_bytes: int
+    n_banks: int
+    word_bytes: int
+    pj_per_access: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.n_banks <= 0 or self.word_bytes <= 0:
+            raise ValueError("scratchpad parameters must be positive")
+
+    def segment_elements(self, element_bytes: int, segments: int = 1) -> int:
+        """Vector elements storable when ``segments`` segments must coexist.
+
+        Plain Two-Step buffers one segment; ITS (section 5.2) buffers two,
+        halving the maximum problem dimension.
+        """
+        if element_bytes <= 0 or segments <= 0:
+            raise ValueError("element_bytes and segments must be positive")
+        return self.capacity_bytes // (element_bytes * segments)
+
+
+class Scratchpad:
+    """Stateful scratchpad holding one dense vector segment.
+
+    Provides functional storage for the simulator plus conflict accounting.
+    """
+
+    def __init__(self, config: ScratchpadConfig, element_bytes: int = 8):
+        self.config = config
+        self.element_bytes = element_bytes
+        self._segment = None
+        self.accesses = 0
+        self.conflict_cycles = 0.0
+
+    @property
+    def capacity_elements(self) -> int:
+        """Elements that fit in the scratchpad."""
+        return self.config.segment_elements(self.element_bytes)
+
+    def load_segment(self, segment: np.ndarray) -> None:
+        """Stream a vector segment in from DRAM (capacity-checked)."""
+        segment = np.asarray(segment, dtype=np.float64)
+        if segment.size > self.capacity_elements:
+            raise ValueError(
+                f"segment of {segment.size} elements exceeds scratchpad capacity "
+                f"of {self.capacity_elements} elements"
+            )
+        self._segment = segment
+
+    def gather(self, local_indices: np.ndarray) -> np.ndarray:
+        """Random-gather elements of the resident segment.
+
+        Also accumulates the expected bank-conflict serialization cycles for
+        the access batch (see :func:`expected_conflict_factor`).
+        """
+        if self._segment is None:
+            raise RuntimeError("no segment loaded")
+        local_indices = np.asarray(local_indices, dtype=np.int64)
+        self.accesses += local_indices.size
+        self.conflict_cycles += local_indices.size * (
+            expected_conflict_factor(1, self.config.n_banks) - 1.0
+        )
+        return self._segment[local_indices]
+
+    def conflict_factor(self, parallel_accesses: int) -> float:
+        """Expected cycles to serve ``parallel_accesses`` concurrent gathers."""
+        return expected_conflict_factor(parallel_accesses, self.config.n_banks)
+
+
+def expected_conflict_factor(parallel_accesses: int, n_banks: int) -> float:
+    """Expected serialization factor for P random accesses over B banks.
+
+    With ``P`` uniform accesses to ``B`` banks the batch completes when the
+    most-loaded bank drains; the expectation of the maximum bin load for
+    P <= B is well approximated by ``1 + (P - 1) / B`` for the small-P
+    regime the accelerator operates in (paper: conflicts are insignificant
+    because banks >> pipelines).
+
+    Returns:
+        Expected cycles per batch, >= 1.
+    """
+    if parallel_accesses <= 0 or n_banks <= 0:
+        raise ValueError("parallel_accesses and n_banks must be positive")
+    if parallel_accesses == 1:
+        return 1.0
+    return 1.0 + (parallel_accesses - 1) / n_banks

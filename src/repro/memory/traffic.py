@@ -1,0 +1,99 @@
+"""Off-chip traffic accounting.
+
+Figure 4 of the paper decomposes total off-chip traffic into *payload*
+(bytes that participate in computation: matrix, source vector, result and
+intermediate vectors) and *cache-line wastage* (bytes fetched because the
+memory system moves whole cache lines, but never used).  The ledger below
+tracks the same categories so both the latency-bound baseline and Two-Step
+report comparable breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficLedger:
+    """Byte counters for one SpMV execution, by traffic category.
+
+    All values are bytes moved across the off-chip interface.  ``payload``
+    categories carry useful data; ``cache_line_wastage`` counts fetched-but-
+    unused bytes (zero for Two-Step, which streams everything).
+    """
+
+    matrix_bytes: float = 0.0
+    source_vector_bytes: float = 0.0
+    result_vector_bytes: float = 0.0
+    intermediate_write_bytes: float = 0.0
+    intermediate_read_bytes: float = 0.0
+    cache_line_wastage_bytes: float = 0.0
+    #: free-form notes, e.g. which compression was applied
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def payload_bytes(self) -> float:
+        """Bytes that take part in actual computation."""
+        return (
+            self.matrix_bytes
+            + self.source_vector_bytes
+            + self.result_vector_bytes
+            + self.intermediate_write_bytes
+            + self.intermediate_read_bytes
+        )
+
+    @property
+    def intermediate_bytes(self) -> float:
+        """Round-trip traffic of the intermediate sparse vectors."""
+        return self.intermediate_write_bytes + self.intermediate_read_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        """All off-chip bytes including wastage."""
+        return self.payload_bytes + self.cache_line_wastage_bytes
+
+    def add(self, other: "TrafficLedger") -> "TrafficLedger":
+        """Return a new ledger summing this one with ``other``."""
+        merged = dict(self.notes)
+        merged.update(other.notes)
+        return TrafficLedger(
+            matrix_bytes=self.matrix_bytes + other.matrix_bytes,
+            source_vector_bytes=self.source_vector_bytes + other.source_vector_bytes,
+            result_vector_bytes=self.result_vector_bytes + other.result_vector_bytes,
+            intermediate_write_bytes=self.intermediate_write_bytes + other.intermediate_write_bytes,
+            intermediate_read_bytes=self.intermediate_read_bytes + other.intermediate_read_bytes,
+            cache_line_wastage_bytes=self.cache_line_wastage_bytes + other.cache_line_wastage_bytes,
+            notes=merged,
+        )
+
+    def scaled(self, factor: float) -> "TrafficLedger":
+        """Return a new ledger with every counter multiplied by ``factor``.
+
+        Used to extrapolate a per-iteration ledger to multi-iteration runs.
+        """
+        return TrafficLedger(
+            matrix_bytes=self.matrix_bytes * factor,
+            source_vector_bytes=self.source_vector_bytes * factor,
+            result_vector_bytes=self.result_vector_bytes * factor,
+            intermediate_write_bytes=self.intermediate_write_bytes * factor,
+            intermediate_read_bytes=self.intermediate_read_bytes * factor,
+            cache_line_wastage_bytes=self.cache_line_wastage_bytes * factor,
+            notes=dict(self.notes),
+        )
+
+    def breakdown(self) -> dict:
+        """Category -> bytes mapping, convenient for table rendering."""
+        return {
+            "matrix": self.matrix_bytes,
+            "source_vector": self.source_vector_bytes,
+            "result_vector": self.result_vector_bytes,
+            "intermediate_write": self.intermediate_write_bytes,
+            "intermediate_read": self.intermediate_read_bytes,
+            "cache_line_wastage": self.cache_line_wastage_bytes,
+        }
+
+    def __str__(self) -> str:
+        gib = 1 << 30
+        rows = [f"  {name:<20s} {bytes_ / gib:10.3f} GiB" for name, bytes_ in self.breakdown().items()]
+        rows.append(f"  {'TOTAL':<20s} {self.total_bytes / gib:10.3f} GiB")
+        return "TrafficLedger(\n" + "\n".join(rows) + "\n)"

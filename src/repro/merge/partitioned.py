@@ -1,0 +1,79 @@
+"""Parallelization by partitioning (paper section 4.1) -- the PRaP ablation.
+
+The natural alternative to PRaP: 2-D block the matrix so each of ``m``
+merge cores merges the intermediate-vector *segments* of one horizontal
+partition and emits one contiguous slice of the result.  Functionally
+correct, but each core needs its own ``K x dpage`` prefetch buffer, so
+on-chip memory grows linearly in ``m`` -- the scaling failure Fig. 7
+illustrates (16 partitions x 1024 lists x 2 KB = 32 MB just for prefetch).
+
+This module provides the functional merge plus the buffer-requirement
+model that the PRaP-vs-partitioning ablation bench sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memory.prefetch import prefetch_buffer_bytes
+from repro.merge.tournament import merge_accumulate
+
+
+@dataclass(frozen=True)
+class PartitionedMergeConfig:
+    """Parameters of the partitioned parallel merge.
+
+    Attributes:
+        partitions: m, number of horizontal partitions (= merge cores).
+        n_lists: K, input lists per core.
+        dpage_bytes: DRAM page size per prefetch slot.
+    """
+
+    partitions: int
+    n_lists: int
+    dpage_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.partitions <= 0 or self.n_lists <= 0 or self.dpage_bytes <= 0:
+            raise ValueError("partitioned merge parameters must be positive")
+
+    @property
+    def prefetch_buffer_bytes(self) -> int:
+        """m x K x dpage -- grows linearly with partition count."""
+        return prefetch_buffer_bytes(self.n_lists, self.dpage_bytes, self.partitions)
+
+
+def partitioned_merge_dense(lists: list, n_out: int, partitions: int) -> np.ndarray:
+    """Merge sorted sparse vectors via horizontal key-range partitioning.
+
+    Each partition ``j`` owns keys ``[j*step, (j+1)*step)`` and merges only
+    the records of its range; outputs concatenate into the dense result.
+
+    Args:
+        lists: ``(indices, values)`` pairs, sorted by index.
+        n_out: Dense output length.
+        partitions: Number of horizontal partitions m.
+
+    Returns:
+        Dense ``float64`` vector of length ``n_out``.
+    """
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    step = -(-n_out // partitions)
+    out = np.zeros(n_out, dtype=np.float64)
+    arrays = [
+        (np.asarray(i, dtype=np.int64), np.asarray(v, dtype=np.float64)) for i, v in lists
+    ]
+    for j in range(partitions):
+        lo, hi = j * step, min((j + 1) * step, n_out)
+        if lo >= hi:
+            break
+        segment_lists = []
+        for idx, val in arrays:
+            m = (idx >= lo) & (idx < hi)
+            segment_lists.append((idx[m], val[m]))
+        seg_idx, seg_val = merge_accumulate(segment_lists)
+        out[seg_idx] = seg_val
+    return out

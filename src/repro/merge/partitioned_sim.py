@@ -1,0 +1,122 @@
+"""Cycle-level simulation of partitioned parallel merge (section 4.1).
+
+The fair comparison with PRaP needs the throughput side, not just the
+buffer sizes: partitioning *does* scale throughput (m cores emit m
+records/cycle), and with private per-partition prefetch buffers it stalls
+no more than PRaP.  The difference is solely the on-chip cost -- each
+partition needs its own ``K x dpage`` buffer -- plus the load imbalance
+across key ranges (skewed graphs concentrate output rows, and unlike
+PRaP, range partitioning has no missing-key trick to equalize *across*
+cores: each core owns a contiguous dense range of the output, so cores
+with more input records finish later and the phase waits on the slowest).
+
+Together with :class:`repro.merge.partitioned.PartitionedMergeConfig`
+(buffer model) this completes the ablation the paper argues in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.merge.merge_core import inject_missing_keys
+from repro.merge.tournament import merge_accumulate
+
+
+@dataclass(frozen=True)
+class PartitionedSimConfig:
+    """Parameters of the partitioned merge fabric.
+
+    Attributes:
+        partitions: m, horizontal partitions (= merge cores).
+        records_per_page: Records per DRAM page.
+        page_fetch_cycles: Cycles for a page fetch to land.
+        pages_buffered: Private page slots per list per partition.
+    """
+
+    partitions: int = 4
+    records_per_page: int = 64
+    page_fetch_cycles: int = 16
+    pages_buffered: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.partitions, self.records_per_page, self.page_fetch_cycles) <= 0:
+            raise ValueError("partitioned simulator parameters must be positive")
+        if self.pages_buffered <= 0:
+            raise ValueError("pages_buffered must be positive")
+
+
+@dataclass
+class PartitionedSimResult:
+    """Outcome of one simulated partitioned merge."""
+
+    output: np.ndarray
+    cycles: int
+    stall_cycles: int
+    page_fetches: int
+    per_partition_cycles: np.ndarray
+
+    def load_imbalance(self) -> float:
+        """Slowest / mean partition time (PRaP hides this; ranges cannot)."""
+        mean = self.per_partition_cycles.mean()
+        return float(self.per_partition_cycles.max() / mean) if mean else 1.0
+
+
+class PartitionedMergeSim:
+    """Cycle-level range-partitioned parallel merge."""
+
+    def __init__(self, config: PartitionedSimConfig = PartitionedSimConfig()):
+        self.config = config
+
+    def run(self, lists: list, n_out: int) -> PartitionedSimResult:
+        """Merge sorted ``(indices, values)`` lists; each partition owns a
+        contiguous key range and emits its dense output slice.
+
+        Returns:
+            :class:`PartitionedSimResult`; ``cycles`` is the slowest
+            partition (the phase barrier).
+        """
+        cfg = self.config
+        m = cfg.partitions
+        step = -(-n_out // m)
+        arrays = [
+            (np.asarray(i, dtype=np.int64), np.asarray(v, dtype=np.float64))
+            for i, v in lists
+        ]
+        out = np.zeros(n_out)
+        per_partition = np.zeros(m, dtype=np.int64)
+        stalls = 0
+        fetches = 0
+        for part in range(m):
+            lo, hi = part * step, min((part + 1) * step, n_out)
+            if lo >= hi:
+                continue
+            seg_lists = []
+            counts = []
+            for idx, val in arrays:
+                mask = (idx >= lo) & (idx < hi)
+                seg_lists.append((idx[mask], val[mask]))
+                counts.append(int(np.count_nonzero(mask)))
+            total = sum(counts)
+            active = sum(1 for c in counts if c)
+            part_fetches = sum(-(-c // cfg.records_per_page) for c in counts if c)
+            drain_gap = cfg.records_per_page * max(active, 1) * cfg.pages_buffered
+            stall_per_fetch = max(0, cfg.page_fetch_cycles - drain_gap)
+            part_stalls = part_fetches * stall_per_fetch
+            # Output is the dense range: hi - lo records at 1/cycle, plus
+            # input-bound time when inputs exceed outputs.
+            cycles = max(hi - lo, total) + cfg.page_fetch_cycles + part_stalls
+            per_partition[part] = cycles
+            stalls += part_stalls
+            fetches += part_fetches
+            merged_idx, merged_val = merge_accumulate(seg_lists)
+            keys, vals = inject_missing_keys(merged_idx, merged_val, (lo, hi))
+            out[keys] = vals
+        return PartitionedSimResult(
+            output=out,
+            cycles=int(per_partition.max()),
+            stall_cycles=stalls,
+            page_fetches=fetches,
+            per_partition_cycles=per_partition,
+        )

@@ -1,0 +1,82 @@
+"""Store queue: interleaves the p PRaP core outputs into the dense result.
+
+Because every core's stream is dense over its residue class (missing keys
+injected), the records dequeued from cores ``0..p-1`` at output cycle ``c``
+are exactly dense-vector elements ``y[c*p + 0] .. y[c*p + p - 1]`` (paper
+Fig. 11).  No sorting logic is needed -- the queue simply round-robins the
+heads and streams consecutive elements to DRAM.  The class verifies that
+invariant on every dequeue, which is how the tests prove the
+synchronization argument of section 4.2.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class StoreQueue:
+    """Synchronizing output queue over ``p`` per-core record streams."""
+
+    def __init__(self, n_cores: int, vector_offset: int = 0):
+        """
+        Args:
+            n_cores: p, number of parallel merge cores.
+            vector_offset: Global index of the first output element (for
+                merging a sub-range of the result vector).
+        """
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        self.n_cores = n_cores
+        self.vector_offset = vector_offset
+        self._queues = [deque() for _ in range(n_cores)]
+        self._emitted = 0
+
+    def push(self, core: int, key: int, value: float) -> None:
+        """Enqueue one record from core ``core``."""
+        self._queues[core].append((key, value))
+
+    def push_stream(self, core: int, keys: np.ndarray, values: np.ndarray) -> None:
+        """Enqueue a core's entire output stream."""
+        for key, value in zip(np.asarray(keys).tolist(), np.asarray(values).tolist()):
+            self._queues[core].append((key, value))
+
+    def ready(self) -> bool:
+        """True when every core has a record queued (one output cycle ready)."""
+        return all(self._queues)
+
+    def dequeue_cycle(self) -> np.ndarray:
+        """Dequeue one record per core, verifying dense-vector positions.
+
+        Returns:
+            Array of ``n_cores`` consecutive dense-vector values
+            ``y[offset + c*p : offset + (c+1)*p]``.
+
+        Raises:
+            RuntimeError: If a core's head record is not at its expected
+                dense position -- i.e. missing-key injection was violated.
+        """
+        if not self.ready():
+            raise RuntimeError("store queue not ready: some core has no queued record")
+        base = self.vector_offset + self._emitted * self.n_cores
+        out = np.empty(self.n_cores, dtype=np.float64)
+        for core, queue in enumerate(self._queues):
+            key, value = queue.popleft()
+            expected = base + core
+            if key != expected:
+                raise RuntimeError(
+                    f"store queue desync: core {core} emitted key {key}, expected {expected}"
+                )
+            out[core] = value
+        self._emitted += 1
+        return out
+
+    def drain(self) -> np.ndarray:
+        """Dequeue full cycles until the queues empty; returns the stream."""
+        chunks = []
+        while self.ready():
+            chunks.append(self.dequeue_cycle())
+        if any(self._queues):
+            raise RuntimeError("store queue drained unevenly: core streams have unequal length")
+        return np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64)

@@ -1,0 +1,79 @@
+"""Energy reporting for clocked simulations.
+
+Combines the silicon resource model (:mod:`repro.merge.resources`) with a
+clocked :class:`~repro.simulator.system.SystemReport`: leakage integrates
+over the full runtime, dynamic power scales with the measured phase
+utilization, and DRAM energy comes from the functional ledger.  This
+gives a second, independently derived energy-per-edge figure to compare
+against the analytic estimates of Figs. 19-22.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.design_points import DesignPoint, TS_ASIC
+from repro.memory.traffic import TrafficLedger
+from repro.merge.resources import CoreResources, estimate_core_resources
+from repro.simulator.system import SystemReport
+
+
+@dataclass(frozen=True)
+class ClockedEnergyReport:
+    """Energy of one clocked SpMV execution."""
+
+    runtime_s: float
+    leakage_j: float
+    core_dynamic_j: float
+    dram_j: float
+    n_edges: int
+
+    @property
+    def total_j(self) -> float:
+        """Total energy."""
+        return self.leakage_j + self.core_dynamic_j + self.dram_j
+
+    @property
+    def nj_per_edge(self) -> float:
+        """The paper's efficiency metric."""
+        return self.total_j / self.n_edges * 1e9 if self.n_edges else 0.0
+
+
+def clocked_energy(
+    report: SystemReport,
+    traffic: TrafficLedger,
+    n_edges: int,
+    point: DesignPoint = TS_ASIC,
+    resources: CoreResources = None,
+) -> ClockedEnergyReport:
+    """Energy of a clocked run.
+
+    Args:
+        report: Clocked system report (cycles, utilization).
+        traffic: Off-chip ledger of the same execution (from the
+            functional engine on the same input).
+        n_edges: Nonzeros processed.
+        point: Design point (clock, DRAM energy).
+        resources: Optional pre-computed silicon roll-up.
+
+    Returns:
+        :class:`ClockedEnergyReport`.
+    """
+    if n_edges < 0:
+        raise ValueError("n_edges must be non-negative")
+    res = resources or estimate_core_resources(point)
+    runtime = report.total_cycles / point.frequency_hz
+    leakage = res.leakage_w * runtime
+    # Dynamic power scales with how busy the fabrics actually were.
+    step1_share = report.step1_cycles / max(report.total_cycles, 1)
+    step2_share = report.step2_cycles / max(report.total_cycles, 1)
+    activity = min(1.0, max(report.step1_utilization, 0.0)) * step1_share + 0.9 * step2_share
+    dynamic = res.dynamic_w * min(activity, 1.0) * runtime
+    dram = point.dram.transfer_energy_j(traffic.total_bytes)
+    return ClockedEnergyReport(
+        runtime_s=runtime,
+        leakage_j=leakage,
+        core_dynamic_j=dynamic,
+        dram_j=dram,
+        n_edges=n_edges,
+    )

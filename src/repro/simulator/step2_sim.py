@@ -1,0 +1,153 @@
+"""Clocked step-2 merge simulation with DRAM prefetch latency.
+
+Each PRaP core merges its residue class of every intermediate vector.
+Records arrive through page-granular prefetches: when a list's buffered
+page drains, the next page takes ``page_fetch_cycles`` to arrive, and the
+core stalls if the record it needs is still in flight.  Deep page buffers
+(double buffering) hide the latency, which is exactly why the accelerator
+provisions ``K x dpage`` on-chip: the simulator demonstrates the stall
+cliff when the buffer is too shallow (see the ablation bench).
+
+Cores run independently; the reported cycle count is the slowest core
+plus the lock-step store-queue drain (one dense record per core per
+cycle after injection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.merge.merge_core import inject_missing_keys
+from repro.merge.tournament import merge_accumulate
+
+
+@dataclass(frozen=True)
+class Step2SimConfig:
+    """Microarchitectural parameters of the step-2 fabric.
+
+    Attributes:
+        q: Radix bits; p = 2**q cores.
+        records_per_page: Records one DRAM page holds (dpage / record).
+        page_fetch_cycles: Core cycles for a page fetch to land.
+        pages_buffered: Page slots per list per radix (2 = double buffer).
+    """
+
+    q: int = 2
+    records_per_page: int = 64
+    page_fetch_cycles: int = 16
+    pages_buffered: int = 2
+
+    def __post_init__(self) -> None:
+        if self.q < 0 or min(self.records_per_page, self.page_fetch_cycles) <= 0:
+            raise ValueError("step-2 simulator parameters must be positive")
+        if self.pages_buffered <= 0:
+            raise ValueError("pages_buffered must be positive")
+
+    @property
+    def n_cores(self) -> int:
+        """Parallel merge cores."""
+        return 1 << self.q
+
+
+@dataclass
+class Step2SimResult:
+    """Outcome of one simulated merge phase."""
+
+    output: np.ndarray
+    cycles: int = 0
+    stall_cycles: int = 0
+    page_fetches: int = 0
+    per_core_cycles: np.ndarray = None
+
+    @property
+    def utilization(self) -> float:
+        """Output records per core-cycle across the whole phase."""
+        if self.cycles == 0:
+            return 0.0
+        return 1.0 - self.stall_cycles / (self.cycles * max(len(self.per_core_cycles), 1))
+
+
+class Step2CycleSim:
+    """Cycle-level PRaP merge with prefetch-latency stalls."""
+
+    def __init__(self, config: Step2SimConfig = Step2SimConfig()):
+        self.config = config
+
+    def _core_cycles(self, per_list_counts: list) -> tuple:
+        """Cycles for one core to consume its per-list record counts.
+
+        A list of ``c`` records spans ``ceil(c / page_records)`` pages.
+        With ``B`` buffered pages, the first ``B`` fetches are issued
+        up-front; afterwards each drain triggers the next fetch, which is
+        hidden when the core spends at least ``page_fetch_cycles`` merging
+        other records in between.  We model the steady state per list:
+        consuming one page takes ``page_records`` merge cycles; the next
+        page is in flight concurrently, so stall per page is
+        ``max(0, fetch - merge_time_between_drains)``, where the
+        interleaving across K lists multiplies the time between one
+        list's drains by the number of active lists.
+        """
+        cfg = self.config
+        total_records = sum(per_list_counts)
+        active_lists = sum(1 for c in per_list_counts if c)
+        fetches = sum(-(-c // cfg.records_per_page) for c in per_list_counts if c)
+        if total_records == 0:
+            return 0, 0, 0
+        # Average merge cycles between consecutive drains of one list.
+        drain_gap = cfg.records_per_page * max(active_lists, 1)
+        # Buffered pages extend the tolerated latency.
+        tolerated = drain_gap * cfg.pages_buffered
+        stall_per_fetch = max(0, cfg.page_fetch_cycles - tolerated)
+        stalls = fetches * stall_per_fetch + min(cfg.page_fetch_cycles, 1)
+        # One record per cycle plus an initial fill of the first page.
+        cycles = total_records + cfg.page_fetch_cycles + stalls
+        return cycles, stalls, fetches
+
+    def run(self, lists: list, n_out: int) -> Step2SimResult:
+        """Merge sorted ``(indices, values)`` lists into the dense output.
+
+        Args:
+            lists: Intermediate vectors (sorted index/value arrays).
+            n_out: Dense output length.
+
+        Returns:
+            :class:`Step2SimResult` with cycle/stall/fetch accounting.
+        """
+        cfg = self.config
+        p = cfg.n_cores
+        arrays = [
+            (np.asarray(i, dtype=np.int64), np.asarray(v, dtype=np.float64))
+            for i, v in lists
+        ]
+        per_core_cycles = np.zeros(p, dtype=np.int64)
+        total_stalls = 0
+        total_fetches = 0
+        out = np.zeros(n_out)
+        padded = -(-n_out // p) * p
+        for radix in range(p):
+            core_lists = []
+            counts = []
+            for idx, val in arrays:
+                mask = (idx & (p - 1)) == radix
+                core_lists.append((idx[mask], val[mask]))
+                counts.append(int(np.count_nonzero(mask)))
+            cycles, stalls, fetches = self._core_cycles(counts)
+            merged_idx, merged_val = merge_accumulate(core_lists)
+            keys, vals = inject_missing_keys(
+                merged_idx, merged_val, (0, padded), stride=p, offset=radix
+            )
+            in_range = keys < n_out
+            out[keys[in_range]] = vals[in_range]
+            # Injection makes output length N/p regardless of input skew.
+            per_core_cycles[radix] = max(cycles, padded // p)
+            total_stalls += stalls
+            total_fetches += fetches
+        return Step2SimResult(
+            output=out,
+            cycles=int(per_core_cycles.max()),
+            stall_cycles=total_stalls,
+            page_fetches=total_fetches,
+            per_core_cycles=per_core_cycles,
+        )

@@ -1,0 +1,148 @@
+"""DRAM address-trace generation and time-domain replay.
+
+Traffic ledgers (Fig. 4) argue in *bytes*; the decisive quantity is
+*time*, which depends on how those bytes hit the DRAM.  This module
+generates the actual address traces of both algorithms and replays them
+through the event-level :class:`~repro.memory.dram_sim.DRAMSim`:
+
+* **Two-Step**: matrix stripes stream, intermediate vectors stream out
+  and back in, x/y stream -- one long sequential trace per region;
+* **latency-bound**: the matrix streams, but every nonzero issues a
+  cache-line read of ``x[col]`` at its real (random) address, with the
+  requester's limited MLP.
+
+The ratio of replayed times is the paper's headline mechanism, measured
+end to end on real access patterns (see ``bench_traced_time.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import TwoStepConfig
+from repro.core.twostep import TwoStepEngine
+from repro.formats.coo import COOMatrix
+from repro.memory.dram_sim import DRAMSim, DRAMTiming, streaming_trace
+
+
+@dataclass
+class TracedTimes:
+    """Replayed execution times of both algorithms on one input."""
+
+    twostep_seconds: float
+    latency_bound_seconds: float
+    twostep_bytes: float
+    latency_bound_bytes: float
+
+    @property
+    def speedup(self) -> float:
+        """Latency-bound time over Two-Step time."""
+        return self.latency_bound_seconds / self.twostep_seconds
+
+
+def twostep_trace_time(
+    matrix: COOMatrix,
+    config: TwoStepConfig,
+    timing: DRAMTiming,
+    value_bytes: int = 4,
+) -> tuple:
+    """Replay Two-Step's streaming regions through the DRAM simulator.
+
+    All regions are sequential, so the trace is a concatenation of
+    streaming runs at distinct base addresses (matrix, x, intermediates
+    out, intermediates in, y).
+
+    Returns:
+        ``(seconds, total_bytes)``.
+    """
+    engine = TwoStepEngine(config)
+    x = np.ones(matrix.n_cols)
+    _, report = engine.run(matrix, x)
+    ledger = report.traffic
+    regions = [
+        ledger.matrix_bytes,
+        ledger.source_vector_bytes,
+        ledger.intermediate_write_bytes,
+        ledger.intermediate_read_bytes,
+        ledger.result_vector_bytes,
+    ]
+    seconds = 0.0
+    base = 0
+    for region_bytes in regions:
+        if region_bytes <= 0:
+            continue
+        trace = streaming_trace(int(region_bytes), timing, start=base)
+        sim = DRAMSim(timing)
+        bandwidth = sim.replay(trace, max_outstanding=1 << 20)
+        seconds += region_bytes / bandwidth
+        base += int(region_bytes) + timing.row_bytes
+    del value_bytes
+    return seconds, ledger.total_bytes
+
+
+def latency_bound_trace_time(
+    matrix: COOMatrix,
+    timing: DRAMTiming,
+    value_bytes: int = 4,
+    line_bytes: int = 64,
+    cache_bytes: int = 0,
+    max_outstanding: int = 10,
+) -> tuple:
+    """Replay cache-based CSR SpMV through the DRAM simulator.
+
+    The matrix streams; each nonzero's ``x[col]`` gather that misses the
+    (optional) cache issues a line-granular access at its true address.
+
+    Returns:
+        ``(seconds, total_bytes)``.
+    """
+    # Matrix stream.
+    matrix_bytes = matrix.nnz * (4 + value_bytes) + (matrix.n_rows + 1) * 4
+    stream_sim = DRAMSim(timing)
+    stream_bw = stream_sim.replay(streaming_trace(int(matrix_bytes), timing), max_outstanding=1 << 20)
+    seconds = matrix_bytes / stream_bw
+
+    # x gathers at real addresses, filtered through a cache when given.
+    addresses = (matrix.cols * value_bytes) // line_bytes * line_bytes
+    if cache_bytes > 0:
+        from repro.memory.cache import CacheConfig, CacheSim
+
+        cache = CacheSim(CacheConfig(cache_bytes, line_bytes, 8))
+        missing = np.fromiter(
+            (not cache.access(int(a)) for a in addresses), dtype=bool, count=addresses.size
+        )
+        addresses = addresses[missing]
+    gather_bytes = addresses.size * line_bytes
+    if addresses.size:
+        gather_sim = DRAMSim(timing)
+        # Offset the gathers into their own region, after the matrix.
+        bandwidth = gather_sim.replay(
+            addresses + int(matrix_bytes) + timing.row_bytes,
+            bytes_per_access=line_bytes,
+            max_outstanding=max_outstanding,
+        )
+        seconds += gather_bytes / bandwidth
+
+    # y stream.
+    y_bytes = matrix.n_rows * value_bytes
+    seconds += y_bytes / stream_bw
+    return seconds, matrix_bytes + gather_bytes + y_bytes
+
+
+def compare_traced(
+    matrix: COOMatrix,
+    config: TwoStepConfig,
+    timing: DRAMTiming = DRAMTiming(),
+    cache_bytes: int = 0,
+) -> TracedTimes:
+    """End-to-end time-domain comparison on one matrix."""
+    ts_seconds, ts_bytes = twostep_trace_time(matrix, config, timing)
+    lb_seconds, lb_bytes = latency_bound_trace_time(matrix, timing, cache_bytes=cache_bytes)
+    return TracedTimes(
+        twostep_seconds=ts_seconds,
+        latency_bound_seconds=lb_seconds,
+        twostep_bytes=ts_bytes,
+        latency_bound_bytes=lb_bytes,
+    )

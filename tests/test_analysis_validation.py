@@ -1,0 +1,39 @@
+"""Tests for the analytic-vs-measured validation sweep."""
+
+import pytest
+
+from repro.analysis.validation import ValidationReport, validate_traffic_model
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validate_traffic_model(
+        dimensions=(8_000, 20_000), degrees=(2.0, 5.0), segment_widths=(800, 4_000)
+    )
+
+
+def test_grid_coverage(report):
+    assert len(report.cases) == 2 * 2 * 2
+
+
+def test_total_traffic_within_tolerance(report):
+    """The analytic model must track the measured ledger closely enough to
+    justify its use at paper scale."""
+    assert report.worst_total_error < 0.15
+    assert report.mean_total_error < 0.08
+
+
+def test_intermediate_estimate_tight(report):
+    for case in report.cases:
+        assert case.intermediate_error < 0.10, (case.n_nodes, case.avg_degree)
+
+
+def test_matrix_estimate_tight(report):
+    for case in report.cases:
+        assert case.matrix_error < 0.15, (case.n_nodes, case.avg_degree)
+
+
+def test_empty_report():
+    empty = ValidationReport()
+    assert empty.worst_total_error == 0.0
+    assert empty.mean_total_error == 0.0

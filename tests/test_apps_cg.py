@@ -1,0 +1,72 @@
+"""Tests for the conjugate-gradient solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.conjugate_gradient import CGResult, conjugate_gradient, spd_system
+from repro.core.config import TwoStepConfig
+from repro.formats.coo import COOMatrix
+
+
+def test_spd_system_is_symmetric_and_dominant():
+    matrix, b = spd_system(200, seed=5)
+    dense = matrix.to_dense()
+    assert np.allclose(dense, dense.T)
+    off_diag = np.abs(dense).sum(axis=1) - np.abs(np.diag(dense))
+    assert np.all(np.diag(dense) > off_diag)
+    assert b.shape == (200,)
+
+
+def test_cg_solves_reference():
+    matrix, b = spd_system(300, seed=6)
+    result = conjugate_gradient(matrix, b, tol=1e-12)
+    assert result.converged
+    assert np.allclose(matrix.spmv(result.solution), b, atol=1e-8)
+
+
+def test_cg_through_engine_matches_reference():
+    matrix, b = spd_system(250, seed=7)
+    ref = conjugate_gradient(matrix, b, tol=1e-12)
+    cfg = TwoStepConfig(segment_width=80, q=2)
+    ours = conjugate_gradient(matrix, b, config=cfg, tol=1e-12)
+    assert ours.converged
+    assert np.allclose(ours.solution, ref.solution, atol=1e-8)
+    assert ours.traffic.total_bytes > 0  # traffic accumulated per iteration
+
+
+def test_cg_converges_fast_on_spd():
+    """CG on a well-conditioned SPD system converges in << n iterations."""
+    matrix, b = spd_system(500, seed=8)
+    result = conjugate_gradient(matrix, b, tol=1e-10)
+    assert result.converged
+    assert result.iterations < 100
+
+
+def test_cg_residuals_shrink():
+    matrix, b = spd_system(150, seed=9)
+    result = conjugate_gradient(matrix, b, tol=1e-12)
+    assert result.residual_norms[-1] < result.residual_norms[0] * 1e-8
+
+
+def test_cg_rejects_indefinite():
+    # -I is symmetric but negative definite.
+    n = 5
+    matrix = COOMatrix.from_triples(n, n, np.arange(n), np.arange(n), -np.ones(n))
+    with pytest.raises(ValueError):
+        conjugate_gradient(matrix, np.ones(n))
+
+
+def test_cg_validates_shapes():
+    matrix, _ = spd_system(20, seed=10)
+    with pytest.raises(ValueError):
+        conjugate_gradient(matrix, np.ones(7))
+    rect = COOMatrix.from_triples(2, 3, [0], [1], [1.0])
+    with pytest.raises(ValueError):
+        conjugate_gradient(rect, np.ones(3))
+
+
+def test_cg_zero_rhs():
+    matrix, _ = spd_system(30, seed=11)
+    result = conjugate_gradient(matrix, np.zeros(30), tol=1e-12)
+    assert result.converged
+    assert np.allclose(result.solution, 0.0)

@@ -1,0 +1,80 @@
+"""Tests for the k-core decomposition app."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kcore import kcore_decomposition
+from repro.formats.coo import COOMatrix
+from repro.generators.rmat import rmat_graph
+
+
+def undirected(edges, n):
+    rows, cols = zip(*edges)
+    return COOMatrix.from_triples(n, n, list(rows), list(cols), np.ones(len(rows)))
+
+
+def test_triangle_is_2core():
+    g = undirected([(0, 1), (1, 2), (2, 0)], 3)
+    assert kcore_decomposition(g).tolist() == [2, 2, 2]
+
+
+def test_chain_is_1core():
+    g = undirected([(0, 1), (1, 2), (2, 3)], 4)
+    assert kcore_decomposition(g).tolist() == [1, 1, 1, 1]
+
+
+def test_isolated_node_is_0core():
+    g = undirected([(0, 1)], 3)
+    cores = kcore_decomposition(g)
+    assert cores[2] == 0
+    assert cores[0] == cores[1] == 1
+
+
+def test_pendant_on_triangle():
+    # Triangle 0-1-2 plus pendant 3 attached to 0.
+    g = undirected([(0, 1), (1, 2), (2, 0), (0, 3)], 4)
+    cores = kcore_decomposition(g)
+    assert cores.tolist() == [2, 2, 2, 1]
+
+
+def test_clique_core_equals_size_minus_one():
+    edges = [(i, j) for i in range(5) for j in range(5) if i < j]
+    g = undirected(edges, 5)
+    assert kcore_decomposition(g).tolist() == [4] * 5
+
+
+def test_direction_and_loops_ignored():
+    g = COOMatrix.from_triples(3, 3, [1, 0, 2], [0, 0, 1], [1.0, 9.0, 1.0])
+    cores = kcore_decomposition(g)
+    # Loop at 0 ignored; edges 0-1 and 1-2 form a chain.
+    assert cores.tolist() == [1, 1, 1]
+
+
+def test_coreness_invariant_on_random_graph():
+    """Every node's coreness <= its degree, and the k-core subgraph check
+    holds: nodes with coreness >= k have >= k neighbors of coreness >= k."""
+    g = rmat_graph(9, 6.0, seed=77)
+    cores = kcore_decomposition(g)
+    n = g.n_rows
+    off = g.rows != g.cols
+    src = np.concatenate([g.rows[off], g.cols[off]])
+    dst = np.concatenate([g.cols[off], g.rows[off]])
+    keys = src * n + dst
+    _, first = np.unique(keys, return_index=True)
+    src, dst = src[first], dst[first]
+    degrees = np.bincount(src, minlength=n)
+    assert np.all(cores <= degrees)
+    k_max = int(cores.max())
+    for k in (1, max(1, k_max)):
+        members = cores >= k
+        if not members.any():
+            continue
+        live = members[src] & members[dst]
+        inner_deg = np.bincount(src[live], minlength=n)
+        assert np.all(inner_deg[members] >= k)
+
+
+def test_requires_square():
+    rect = COOMatrix.from_triples(2, 3, [0], [1], [1.0])
+    with pytest.raises(ValueError):
+        kcore_decomposition(rect)

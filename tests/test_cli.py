@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.formats.io import read_binary, read_matrix_market
+
+
+def test_generate_er_binary(tmp_path):
+    out = tmp_path / "g.bin"
+    rc = main(["generate", "--family", "er", "--nodes", "500", "--degree", "3",
+               "--output", str(out)])
+    assert rc == 0
+    m = read_binary(out)
+    assert m.n_rows == 500
+    assert m.nnz > 1000
+
+
+def test_generate_mtx(tmp_path):
+    out = tmp_path / "g.mtx"
+    rc = main(["generate", "--family", "rmat", "--nodes", "256", "--degree", "4",
+               "--output", str(out)])
+    assert rc == 0
+    m = read_matrix_market(out)
+    assert m.n_rows == 256
+
+
+def test_generate_dataset_standin(tmp_path):
+    out = tmp_path / "tw.bin"
+    rc = main(["generate", "--family", "TW", "--nodes", "1024", "--output", str(out)])
+    assert rc == 0
+    assert read_binary(out).n_rows <= 1024
+
+
+def test_run_verifies(tmp_path, capsys):
+    out = tmp_path / "g.bin"
+    main(["generate", "--family", "er", "--nodes", "2000", "--degree", "3",
+          "--output", str(out)])
+    rc = main(["run", str(out), "--design-point", "TS_ASIC", "--segment-width", "512"])
+    captured = capsys.readouterr().out
+    assert rc == 0
+    assert "verified against dense reference: OK" in captured
+    assert "TrafficLedger" in captured
+
+
+def test_run_unknown_design_point(tmp_path):
+    out = tmp_path / "g.bin"
+    main(["generate", "--family", "er", "--nodes", "100", "--output", str(out)])
+    with pytest.raises(KeyError):
+        main(["run", str(out), "--design-point", "TS_TPU"])
+
+
+def test_estimate_dataset(capsys):
+    rc = main(["estimate", "TW"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "TS_ASIC" in out
+    assert "GTEPS" in out
+
+
+def test_estimate_capacity_na(capsys):
+    rc = main(["estimate", "Sy-1B"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "n/a" in out  # FPGA points cannot hold 1B nodes
+
+
+def test_datasets_listing(capsys):
+    rc = main(["datasets"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for name in ("TW", "ara-05", "Sy-2B", "europe_osm"):
+        assert name in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

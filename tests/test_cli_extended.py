@@ -1,0 +1,85 @@
+"""Tests for the extended CLI commands (stats, validate, simulate, figure)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    out = tmp_path / "g.bin"
+    main(["generate", "--family", "rmat", "--nodes", "1024", "--degree", "6",
+          "--output", str(out)])
+    return str(out)
+
+
+def test_stats_command(matrix_file, capsys):
+    rc = main(["stats", matrix_file])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "avg degree" in out
+    assert "suggested HDN threshold" in out
+    assert "power-law" in out
+
+
+def test_stats_custom_stripe_width(matrix_file, capsys):
+    rc = main(["stats", matrix_file, "--stripe-width", "64"])
+    assert rc == 0
+    assert "hypersparse stripes" in capsys.readouterr().out
+
+
+def test_validate_command(capsys):
+    rc = main(["validate"])
+    out = capsys.readouterr().out
+    assert rc == 0  # the model must be within tolerance
+    assert "worst total error" in out
+
+
+def test_simulate_command_ts(matrix_file, capsys):
+    rc = main(["simulate", matrix_file, "--segment-width", "256"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "verified" in out and "OK" in out
+    assert "TS (sequential)" in out
+
+
+def test_simulate_command_its(matrix_file, capsys):
+    rc = main(["simulate", matrix_file, "--segment-width", "256", "--its"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ITS (overlapped)" in out
+
+
+def test_figure_fig02(capsys):
+    rc = main(["figure", "fig02"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "7.5 mm^2" in out  # the published Fig. 2 area
+    assert "merge-core SRAM FIFOs" in out
+
+
+def test_run_autotune(matrix_file, capsys):
+    rc = main(["run", matrix_file, "--segment-width", "256", "--autotune"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "autotune:" in out
+    assert "verified against dense reference: OK" in out
+
+
+def test_figure_all(tmp_path, monkeypatch, capsys):
+    """--all renders every registered experiment to files (registry
+    monkeypatched to cheap entries so the test stays fast)."""
+    import repro.experiments as experiments
+
+    monkeypatch.setattr(
+        experiments,
+        "EXPERIMENTS",
+        {"tab01": experiments.EXPERIMENTS["tab01"],
+         "tab02": experiments.EXPERIMENTS["tab02"]},
+    )
+    rc = main(["figure", "--all", "--output-dir", str(tmp_path / "figs")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert (tmp_path / "figs" / "tab01.txt").exists()
+    assert (tmp_path / "figs" / "tab02.txt").exists()
+    assert "wrote" in out

@@ -1,0 +1,59 @@
+"""Tests for the streaming VLDI decoder model."""
+
+import numpy as np
+import pytest
+
+from repro.compression.decoder import (
+    StreamingVLDIDecoder,
+    decoder_lanes_required,
+    expected_strings_per_record,
+)
+from repro.compression.vldi import VLDICodec
+
+
+def test_streaming_decode_matches_codec(rng):
+    for block in (3, 7, 12):
+        codec = VLDICodec(block)
+        decoder = StreamingVLDIDecoder(block)
+        deltas = rng.integers(1, 1 << 24, size=150).astype(np.int64)
+        result = decoder.decode_stream(codec.encode(deltas), deltas.size)
+        assert np.array_equal(result.values, deltas)
+
+
+def test_decode_cycles_equal_strings():
+    codec = VLDICodec(7)
+    decoder = StreamingVLDIDecoder(7)
+    deltas = np.array([1, 1 << 10, 1 << 20])  # 1, 2 and 3 strings
+    result = decoder.decode_stream(codec.encode(deltas), 3)
+    assert result.cycles == 6
+    assert result.records_per_cycle == pytest.approx(0.5)
+
+
+def test_decode_truncated_raises():
+    codec = VLDICodec(4)
+    decoder = StreamingVLDIDecoder(4)
+    bits = codec.encode(np.array([1 << 10]))
+    with pytest.raises(ValueError):
+        decoder.decode_stream(bits[:4], 1)
+
+
+def test_expected_strings_per_record():
+    # 8-bit deltas with 7-bit blocks need 2 strings; 1-bit deltas need 1.
+    assert expected_strings_per_record(np.array([1, 1]), 7) == 1.0
+    assert expected_strings_per_record(np.array([1 << 7]), 7) == 2.0
+    assert expected_strings_per_record(np.array([], dtype=np.int64), 7) == 0.0
+
+
+def test_decoder_lanes_required():
+    small = np.ones(100, dtype=np.int64)  # one string each
+    assert decoder_lanes_required(small, 8, merge_records_per_cycle=16) == 16
+    wide = np.full(100, 1 << 20)  # 21 bits -> 3 strings with block 8
+    assert decoder_lanes_required(wide, 8, merge_records_per_cycle=16) == 48
+
+
+def test_decoder_lanes_monotone_in_delta_width(rng):
+    short = rng.geometric(0.3, size=1000)
+    long = short * 1024
+    lanes_short = decoder_lanes_required(short, 8, 16)
+    lanes_long = decoder_lanes_required(long, 8, 16)
+    assert lanes_long >= lanes_short

@@ -1,0 +1,77 @@
+"""Tests for delta encoding of index streams."""
+
+import numpy as np
+import pytest
+
+from repro.compression.delta import delta_decode, delta_encode, stripe_column_deltas
+from repro.formats.convert import coo_to_csr
+
+
+def test_delta_roundtrip():
+    idx = np.array([0, 3, 4, 10, 100])
+    deltas = delta_encode(idx)
+    assert deltas.tolist() == [1, 3, 1, 6, 90]
+    assert np.array_equal(delta_decode(deltas), idx)
+
+
+def test_delta_custom_previous():
+    idx = np.array([10, 12])
+    deltas = delta_encode(idx, previous=9)
+    assert deltas.tolist() == [1, 2]
+    assert np.array_equal(delta_decode(deltas, previous=9), idx)
+
+
+def test_delta_empty():
+    empty = np.array([], dtype=np.int64)
+    assert delta_encode(empty).size == 0
+    assert delta_decode(empty).size == 0
+
+
+def test_delta_rejects_non_increasing():
+    with pytest.raises(ValueError):
+        delta_encode(np.array([3, 3]))
+    with pytest.raises(ValueError):
+        delta_encode(np.array([5, 2]))
+    with pytest.raises(ValueError):
+        delta_encode(np.array([1]), previous=1)
+
+
+def test_decode_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        delta_decode(np.array([1, 0]))
+
+
+def test_delta_random_roundtrip(rng):
+    for _ in range(10):
+        idx = np.sort(rng.choice(10_000, size=200, replace=False)).astype(np.int64)
+        assert np.array_equal(delta_decode(delta_encode(idx)), idx)
+
+
+def test_stripe_column_deltas_restart_each_row(tiny_matrix):
+    csr = coo_to_csr(tiny_matrix)
+    deltas = stripe_column_deltas(csr.row_ptr, csr.cols)
+    assert deltas.size == tiny_matrix.nnz
+    assert np.all(deltas > 0)
+    # Row 0 has cols [1, 4]: deltas [2, 3]; row 1 restarts at col 0 -> 1.
+    assert deltas[0] == 2
+    assert deltas[1] == 3
+    assert deltas[2] == 1
+
+
+def test_stripe_column_deltas_decode_by_row(small_er_graph):
+    csr = coo_to_csr(small_er_graph)
+    deltas = stripe_column_deltas(csr.row_ptr, csr.cols)
+    # Reconstruct per-row and compare.
+    out = np.empty_like(csr.cols)
+    for r in range(csr.n_rows):
+        lo, hi = int(csr.row_ptr[r]), int(csr.row_ptr[r + 1])
+        prev = -1
+        for i in range(lo, hi):
+            prev = prev + deltas[i]
+            out[i] = prev
+    assert np.array_equal(out, csr.cols)
+
+
+def test_stripe_column_deltas_empty():
+    deltas = stripe_column_deltas(np.array([0, 0, 0]), np.array([], dtype=np.int64))
+    assert deltas.size == 0

@@ -1,0 +1,87 @@
+"""Tests for Rice coding and the VLDI-vs-entropy comparison."""
+
+import numpy as np
+import pytest
+
+from repro.compression.golomb import (
+    RiceCodec,
+    geometric_entropy_bits,
+    optimal_rice_k,
+    rice_encoded_bits,
+)
+from repro.compression.vldi import optimal_block_width, total_encoded_bits
+
+
+def test_rice_roundtrip_small():
+    codec = RiceCodec(k=2)
+    deltas = np.array([1, 2, 3, 4, 5, 8, 100])
+    bits = codec.encode(deltas)
+    assert np.array_equal(codec.decode(bits, deltas.size), deltas)
+
+
+@pytest.mark.parametrize("k", [0, 1, 4, 9])
+def test_rice_roundtrip_random(k, rng):
+    codec = RiceCodec(k)
+    deltas = rng.geometric(0.01, size=300).astype(np.int64)
+    bits = codec.encode(deltas)
+    assert np.array_equal(codec.decode(bits, deltas.size), deltas)
+
+
+def test_rice_bit_length_formula(rng):
+    for k in (0, 3, 7):
+        codec = RiceCodec(k)
+        deltas = rng.geometric(0.05, size=100).astype(np.int64)
+        assert codec.encode(deltas).size == int(rice_encoded_bits(deltas, k).sum())
+
+
+def test_rice_truncation_raises():
+    codec = RiceCodec(3)
+    bits = codec.encode(np.array([100]))
+    with pytest.raises(ValueError):
+        codec.decode(bits[:-2], 1)
+
+
+def test_rice_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        RiceCodec(2).encode(np.array([0]))
+    with pytest.raises(ValueError):
+        RiceCodec(40)
+
+
+def test_optimal_k_tracks_mean(rng):
+    small = rng.geometric(0.5, size=5000).astype(np.int64)  # mean 2
+    large = rng.geometric(0.002, size=5000).astype(np.int64)  # mean 500
+    k_small, _ = optimal_rice_k(small)
+    k_large, _ = optimal_rice_k(large)
+    assert k_large > k_small
+
+
+def test_geometric_entropy_bits():
+    assert geometric_entropy_bits(np.array([], dtype=np.int64)) == 0.0
+    assert geometric_entropy_bits(np.ones(10)) == 0.0
+    # Mean-20 geometric: entropy ~ log2(mean) + ~1.44 bits.
+    rng = np.random.default_rng(1)
+    deltas = rng.geometric(0.05, size=50_000)
+    h = geometric_entropy_bits(deltas)
+    assert 5.0 < h < 7.5
+
+
+def test_rice_near_entropy_on_geometric(rng):
+    """Optimal Rice sits within ~0.3 bits/delta of the geometric entropy."""
+    deltas = rng.geometric(1 / 20, size=50_000).astype(np.int64)
+    k, sizes = optimal_rice_k(deltas)
+    per_delta = sizes[k] / deltas.size
+    entropy = geometric_entropy_bits(deltas)
+    assert per_delta < entropy + 0.5
+    assert per_delta >= entropy - 1e-9
+
+
+def test_vldi_within_factor_of_rice(rng):
+    """The paper's simple VLDI stays close to the entropy-informed Rice
+    baseline on the gap distributions Two-Step produces."""
+    for mean_gap in (3.0, 20.0, 200.0):
+        deltas = rng.geometric(1.0 / mean_gap, size=30_000).astype(np.int64)
+        vldi_block, vldi_sizes = optimal_block_width(deltas)
+        rice_k, rice_sizes = optimal_rice_k(deltas)
+        ratio = vldi_sizes[vldi_block] / rice_sizes[rice_k]
+        assert ratio < 1.45, mean_gap  # within ~40% of Rice everywhere

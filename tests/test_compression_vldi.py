@@ -1,0 +1,138 @@
+"""Tests for VLDI encoding (paper section 5.1, Fig. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.vldi import (
+    VLDICodec,
+    delta_width_histogram,
+    encoded_bits,
+    optimal_block_width,
+    total_encoded_bits,
+)
+
+
+def test_paper_example_fig12():
+    """A 17-bit delta with 7-bit blocks -> 3 strings of 8 bits = 24 bits."""
+    codec = VLDICodec(block_bits=7)
+    delta = 1 << 16  # needs 17 bits
+    bits = codec.encode(np.array([delta]))
+    assert bits.size == 24
+    assert codec.decode(bits).tolist() == [delta]
+    # Continuation bits: first two strings 1, last 0.
+    assert bits[0] == 1 and bits[8] == 1 and bits[16] == 0
+
+
+def test_single_string_value():
+    codec = VLDICodec(block_bits=7)
+    bits = codec.encode(np.array([5]))
+    assert bits.size == 8
+    assert bits[0] == 0  # terminating string
+    assert codec.decode(bits).tolist() == [5]
+
+
+def test_roundtrip_stream():
+    codec = VLDICodec(block_bits=4)
+    deltas = np.array([1, 15, 16, 255, 256, 100000, 3])
+    bits = codec.encode(deltas)
+    assert np.array_equal(codec.decode(bits), deltas)
+
+
+def test_roundtrip_random(rng):
+    for block in (1, 3, 8, 13):
+        codec = VLDICodec(block_bits=block)
+        deltas = rng.integers(1, 1 << 30, size=200).astype(np.int64)
+        assert np.array_equal(codec.decode(codec.encode(deltas)), deltas)
+
+
+def test_decode_with_count_ignores_padding():
+    codec = VLDICodec(block_bits=4)
+    deltas = np.array([7, 9])
+    bits = np.concatenate([codec.encode(deltas), np.zeros(3, dtype=np.uint8)])
+    assert np.array_equal(codec.decode(bits, count=2), deltas)
+
+
+def test_decode_truncated_stream_raises():
+    codec = VLDICodec(block_bits=4)
+    bits = codec.encode(np.array([1 << 10]))
+    with pytest.raises(ValueError):
+        codec.decode(bits[:5], count=1)
+
+
+def test_decode_count_shortfall_raises():
+    codec = VLDICodec(block_bits=4)
+    bits = codec.encode(np.array([3]))
+    with pytest.raises(ValueError):
+        codec.decode(bits, count=2)
+
+
+def test_encode_rejects_nonpositive():
+    codec = VLDICodec(block_bits=4)
+    with pytest.raises(ValueError):
+        codec.encode(np.array([0]))
+    with pytest.raises(ValueError):
+        VLDICodec(block_bits=0)
+
+
+def test_encoded_bits_matches_actual_encoding(rng):
+    for block in (2, 5, 9):
+        codec = VLDICodec(block_bits=block)
+        deltas = rng.integers(1, 1 << 20, size=100).astype(np.int64)
+        assert total_encoded_bits(deltas, block) == codec.encode(deltas).size
+
+
+def test_encoded_bits_per_value():
+    # value 1 -> 1 block; value 2**7 (8 bits) with 7-bit blocks -> 2 strings.
+    assert encoded_bits(np.array([1]), 7).tolist() == [8]
+    assert encoded_bits(np.array([1 << 7]), 7).tolist() == [16]
+
+
+def test_optimal_block_width_small_deltas():
+    """Dense stream (tiny deltas) favors narrow blocks."""
+    deltas = np.ones(1000, dtype=np.int64) * 3  # 2 bits each
+    best, sizes = optimal_block_width(deltas, candidates=range(1, 17))
+    assert best == 2
+    assert sizes[2] == 1000 * 3
+
+
+def test_optimal_block_width_wide_deltas():
+    """Sparse stream (large deltas) favors wider blocks (fewer string bits)."""
+    deltas = np.full(1000, (1 << 16) - 1, dtype=np.int64)  # 16 bits each
+    best, _ = optimal_block_width(deltas, candidates=range(1, 33))
+    assert best == 16
+
+
+def test_narrower_memory_wider_blocks():
+    """Fig. 13's claim: smaller on-chip memory (longer deltas) -> wider
+    optimal VLDI block."""
+    rng = np.random.default_rng(0)
+    short_gaps = rng.geometric(1.0 / 10, size=5000)  # wide stripes
+    long_gaps = rng.geometric(1.0 / 400, size=5000)  # narrow stripes
+    best_short, _ = optimal_block_width(short_gaps)
+    best_long, _ = optimal_block_width(long_gaps)
+    assert best_long > best_short
+
+
+def test_delta_width_histogram():
+    deltas = np.array([1, 2, 3, 4, 8, 16])
+    hist = delta_width_histogram(deltas, max_bits=8)
+    assert hist.sum() == pytest.approx(1.0)
+    assert hist[1] == pytest.approx(1 / 6)  # value 1
+    assert hist[2] == pytest.approx(2 / 6)  # values 2, 3
+    assert hist[3] == pytest.approx(1 / 6)  # value 4
+    assert hist[4] == pytest.approx(1 / 6)  # value 8
+    assert hist[5] == pytest.approx(1 / 6)  # value 16
+
+
+def test_delta_width_histogram_clips():
+    hist = delta_width_histogram(np.array([1 << 50]), max_bits=10)
+    assert hist[10] == pytest.approx(1.0)
+
+
+def test_delta_width_histogram_empty():
+    assert delta_width_histogram(np.array([], dtype=np.int64)).sum() == 0.0
+
+
+def test_histogram_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        delta_width_histogram(np.array([0]))

@@ -1,0 +1,107 @@
+"""Tests for the Table 1 / Table 2 design points."""
+
+import pytest
+
+from repro.core.design_points import (
+    ALL_DESIGN_POINTS,
+    ASIC_POINTS,
+    FPGA_POINTS,
+    ITS_ASIC,
+    ITS_FPGA1,
+    ITS_FPGA2,
+    ITS_VC_ASIC,
+    MB,
+    TS_ASIC,
+    TS_FPGA1,
+    TS_FPGA2,
+    get_design_point,
+    with_vector_buffer,
+)
+
+
+def test_table2_max_nodes_within_tolerance():
+    """Derived max dimension matches Table 2 (paper rounds to 4000M etc.)."""
+    for point in ALL_DESIGN_POINTS:
+        assert point.max_nodes == pytest.approx(point.published_max_nodes, rel=0.08), point.name
+
+
+def test_table2_sustained_throughput_within_tolerance():
+    for point in ALL_DESIGN_POINTS:
+        assert point.modeled_sustained_gbps == pytest.approx(
+            point.published_sustained_gbps / 1.0, rel=0.03
+        ), point.name
+
+
+def test_its_halves_max_dimension():
+    assert ITS_ASIC.max_nodes * 2 == TS_ASIC.max_nodes
+    assert ITS_FPGA1.max_nodes * 2 == TS_FPGA1.max_nodes
+    assert ITS_FPGA2.max_nodes * 2 == TS_FPGA2.max_nodes
+
+
+def test_asic_onchip_budget_is_11mb():
+    """Section 6: 8 MB vector + 2.5 MB prefetch eDRAM + 0.5 MB SRAM."""
+    assert TS_ASIC.onchip_bytes == 11 * MB
+    assert TS_ASIC.vector_buffer_bytes == 8 * MB
+
+
+def test_asic_handles_4b_nodes_table1():
+    assert TS_ASIC.max_nodes >= 4e9
+    assert ITS_ASIC.max_nodes >= 2e9
+
+
+def test_proposed_beats_prior_capacity_per_byte():
+    """Table 1: prior ASIC needs 32 MB for 8M nodes; ours 11 MB for 4B."""
+    from repro.baselines.custom_hw import COTS_MEMORY_ROWS
+
+    ours = TS_ASIC.max_nodes / TS_ASIC.onchip_bytes
+    for name, onchip_mb, max_m in COTS_MEMORY_ROWS:
+        theirs = max_m * 1e6 / (onchip_mb * MB)
+        assert ours > 50 * theirs, name
+
+
+def test_asic_merge_anchor():
+    cfg = TS_ASIC.merge_core_config()
+    assert cfg.ways == 2048
+    assert cfg.peak_bandwidth == pytest.approx(28e9)  # section 3.2
+
+
+def test_step2_peak_exceeds_sustained():
+    for point in ALL_DESIGN_POINTS:
+        ceiling = point.step2_peak_gbps
+        if point.its:
+            ceiling += point.step1_record_rate * point.step1_record_bytes / 1e9
+        assert point.modeled_sustained_gbps <= ceiling + 1e-9
+
+
+def test_fpga1_trades_throughput_for_ways():
+    """Section 7.2: FPGA1 has more ways (larger problems), FPGA2 more cores."""
+    assert TS_FPGA1.merge_ways > TS_FPGA2.merge_ways
+    assert TS_FPGA1.n_merge_cores < TS_FPGA2.n_merge_cores
+    assert TS_FPGA1.max_nodes > TS_FPGA2.max_nodes
+    assert TS_FPGA1.modeled_sustained_gbps < TS_FPGA2.modeled_sustained_gbps
+
+
+def test_vldi_lowers_dram_side_throughput():
+    """ITS_VC moves fewer bytes per record: lower GB/s, same records/s."""
+    assert ITS_VC_ASIC.modeled_sustained_gbps < ITS_ASIC.modeled_sustained_gbps
+    assert ITS_VC_ASIC.step2_record_rate == ITS_ASIC.step2_record_rate
+
+
+def test_point_groups():
+    assert len(ASIC_POINTS) == 3
+    assert len(FPGA_POINTS) == 4
+    assert len(ALL_DESIGN_POINTS) == 7
+
+
+def test_lookup():
+    assert get_design_point("TS_ASIC") is TS_ASIC
+    with pytest.raises(KeyError):
+        get_design_point("TS_TPU")
+
+
+def test_vector_buffer_scaling_doubles_capacity():
+    """Section 6: 8 MB -> 16 MB doubles the maximum dimension."""
+    doubled = with_vector_buffer(TS_ASIC, 16 * MB)
+    assert doubled.max_nodes == 2 * TS_ASIC.max_nodes
+    doubled_its = with_vector_buffer(ITS_ASIC, 16 * MB)
+    assert doubled_its.max_nodes == 2 * ITS_ASIC.max_nodes

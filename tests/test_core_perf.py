@@ -1,0 +1,124 @@
+"""Tests for the analytic performance model and its cross-validation
+against the functional engine's measured traffic."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TwoStepConfig
+from repro.core.design_points import ITS_ASIC, ITS_VC_ASIC, TS_ASIC, TS_FPGA1
+from repro.core.perf import estimate_performance, intermediate_records, twostep_traffic
+from repro.core.twostep import TwoStepEngine
+from repro.generators.erdos_renyi import erdos_renyi_graph
+
+
+def test_intermediate_records_sparse_limit():
+    """Hypersparse stripes: almost every nonzero becomes a record."""
+    records = intermediate_records(n_nodes=10**9, n_edges=3 * 10**9, n_stripes=500)
+    assert records == pytest.approx(3e9, rel=0.01)
+
+
+def test_intermediate_records_dense_limit():
+    """One stripe with nnz >> N collapses to ~N records."""
+    records = intermediate_records(n_nodes=1000, n_edges=100_000, n_stripes=1)
+    assert records == pytest.approx(1000, rel=0.01)
+
+
+def test_intermediate_records_monotone_in_stripes():
+    low = intermediate_records(10**6, 10**7, 2)
+    high = intermediate_records(10**6, 10**7, 64)
+    assert high >= low
+
+
+def test_traffic_has_no_wastage():
+    ledger = twostep_traffic(10**8, 3 * 10**8, TS_ASIC)
+    assert ledger.cache_line_wastage_bytes == 0.0
+
+
+def test_traffic_its_drops_vector_round_trip():
+    ts = twostep_traffic(10**8, 3 * 10**8, TS_ASIC)
+    its = twostep_traffic(10**8, 3 * 10**8, ITS_ASIC)
+    assert its.source_vector_bytes == 0.0
+    assert its.result_vector_bytes == 0.0
+    assert ts.source_vector_bytes > 0
+
+
+def test_traffic_vldi_shrinks_intermediates():
+    plain = twostep_traffic(10**8, 3 * 10**8, ITS_ASIC)
+    vc = twostep_traffic(10**8, 3 * 10**8, ITS_VC_ASIC)
+    assert vc.intermediate_write_bytes < plain.intermediate_write_bytes
+
+
+def test_estimate_respects_capacity():
+    with pytest.raises(ValueError):
+        estimate_performance(TS_FPGA1, 10**9, 3 * 10**9)
+    est = estimate_performance(TS_FPGA1, 10**9, 3 * 10**9, check_capacity=False)
+    assert est.gteps > 0
+
+
+def test_estimate_its_faster_than_ts():
+    """Overlap keeps both fabrics busy: higher GTEPS (section 5.2)."""
+    n, nnz = 10**9, 3 * 10**9
+    ts = estimate_performance(TS_ASIC, n, nnz)
+    its = estimate_performance(ITS_ASIC, n, nnz)
+    assert its.gteps > ts.gteps
+    assert its.runtime_s == pytest.approx(max(its.step1_time_s, its.step2_time_s))
+    assert ts.runtime_s == pytest.approx(ts.step1_time_s + ts.step2_time_s)
+
+
+def test_estimate_vc_at_least_as_fast_when_memory_bound():
+    n, nnz = 2 * 10**9, 4 * 10**9
+    its = estimate_performance(ITS_ASIC, n, nnz)
+    vc = estimate_performance(ITS_VC_ASIC, n, nnz)
+    assert vc.gteps >= its.gteps * 0.99
+
+
+def test_estimate_energy_positive_and_consistent():
+    est = estimate_performance(TS_ASIC, 10**8, 10**9)
+    assert est.energy_j > 0
+    assert est.nj_per_edge == pytest.approx(est.energy_j / est.n_edges * 1e9)
+
+
+def test_estimate_gteps_definition():
+    est = estimate_performance(TS_ASIC, 10**8, 10**9)
+    assert est.gteps == pytest.approx(est.n_edges / est.runtime_s / 1e9)
+
+
+def test_estimate_bound_label():
+    est = estimate_performance(TS_ASIC, 10**8, 10**9)
+    assert est.bound in ("compute", "memory")
+
+
+def test_analytic_traffic_matches_functional_engine():
+    """The paper-scale formulas must agree with the measured ledger of a
+    simulation-scale run on the same geometry."""
+    n, degree = 20_000, 4.0
+    graph = erdos_renyi_graph(n, degree, seed=6)
+    segment = 1000
+    cfg = TwoStepConfig(segment_width=segment, q=2)
+    engine = TwoStepEngine(cfg)
+    x = np.ones(n)
+    _, report = engine.run(graph, x)
+
+    # Re-evaluate the analytic model at exactly this scale.
+    from dataclasses import replace
+
+    point = replace(
+        TS_ASIC, vector_buffer_bytes=segment * TS_ASIC.value_bytes, merge_ways=64
+    )
+    modeled = twostep_traffic(n, graph.nnz, point)
+    measured = report.traffic
+    assert modeled.source_vector_bytes == measured.source_vector_bytes
+    assert modeled.result_vector_bytes == measured.result_vector_bytes
+    # Intermediate record estimate within a few percent of measured.
+    assert modeled.intermediate_write_bytes == pytest.approx(
+        measured.intermediate_write_bytes, rel=0.05
+    )
+    # Matrix meta-data within the format-choice tolerance.
+    assert modeled.matrix_bytes == pytest.approx(measured.matrix_bytes, rel=0.15)
+
+
+def test_estimate_scales_sublinearly_with_density():
+    """Denser graphs amortize the dimension-bound merge work."""
+    sparse = estimate_performance(TS_ASIC, 10**9, 2 * 10**9)
+    dense = estimate_performance(TS_ASIC, 10**9, 3 * 10**10)
+    assert dense.gteps > sparse.gteps

@@ -1,0 +1,66 @@
+"""Tests for record layouts and the engine configuration."""
+
+import pytest
+
+from repro.core.config import TwoStepConfig
+from repro.core.records import Precision, index_bytes, record_bytes
+
+
+def test_precision_values_match_fig14():
+    assert Precision.QUADRUPLE.bits == 128
+    assert Precision.DOUBLE.bits == 64
+    assert Precision.SINGLE.bits == 32
+    assert Precision.HALF.bits == 16
+    assert Precision.QUARTER.bits == 8
+    assert Precision.BIT.bits == 1
+
+
+def test_precision_bytes():
+    assert Precision.SINGLE.bytes == 4.0
+    assert Precision.BIT.bytes == 0.125
+
+
+def test_index_bytes():
+    assert index_bytes(2) == 1
+    assert index_bytes(256) == 1
+    assert index_bytes(257) == 2
+    assert index_bytes(1 << 16) == 2
+    assert index_bytes((1 << 16) + 1) == 3
+    assert index_bytes(4_000_000_000) == 4
+
+
+def test_index_bytes_validation():
+    with pytest.raises(ValueError):
+        index_bytes(0)
+
+
+def test_record_bytes():
+    assert record_bytes(1 << 16, Precision.SINGLE) == 6.0
+    assert record_bytes(1 << 32, Precision.BIT) == pytest.approx(4.125)
+
+
+def test_config_defaults():
+    cfg = TwoStepConfig(segment_width=1024)
+    assert cfg.n_cores == 16
+    assert cfg.precision is Precision.SINGLE
+    assert cfg.n_stripes(10_000) == 10
+    assert cfg.n_stripes(10_001) == 10  # ceil(10001/1024) = 10
+    assert cfg.n_stripes(1) == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TwoStepConfig(segment_width=0)
+    with pytest.raises(ValueError):
+        TwoStepConfig(segment_width=10, q=-1)
+    with pytest.raises(ValueError):
+        TwoStepConfig(segment_width=10, step1_pipelines=0)
+    with pytest.raises(ValueError):
+        TwoStepConfig(segment_width=10, vldi_vector_block_bits=0)
+    with pytest.raises(ValueError):
+        TwoStepConfig(segment_width=10, vldi_matrix_block_bits=63)
+
+
+def test_config_core_count_power_of_two():
+    for q in range(6):
+        assert TwoStepConfig(segment_width=8, q=q).n_cores == 1 << q

@@ -1,0 +1,95 @@
+"""Tests for the segment-level ITS schedule and Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import render_gantt
+from repro.core.schedule import ITSSchedule, build_its_schedule, sequential_makespan
+
+
+def uniform(n_seg, s1=10.0, s2=10.0):
+    return np.full(n_seg, s1), np.full(n_seg, s2)
+
+
+def test_single_iteration_no_overlap_possible():
+    s1, s2 = uniform(4)
+    schedule = build_its_schedule(s1, s2, iterations=1)
+    assert schedule.makespan == pytest.approx(sequential_makespan(s1, s2, 1))
+
+
+def test_multi_iteration_overlap_beats_sequential():
+    s1, s2 = uniform(4)
+    its = build_its_schedule(s1, s2, iterations=6)
+    seq = sequential_makespan(s1, s2, 6)
+    assert its.makespan < seq
+    # Balanced phases approach 2x in the limit.
+    assert its.makespan / seq < 0.75
+
+
+def test_speedup_bounded_by_two():
+    s1, s2 = uniform(8)
+    for iterations in (2, 4, 16):
+        its = build_its_schedule(s1, s2, iterations)
+        seq = sequential_makespan(s1, s2, iterations)
+        assert seq / its.makespan <= 2.0 + 1e-9
+
+
+def test_unbalanced_phases_limit_overlap():
+    """When step 1 dominates, the schedule converges to step-1 time."""
+    s1, s2 = np.full(4, 30.0), np.full(4, 5.0)
+    iterations = 10
+    its = build_its_schedule(s1, s2, iterations)
+    lower = np.sum(s1) * iterations
+    assert its.makespan >= lower
+    # Step 2 is almost fully hidden: only its first segment delays the
+    # next iteration's step 1, plus the final drain.
+    assert its.makespan <= lower + iterations * s2[0] + np.sum(s2)
+
+
+def test_dependency_order_respected():
+    s1, s2 = uniform(3)
+    schedule = build_its_schedule(s1, s2, iterations=3)
+    for it in range(1, 3):
+        for s in range(3):
+            step1 = next(
+                t for t in schedule.tasks if (t.iteration, t.phase, t.segment) == (it, 1, s)
+            )
+            prev_step2 = next(
+                t
+                for t in schedule.tasks
+                if (t.iteration, t.phase, t.segment) == (it - 1, 2, s)
+            )
+            assert step1.start >= prev_step2.end - 1e-9
+
+
+def test_two_buffer_constraint_holds():
+    """ITS provisions two segment buffers; the schedule must never need
+    more, regardless of which phase dominates."""
+    for s1_c, s2_c in ((7.0, 13.0), (30.0, 5.0), (5.0, 30.0)):
+        s1, s2 = uniform(6, s1=s1_c, s2=s2_c)
+        schedule = build_its_schedule(s1, s2, iterations=5)
+        assert schedule.max_resident_segments() <= 2, (s1_c, s2_c)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        build_its_schedule(np.ones(3), np.ones(4), 2)
+    with pytest.raises(ValueError):
+        build_its_schedule(np.ones(3), np.ones(3), 0)
+    with pytest.raises(ValueError):
+        build_its_schedule(np.array([]), np.array([]), 1)
+
+
+def test_gantt_renders_all_rows():
+    s1, s2 = uniform(3)
+    schedule = build_its_schedule(s1, s2, iterations=2)
+    text = render_gantt(schedule, width=60)
+    lines = text.splitlines()
+    assert len(lines) == 1 + 2 * 2  # header + (iters x phases)
+    assert "iter 0 step 1" in text and "iter 1 step 2" in text
+    # Segment digits appear.
+    assert "0" in lines[1] and "2" in lines[1]
+
+
+def test_gantt_empty():
+    assert "(empty schedule)" in render_gantt(ITSSchedule())

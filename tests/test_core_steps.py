@@ -1,0 +1,153 @@
+"""Tests for the step-1 and step-2 engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TwoStepConfig
+from repro.core.step1 import Step1Engine, Step1Stats
+from repro.core.step2 import Step2Engine, Step2Stats
+from repro.filters.hdn import HDNConfig, HDNDetector
+from repro.formats.blocking import column_blocks
+from repro.generators.rmat import rmat_graph
+
+
+def config(**kw):
+    defaults = dict(segment_width=256, q=2)
+    defaults.update(kw)
+    return TwoStepConfig(**defaults)
+
+
+def test_step1_stripe_output_sorted_strict(small_er_graph, rng):
+    engine = Step1Engine(config())
+    x = rng.uniform(size=small_er_graph.n_cols)
+    for block in column_blocks(small_er_graph, 256):
+        iv = engine.run_stripe(block, x[block.col_lo : block.col_hi])
+        assert np.all(np.diff(iv.indices) > 0)
+
+
+def test_step1_stripe_matches_partial_spmv(small_er_graph, rng):
+    engine = Step1Engine(config())
+    x = rng.uniform(size=small_er_graph.n_cols)
+    block = column_blocks(small_er_graph, 256)[1]
+    iv = engine.run_stripe(block, x[block.col_lo : block.col_hi])
+    dense = np.zeros(small_er_graph.n_rows)
+    dense[iv.indices] = iv.values
+    assert np.allclose(dense, block.matrix.spmv(x[block.col_lo : block.col_hi]))
+
+
+def test_step1_accumulates_within_rows():
+    """Multiple nonzeros of a row inside one stripe emit one record."""
+    from repro.formats.coo import COOMatrix
+
+    m = COOMatrix.from_triples(4, 4, [2, 2, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+    engine = Step1Engine(config(segment_width=4))
+    block = column_blocks(m, 4)[0]
+    iv = engine.run_stripe(block, np.ones(4))
+    assert iv.indices.tolist() == [2]
+    assert iv.values.tolist() == [6.0]
+
+
+def test_step1_stats_accumulate(small_er_graph, rng):
+    engine = Step1Engine(config())
+    stats = Step1Stats()
+    x = rng.uniform(size=small_er_graph.n_cols)
+    for block in column_blocks(small_er_graph, 256):
+        engine.run_stripe(block, x[block.col_lo : block.col_hi], stats=stats)
+    assert stats.multiplies == small_er_graph.nnz
+    assert stats.gathers == small_er_graph.nnz
+    assert stats.output_records <= small_er_graph.nnz
+    assert stats.cycles > 0
+    assert len(stats.per_stripe_nnz) == len(column_blocks(small_er_graph, 256))
+
+
+def test_step1_segment_shape_validated(small_er_graph):
+    engine = Step1Engine(config())
+    block = column_blocks(small_er_graph, 256)[0]
+    with pytest.raises(ValueError):
+        engine.run_stripe(block, np.zeros(10))
+
+
+def test_step1_hdn_dispatch_counts():
+    graph = rmat_graph(10, 16.0, seed=3)
+    degrees = graph.row_degrees()
+    threshold = int(np.quantile(degrees[degrees > 0], 0.99))
+    detector = HDNDetector(degrees, HDNConfig(degree_threshold=threshold))
+    engine = Step1Engine(config(segment_width=1024))
+    stats = Step1Stats()
+    for block in column_blocks(graph, 1024):
+        engine.run_stripe(block, np.ones(block.width), detector, stats)
+    assert stats.hdn_records + stats.general_records == graph.nnz
+    if detector.n_hdns:
+        assert stats.hdn_records > 0
+    # False positives are possible but must be a small minority.
+    assert stats.hdn_false_positive_records <= stats.hdn_records
+
+
+def test_step1_hdn_pipeline_reduces_cycles():
+    """Dispatching HDNs avoids the general accumulator hazard."""
+    graph = rmat_graph(11, 16.0, seed=4)
+    degrees = graph.row_degrees()
+    detector = HDNDetector(degrees, HDNConfig(degree_threshold=64))
+    cfg = config(segment_width=graph.n_cols)
+    blocks = column_blocks(graph, graph.n_cols)
+    with_stats, without_stats = Step1Stats(), Step1Stats()
+    engine = Step1Engine(cfg)
+    for block in blocks:
+        engine.run_stripe(block, np.ones(block.width), detector, with_stats)
+        engine.run_stripe(block, np.ones(block.width), None, without_stats)
+    assert with_stats.cycles <= without_stats.cycles
+
+
+def test_step2_merges_to_dense(small_er_graph, rng):
+    cfg = config()
+    step1 = Step1Engine(cfg)
+    step2 = Step2Engine(cfg)
+    x = rng.uniform(size=small_er_graph.n_cols)
+    ivs = [
+        step1.run_stripe(b, x[b.col_lo : b.col_hi])
+        for b in column_blocks(small_er_graph, 256)
+    ]
+    out = step2.run(ivs, small_er_graph.n_rows)
+    assert np.allclose(out, small_er_graph.spmv(x))
+
+
+def test_step2_adds_y(small_er_graph, rng):
+    cfg = config()
+    step1 = Step1Engine(cfg)
+    step2 = Step2Engine(cfg)
+    x = rng.uniform(size=small_er_graph.n_cols)
+    y = rng.uniform(size=small_er_graph.n_rows)
+    ivs = [
+        step1.run_stripe(b, x[b.col_lo : b.col_hi])
+        for b in column_blocks(small_er_graph, 256)
+    ]
+    out = step2.run(ivs, small_er_graph.n_rows, y=y)
+    assert np.allclose(out, small_er_graph.spmv(x, y))
+
+
+def test_step2_y_shape_validated(small_er_graph, rng):
+    cfg = config()
+    step2 = Step2Engine(cfg)
+    with pytest.raises(ValueError):
+        step2.run([], small_er_graph.n_rows, y=np.zeros(3))
+
+
+def test_step2_stats(small_er_graph, rng):
+    cfg = config(q=3)
+    step1 = Step1Engine(cfg)
+    step2 = Step2Engine(cfg)
+    stats = Step2Stats()
+    x = rng.uniform(size=small_er_graph.n_cols)
+    ivs = [
+        step1.run_stripe(b, x[b.col_lo : b.col_hi])
+        for b in column_blocks(small_er_graph, 256)
+    ]
+    step2.run(ivs, small_er_graph.n_rows, stats=stats)
+    n = small_er_graph.n_rows
+    assert stats.output_records == n
+    assert stats.input_records == sum(iv.nnz for iv in ivs)
+    assert stats.injected_records == n - np.count_nonzero(
+        np.isin(np.arange(n), np.concatenate([iv.indices for iv in ivs]))
+    )
+    # p records per cycle at best.
+    assert stats.cycles >= max(n, stats.input_records) / 8

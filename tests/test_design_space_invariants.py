@@ -1,0 +1,77 @@
+"""Design-space invariants: the performance model must respond to every
+knob in the physically sensible direction."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.design_points import ITS_ASIC, MB, TS_ASIC, with_vector_buffer
+from repro.core.perf import estimate_performance
+
+N, NNZ = 5 * 10**8, 15 * 10**8
+
+
+def test_more_merge_cores_never_slower():
+    base = estimate_performance(TS_ASIC, N, NNZ)
+    doubled = replace(TS_ASIC, n_merge_cores=32)
+    assert estimate_performance(doubled, N, NNZ).gteps >= base.gteps
+
+
+def test_more_step1_pipelines_never_slower():
+    base = estimate_performance(TS_ASIC, N, NNZ)
+    doubled = replace(TS_ASIC, step1_pipelines=32)
+    assert estimate_performance(doubled, N, NNZ).gteps >= base.gteps
+
+
+def test_higher_frequency_never_slower():
+    base = estimate_performance(TS_ASIC, N, NNZ)
+    faster = replace(TS_ASIC, frequency_hz=2.0e9)
+    assert estimate_performance(faster, N, NNZ).gteps >= base.gteps
+
+
+def test_more_bandwidth_never_slower():
+    from dataclasses import replace as dc_replace
+
+    base = estimate_performance(TS_ASIC, N, NNZ)
+    fat_dram = dc_replace(TS_ASIC.dram, stream_bandwidth=TS_ASIC.dram.stream_bandwidth * 2)
+    fat = replace(TS_ASIC, dram=fat_dram)
+    assert estimate_performance(fat, N, NNZ).gteps >= base.gteps
+
+
+def test_bigger_buffer_fewer_stripes_less_traffic():
+    small = with_vector_buffer(TS_ASIC, 4 * MB)
+    big = with_vector_buffer(TS_ASIC, 32 * MB)
+    t_small = estimate_performance(small, N, NNZ).traffic
+    t_big = estimate_performance(big, N, NNZ).traffic
+    assert t_big.intermediate_bytes <= t_small.intermediate_bytes
+    assert t_big.notes["n_stripes"] < t_small.notes["n_stripes"]
+
+
+def test_its_capacity_performance_tradeoff():
+    """The paper's explicit trade (section 5.2): ITS halves capacity but
+    raises throughput."""
+    assert ITS_ASIC.max_nodes == TS_ASIC.max_nodes // 2
+    ts = estimate_performance(TS_ASIC, N, NNZ)
+    its = estimate_performance(ITS_ASIC, N, NNZ)
+    assert its.gteps > ts.gteps
+
+
+def test_denser_graphs_higher_gteps():
+    sparse = estimate_performance(TS_ASIC, N, int(1.2 * N))
+    dense = estimate_performance(TS_ASIC, N, 20 * N)
+    assert dense.gteps > sparse.gteps
+
+
+def test_energy_per_edge_improves_with_density():
+    """Fixed per-node overheads amortize over more edges."""
+    sparse = estimate_performance(TS_ASIC, N, int(1.2 * N))
+    dense = estimate_performance(TS_ASIC, N, 20 * N)
+    assert dense.nj_per_edge < sparse.nj_per_edge
+
+
+def test_gteps_dimension_scaling_is_mild():
+    """Fig. 21 shape: the accelerator's GTEPS degrades only mildly from
+    millions to billions of nodes (unlike the COTS cliff)."""
+    small = estimate_performance(TS_ASIC, 4 * 10**6, 12 * 10**6)
+    huge = estimate_performance(TS_ASIC, 4 * 10**9, 12 * 10**9)
+    assert huge.gteps > 0.5 * small.gteps

@@ -1,0 +1,93 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example verifies its own results internally (asserts against dense
+references), so a clean exit is a meaningful check.  The slowest examples
+(clocked simulation, ITS PageRank at full size) are exercised with
+reduced workloads through their module functions instead of __main__.
+"""
+
+import runpy
+import sys
+
+import numpy as np
+import pytest
+
+
+def run_example(name, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(f"examples/{name}", run_name="__main__")
+
+
+def test_quickstart(monkeypatch, capsys):
+    run_example("quickstart.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "verified against dense reference: OK" in out
+    assert "paper-scale estimate" in out
+
+
+def test_traffic_analysis(monkeypatch, capsys):
+    run_example("traffic_analysis.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "cache-line wastage" in out
+    assert "LESS total traffic" in out
+
+
+def test_design_space_exploration(monkeypatch, capsys):
+    run_example("design_space_exploration.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "PRaP" in out
+    assert "TS_ASIC" in out
+    assert "n/a (exceeds max dimension)" in out
+
+
+def test_bfs_frontier(monkeypatch, capsys):
+    run_example("bfs_frontier.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "verified against the dense-frontier reference" in out
+
+
+def test_compression_study(monkeypatch, capsys):
+    run_example("compression_study.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "optimal VLDI block" in out
+    assert "saved" in out
+
+
+def test_graph_analytics_suite(monkeypatch, capsys):
+    run_example("graph_analytics_suite.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "cross-checks passed" in out
+
+
+def test_clocked_simulation_reduced(capsys):
+    """The clocked-simulation example's flow at a reduced scale."""
+    from repro.filters.hdn import HDNConfig
+    from repro.generators import rmat_graph
+    from repro.simulator import Step1SimConfig, Step2SimConfig, SystemSim
+
+    graph = rmat_graph(scale=10, avg_degree=6.0, seed=6)
+    x = np.random.default_rng(6).uniform(size=graph.n_cols)
+    for overlapped, hdn in ((False, None), (True, HDNConfig(degree_threshold=48))):
+        sim = SystemSim(
+            segment_width=512,
+            step1=Step1SimConfig(pipelines=8),
+            step2=Step2SimConfig(q=2),
+            hdn=hdn,
+            overlapped=overlapped,
+        )
+        y, report = sim.run(graph, x)
+        assert np.allclose(y, graph.spmv(x))
+        assert report.total_cycles > 0
+
+
+def test_pagerank_example_reduced():
+    """The PageRank example's flow at a reduced scale."""
+    from repro import TwoStepConfig
+    from repro.apps.pagerank import pagerank, pagerank_reference
+    from repro.generators import rmat_graph
+
+    graph = rmat_graph(scale=9, avg_degree=8.0, seed=3)
+    config = TwoStepConfig(segment_width=256, q=2, vldi_vector_block_bits=8)
+    result = pagerank(graph, config, tol=1e-7, max_iterations=60)
+    reference = pagerank_reference(graph, tol=1e-7, max_iterations=60)
+    assert np.allclose(result.ranks, reference.ranks, atol=1e-6)

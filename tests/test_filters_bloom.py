@@ -1,0 +1,128 @@
+"""Tests for the hash family and Bloom filters (paper section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.filters.bloom import BloomFilter, OneMemoryAccessBloomFilter, false_positive_rate
+from repro.filters.hashing import hash_family, xor_fold_hash
+
+
+def test_hash_in_range():
+    keys = np.arange(10_000)
+    for bits in (1, 8, 14, 32):
+        h = xor_fold_hash(keys, bits)
+        assert h.max() < (1 << bits)
+
+
+def test_hash_deterministic():
+    keys = np.arange(100)
+    assert np.array_equal(xor_fold_hash(keys, 16, seed=3), xor_fold_hash(keys, 16, seed=3))
+
+
+def test_hash_seeds_decorrelated():
+    keys = np.arange(10_000)
+    a = xor_fold_hash(keys, 16, seed=0)
+    b = xor_fold_hash(keys, 16, seed=1)
+    assert (a == b).mean() < 0.01
+
+
+def test_hash_spreads_uniformly():
+    h = xor_fold_hash(np.arange(100_000), 8)
+    counts = np.bincount(h.astype(int), minlength=256)
+    assert counts.min() > 0.7 * counts.mean()
+    assert counts.max() < 1.3 * counts.mean()
+
+
+def test_hash_validates_bits():
+    with pytest.raises(ValueError):
+        xor_fold_hash(np.array([1]), 0)
+    with pytest.raises(ValueError):
+        xor_fold_hash(np.array([1]), 64)
+
+
+def test_hash_family_size():
+    fams = hash_family(4, 12)
+    assert len(fams) == 4
+    keys = np.arange(50)
+    outs = [f(keys) for f in fams]
+    assert not np.array_equal(outs[0], outs[1])
+
+
+def test_eq1_false_positive_rate():
+    """Eq. 1 sanity: more bits -> fewer false positives; g has an optimum."""
+    assert false_positive_rate(1 << 20, 1000, 4) < false_positive_rate(1 << 14, 1000, 4)
+    assert false_positive_rate(1 << 20, 0, 4) == 0.0
+
+
+def test_eq1_paper_sizing():
+    """Paper section 5.3.1: q=1e5, load 0.1 (m=1 Mbit), g=4 -> ~2% FPR."""
+    fpr = false_positive_rate(10**6, 10**5, 4)
+    assert 0.005 < fpr < 0.05
+
+
+def test_bloom_no_false_negatives(rng):
+    bloom = BloomFilter(1 << 14, 4)
+    members = rng.choice(1 << 30, size=500, replace=False)
+    bloom.insert(members)
+    assert bloom.query(members).all()
+
+
+def test_bloom_false_positive_rate_near_eq1(rng):
+    m_bits, n_members, g = 1 << 14, 400, 4
+    bloom = BloomFilter(m_bits, g)
+    members = rng.choice(1 << 30, size=n_members, replace=False)
+    bloom.insert(members)
+    probes = rng.integers(1 << 31, 1 << 32, size=20_000)
+    measured = float(bloom.query(probes).mean())
+    predicted = false_positive_rate(m_bits, n_members, g)
+    assert measured == pytest.approx(predicted, abs=0.02)
+
+
+def test_bloom_load_factor_and_occupancy(rng):
+    bloom = BloomFilter(1 << 10, 2)
+    bloom.insert(rng.choice(10**6, size=100, replace=False))
+    assert bloom.load_factor == pytest.approx(100 / (1 << 10))
+    assert 0 < bloom.occupancy < 1
+
+
+def test_bloom_memory_accesses():
+    assert BloomFilter(1 << 10, 4).memory_accesses_per_query() == 4
+    assert OneMemoryAccessBloomFilter(256, 64, 4).memory_accesses_per_query() == 1
+
+
+def test_one_access_no_false_negatives(rng):
+    bloom = OneMemoryAccessBloomFilter(n_words=4096, word_bits=64, g_hashes=4)
+    members = rng.choice(1 << 30, size=2000, replace=False)
+    bloom.insert(members)
+    assert bloom.query(members).all()
+
+
+def test_one_access_false_positive_rate_reasonable(rng):
+    bloom = OneMemoryAccessBloomFilter(n_words=4096, word_bits=64, g_hashes=4)
+    members = rng.choice(1 << 30, size=2000, replace=False)
+    bloom.insert(members)
+    probes = rng.integers(1 << 31, 1 << 32, size=20_000)
+    measured = float(bloom.query(probes).mean())
+    # Word-based filters trade a slightly higher FPR for one access.
+    assert measured < 0.05
+
+
+def test_one_access_hash_budget_matches_paper():
+    """Section 5.3.1: d=16384, w=64, g=4 -> 14 + 18 = 32 hash bits."""
+    bloom = OneMemoryAccessBloomFilter(n_words=16384, word_bits=64, g_hashes=4)
+    assert bloom.hash_bits_per_query == 32
+    assert bloom.m_bits == 16384 * 64
+
+
+def test_one_access_validation():
+    with pytest.raises(ValueError):
+        OneMemoryAccessBloomFilter(0)
+    with pytest.raises(ValueError):
+        OneMemoryAccessBloomFilter(16, word_bits=48)
+    with pytest.raises(ValueError):
+        OneMemoryAccessBloomFilter(16, g_hashes=1)
+
+
+def test_bloom_rounds_to_power_of_two():
+    bloom = BloomFilter(1000, 2)
+    assert bloom.m_bits == 1024

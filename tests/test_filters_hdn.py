@@ -1,0 +1,82 @@
+"""Tests for High Degree Node detection and dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.filters.hdn import HDNConfig, HDNDetector, find_hdns, size_bloom_for_hdns
+from repro.generators.rmat import rmat_graph
+
+
+def test_find_hdns_threshold():
+    degrees = np.array([5, 1000, 1001, 50_000, 0])
+    assert find_hdns(degrees, 1000).tolist() == [2, 3]
+    assert find_hdns(degrees, 0).tolist() == [0, 1, 2, 3]
+
+
+def test_find_hdns_validation():
+    with pytest.raises(ValueError):
+        find_hdns(np.array([1]), -1)
+
+
+def test_size_bloom_matches_paper_example():
+    """q = 100K at load 0.1 -> 1 Mbit = 128 KB (section 5.3.1)."""
+    config = HDNConfig(load_factor=0.1, word_bits=64)
+    bits = size_bloom_for_hdns(100_000, config)
+    assert bits == pytest.approx(10**6, rel=0.001)
+    assert bits // 8 <= 128 * 1024
+
+
+def test_size_bloom_rounds_to_words():
+    config = HDNConfig(load_factor=0.5, word_bits=64)
+    assert size_bloom_for_hdns(10, config) % 64 == 0
+
+
+def test_detector_catches_every_true_hdn():
+    degrees = np.zeros(10_000, dtype=np.int64)
+    hdn_rows = np.array([3, 777, 9000])
+    degrees[hdn_rows] = 5000
+    det = HDNDetector(degrees, HDNConfig(degree_threshold=1000))
+    assert det.n_hdns == 3
+    assert det.dispatch(hdn_rows).all()  # no false negatives, ever
+
+
+def test_detector_false_positive_rate_low():
+    degrees = np.zeros(100_000, dtype=np.int64)
+    degrees[:200] = 10_000  # rows 0..199 are HDNs
+    det = HDNDetector(degrees, HDNConfig(degree_threshold=1000, load_factor=0.1))
+    regular = np.arange(200, 50_000)
+    fpr = det.measured_false_positive_rate(regular[:5000])
+    assert fpr < 0.05
+    assert det.expected_false_positive_rate() < 0.05
+
+
+def test_detector_no_hdns():
+    det = HDNDetector(np.ones(100, dtype=np.int64), HDNConfig(degree_threshold=1000))
+    assert det.n_hdns == 0
+    assert not det.dispatch(np.arange(100)).any()
+
+
+def test_detector_on_power_law_graph():
+    graph = rmat_graph(12, 16.0, seed=5)
+    degrees = graph.row_degrees()
+    threshold = int(degrees.mean() * 8)
+    det = HDNDetector(degrees, HDNConfig(degree_threshold=threshold))
+    assert det.n_hdns > 0
+    # HDNs are rare in power-law graphs (paper: <0.1% for Twitter).
+    assert det.n_hdns < 0.05 * graph.n_rows
+    # The filter itself is small relative to the problem meta-data.
+    assert det.filter_bytes < graph.nnz
+
+
+def test_detector_filter_bytes_positive():
+    degrees = np.zeros(1000, dtype=np.int64)
+    degrees[0] = 5000
+    det = HDNDetector(degrees, HDNConfig(degree_threshold=100))
+    assert det.filter_bytes > 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HDNConfig(degree_threshold=-1)
+    with pytest.raises(ValueError):
+        HDNConfig(load_factor=0.0)

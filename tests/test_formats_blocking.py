@@ -1,0 +1,84 @@
+"""Tests for 1-D column blocking and 2-D grid blocking."""
+
+import numpy as np
+import pytest
+
+from repro.formats.blocking import column_blocks, grid_blocks
+from repro.formats.coo import COOMatrix
+
+
+def test_column_blocks_cover_all_nonzeros(small_er_graph):
+    blocks = column_blocks(small_er_graph, 300)
+    assert sum(b.nnz for b in blocks) == small_er_graph.nnz
+    assert blocks[0].col_lo == 0
+    assert blocks[-1].col_hi == small_er_graph.n_cols
+    for prev, nxt in zip(blocks, blocks[1:]):
+        assert prev.col_hi == nxt.col_lo
+
+
+def test_column_blocks_widths(small_er_graph):
+    blocks = column_blocks(small_er_graph, 300)
+    assert all(b.width == 300 for b in blocks[:-1])
+    assert blocks[-1].width == small_er_graph.n_cols - 300 * (len(blocks) - 1)
+
+
+def test_column_block_local_indices(tiny_matrix):
+    blocks = column_blocks(tiny_matrix, 4)
+    assert len(blocks) == 2
+    for block in blocks:
+        if block.nnz:
+            assert block.matrix.cols.max() < block.width
+            assert block.matrix.cols.min() >= 0
+
+
+def test_column_blocks_partial_spmv_sums_to_reference(small_er_graph, rng):
+    x = rng.uniform(size=small_er_graph.n_cols)
+    total = np.zeros(small_er_graph.n_rows)
+    for block in column_blocks(small_er_graph, 257):
+        total += block.matrix.spmv(x[block.col_lo : block.col_hi])
+    assert np.allclose(total, small_er_graph.spmv(x))
+
+
+def test_column_blocks_single_stripe(tiny_matrix):
+    blocks = column_blocks(tiny_matrix, 100)
+    assert len(blocks) == 1
+    assert blocks[0].nnz == tiny_matrix.nnz
+
+
+def test_column_blocks_validates_width(tiny_matrix):
+    with pytest.raises(ValueError):
+        column_blocks(tiny_matrix, 0)
+
+
+def test_grid_blocks_cover_all_nonzeros(small_er_graph):
+    tiles = grid_blocks(small_er_graph, 4, 500)
+    assert sum(t.nnz for t in tiles) == small_er_graph.nnz
+
+
+def test_grid_blocks_local_indices(small_er_graph):
+    for tile in grid_blocks(small_er_graph, 3, 700):
+        if tile.nnz:
+            assert tile.matrix.rows.max() < tile.row_hi - tile.row_lo
+            assert tile.matrix.cols.max() < tile.col_hi - tile.col_lo
+
+
+def test_grid_blocks_reassemble_spmv(small_er_graph, rng):
+    x = rng.uniform(size=small_er_graph.n_cols)
+    total = np.zeros(small_er_graph.n_rows)
+    for tile in grid_blocks(small_er_graph, 4, 600):
+        partial = tile.matrix.spmv(x[tile.col_lo : tile.col_hi])
+        total[tile.row_lo : tile.row_hi] += partial
+    assert np.allclose(total, small_er_graph.spmv(x))
+
+
+def test_grid_blocks_validation(tiny_matrix):
+    with pytest.raises(ValueError):
+        grid_blocks(tiny_matrix, 0, 2)
+    with pytest.raises(ValueError):
+        grid_blocks(tiny_matrix, 2, 0)
+
+
+def test_grid_blocks_more_parts_than_rows():
+    m = COOMatrix.from_triples(2, 2, [0, 1], [0, 1], [1.0, 2.0])
+    tiles = grid_blocks(m, 5, 1)
+    assert sum(t.nnz for t in tiles) == 2

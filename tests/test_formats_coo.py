@@ -1,0 +1,115 @@
+"""Tests for the RM-COO format."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+
+
+def test_from_triples_sorts_row_major():
+    m = COOMatrix.from_triples(4, 4, [3, 0, 1, 0], [0, 2, 1, 1], [1.0, 2.0, 3.0, 4.0])
+    assert m.is_row_sorted()
+    assert m.rows.tolist() == [0, 0, 1, 3]
+    assert m.cols.tolist() == [1, 2, 1, 0]
+    assert m.vals.tolist() == [4.0, 2.0, 3.0, 1.0]
+
+
+def test_from_triples_sums_duplicates():
+    m = COOMatrix.from_triples(3, 3, [1, 1, 1], [2, 2, 0], [1.0, 2.5, 3.0])
+    assert m.nnz == 2
+    dense = m.to_dense()
+    assert dense[1, 2] == pytest.approx(3.5)
+    assert dense[1, 0] == pytest.approx(3.0)
+
+
+def test_from_triples_keep_duplicates():
+    m = COOMatrix.from_triples(3, 3, [1, 1], [2, 2], [1.0, 2.0], sum_duplicates=False)
+    assert m.nnz == 2
+
+
+def test_rejects_out_of_range_indices():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, np.array([2]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, np.array([0]), np.array([5]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, np.array([-1]), np.array([0]), np.array([1.0]))
+
+
+def test_rejects_mismatched_arrays():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+
+def test_shape_and_nnz(tiny_matrix):
+    assert tiny_matrix.shape == (6, 6)
+    assert tiny_matrix.nnz == 7
+
+
+def test_spmv_matches_dense(tiny_matrix, rng):
+    x = rng.uniform(size=6)
+    assert np.allclose(tiny_matrix.spmv(x), tiny_matrix.to_dense() @ x)
+
+
+def test_spmv_accumulates_into_y(tiny_matrix, rng):
+    x = rng.uniform(size=6)
+    y = rng.uniform(size=6)
+    assert np.allclose(tiny_matrix.spmv(x, y), tiny_matrix.to_dense() @ x + y)
+
+
+def test_spmv_rejects_bad_shapes(tiny_matrix):
+    with pytest.raises(ValueError):
+        tiny_matrix.spmv(np.zeros(5))
+    with pytest.raises(ValueError):
+        tiny_matrix.spmv(np.zeros(6), np.zeros(7))
+
+
+def test_empty_matrix_spmv():
+    m = COOMatrix(3, 3, np.array([], dtype=np.int64), np.array([], dtype=np.int64), np.array([]))
+    assert np.allclose(m.spmv(np.ones(3)), np.zeros(3))
+    assert m.nnz == 0
+    assert m.is_row_sorted()
+
+
+def test_transpose_roundtrip(tiny_matrix):
+    t = tiny_matrix.transpose()
+    assert np.allclose(t.to_dense(), tiny_matrix.to_dense().T)
+    assert t.is_row_sorted()
+    back = t.transpose()
+    assert np.allclose(back.to_dense(), tiny_matrix.to_dense())
+
+
+def test_degrees(tiny_matrix):
+    assert tiny_matrix.row_degrees().tolist() == [2, 1, 1, 2, 0, 1]
+    assert tiny_matrix.row_degrees().sum() == tiny_matrix.nnz
+    assert tiny_matrix.col_degrees().sum() == tiny_matrix.nnz
+
+
+def test_hypersparse_criterion():
+    m = COOMatrix.from_triples(10, 10, [0, 1], [0, 1], [1.0, 1.0])
+    assert m.is_hypersparse()
+    dense_enough = COOMatrix.from_triples(2, 2, [0, 0, 1], [0, 1, 0], [1.0] * 3)
+    assert not dense_enough.is_hypersparse()
+
+
+def test_select_columns_localizes_indices(tiny_matrix):
+    stripe = tiny_matrix.select_columns(1, 4)
+    assert stripe.n_cols == 3
+    assert stripe.nnz == 4  # columns 1, 2, 3 entries
+    assert stripe.cols.max() < 3
+    # Stripe SpMV against the segment equals the dense column slice product.
+    x = np.arange(1.0, 7.0)
+    assert np.allclose(stripe.spmv(x[1:4]), tiny_matrix.to_dense()[:, 1:4] @ x[1:4])
+
+
+def test_select_columns_validates_range(tiny_matrix):
+    with pytest.raises(ValueError):
+        tiny_matrix.select_columns(3, 2)
+    with pytest.raises(ValueError):
+        tiny_matrix.select_columns(0, 7)
+
+
+def test_select_columns_empty_range(tiny_matrix):
+    stripe = tiny_matrix.select_columns(2, 2)
+    assert stripe.nnz == 0
+    assert stripe.n_cols == 0

@@ -1,0 +1,104 @@
+"""Tests for CSR and CSC formats and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.formats.convert import coo_to_csc, coo_to_csr, csc_to_coo, csr_to_coo
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def test_coo_to_csr_roundtrip(tiny_matrix):
+    csr = coo_to_csr(tiny_matrix)
+    assert csr.nnz == tiny_matrix.nnz
+    assert np.allclose(csr.to_dense(), tiny_matrix.to_dense())
+    back = csr_to_coo(csr)
+    assert np.array_equal(back.rows, tiny_matrix.rows)
+    assert np.array_equal(back.cols, tiny_matrix.cols)
+
+
+def test_coo_to_csc_roundtrip(tiny_matrix):
+    csc = coo_to_csc(tiny_matrix)
+    assert csc.nnz == tiny_matrix.nnz
+    assert np.allclose(csc.to_dense(), tiny_matrix.to_dense())
+    back = csc_to_coo(csc)
+    assert np.allclose(back.to_dense(), tiny_matrix.to_dense())
+    assert back.is_row_sorted()
+
+
+def test_csr_spmv_matches_reference(small_er_graph, rng):
+    csr = coo_to_csr(small_er_graph)
+    x = rng.uniform(size=small_er_graph.n_cols)
+    assert np.allclose(csr.spmv(x), small_er_graph.spmv(x))
+
+
+def test_csc_spmv_matches_reference(small_er_graph, rng):
+    csc = coo_to_csc(small_er_graph)
+    x = rng.uniform(size=small_er_graph.n_cols)
+    assert np.allclose(csc.spmv(x), small_er_graph.spmv(x))
+
+
+def test_csr_spmv_with_accumulator(tiny_matrix, rng):
+    csr = coo_to_csr(tiny_matrix)
+    x = rng.uniform(size=6)
+    y = rng.uniform(size=6)
+    assert np.allclose(csr.spmv(x, y), tiny_matrix.to_dense() @ x + y)
+
+
+def test_csr_row_access(tiny_matrix):
+    csr = coo_to_csr(tiny_matrix)
+    cols, vals = csr.row(0)
+    assert cols.tolist() == [1, 4]
+    assert vals.tolist() == [1.0, 2.0]
+    cols4, _ = csr.row(4)
+    assert cols4.size == 0
+
+
+def test_csr_row_degrees(tiny_matrix):
+    csr = coo_to_csr(tiny_matrix)
+    assert csr.row_degrees().tolist() == [2, 1, 1, 2, 0, 1]
+    assert np.array_equal(csr.expand_rows(), tiny_matrix.rows)
+
+
+def test_csc_column_access(tiny_matrix):
+    csc = coo_to_csc(tiny_matrix)
+    rows, vals = csc.column(1)
+    assert rows.tolist() == [0, 3]
+    assert sorted(vals.tolist()) == [1.0, 5.0]
+
+
+def test_csr_validation():
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))  # short ptr
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, np.array([0, 2, 1]), np.array([0]), np.array([1.0]))  # bad end
+    with pytest.raises(ValueError):
+        CSRMatrix(1, 1, np.array([0, 1]), np.array([3]), np.array([1.0]))  # col range
+
+
+def test_csc_validation():
+    with pytest.raises(ValueError):
+        CSCMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        CSCMatrix(1, 1, np.array([0, 1]), np.array([3]), np.array([1.0]))
+
+
+def test_csr_hypersparse_flag():
+    csr = CSRMatrix(10, 10, np.array([0] * 9 + [0, 1], dtype=np.int64)[:11], np.array([0]), np.array([1.0]))
+    assert csr.is_hypersparse()
+
+
+def test_empty_csr_spmv():
+    csr = CSRMatrix(3, 3, np.zeros(4, dtype=np.int64), np.array([], dtype=np.int64), np.array([]))
+    assert np.allclose(csr.spmv(np.ones(3)), np.zeros(3))
+
+
+def test_random_roundtrips(small_rmat_graph):
+    csr = coo_to_csr(small_rmat_graph)
+    csc = coo_to_csc(small_rmat_graph)
+    assert csr.nnz == csc.nnz == small_rmat_graph.nnz
+    x = np.ones(small_rmat_graph.n_cols)
+    ref = small_rmat_graph.spmv(x)
+    assert np.allclose(csr.spmv(x), ref)
+    assert np.allclose(csc.spmv(x), ref)

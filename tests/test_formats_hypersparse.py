@@ -1,0 +1,77 @@
+"""Tests for hypersparse format selection (paper section 3.1)."""
+
+import pytest
+
+from repro.formats.hypersparse import (
+    StripeFormat,
+    choose_stripe_format,
+    index_bits,
+    stripe_metadata_bits,
+)
+
+
+def test_hypersparse_picks_rm_coo():
+    assert choose_stripe_format(nnz=10, n_rows=100) is StripeFormat.RM_COO
+
+
+def test_dense_rows_pick_csr():
+    assert choose_stripe_format(nnz=1000, n_rows=100) is StripeFormat.CSR
+
+
+def test_boundary_is_csr():
+    # nnz == n_rows is not hypersparse per the strict inequality.
+    assert choose_stripe_format(nnz=100, n_rows=100) is StripeFormat.CSR
+
+
+def test_choose_rejects_negative():
+    with pytest.raises(ValueError):
+        choose_stripe_format(-1, 10)
+
+
+def test_index_bits():
+    assert index_bits(2) == 1
+    assert index_bits(256) == 8
+    assert index_bits(257) == 9
+    assert index_bits(1) == 1
+
+
+def test_index_bits_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        index_bits(0)
+
+
+def test_rm_coo_bits_scale_with_nnz():
+    one = stripe_metadata_bits(StripeFormat.RM_COO, 1, 1 << 20, 1 << 10)
+    ten = stripe_metadata_bits(StripeFormat.RM_COO, 10, 1 << 20, 1 << 10)
+    assert ten == 10 * one
+
+
+def test_csr_bits_include_row_pointers():
+    bits = stripe_metadata_bits(StripeFormat.CSR, 0, 1000, 100)
+    assert bits >= 1001  # at least one bit per row pointer entry
+
+
+def test_rm_coo_cheaper_when_hypersparse():
+    n_rows, width, nnz = 1 << 20, 1 << 12, 1000
+    coo = stripe_metadata_bits(StripeFormat.RM_COO, nnz, n_rows, width)
+    csr = stripe_metadata_bits(StripeFormat.CSR, nnz, n_rows, width)
+    assert coo < csr
+
+
+def test_csr_cheaper_when_dense_rows():
+    n_rows, width = 1 << 10, 1 << 10
+    nnz = 100 * n_rows
+    coo = stripe_metadata_bits(StripeFormat.RM_COO, nnz, n_rows, width)
+    csr = stripe_metadata_bits(StripeFormat.CSR, nnz, n_rows, width)
+    assert csr < coo
+
+
+def test_selection_matches_cheaper_format_in_the_sparse_regime():
+    # The paper's nnz < n_rows rule should agree with the actual byte costs
+    # deep in either regime.
+    for nnz, n_rows in [(100, 1 << 20), (1 << 22, 1 << 10)]:
+        fmt = choose_stripe_format(nnz, n_rows)
+        coo = stripe_metadata_bits(StripeFormat.RM_COO, nnz, n_rows, 1 << 10)
+        csr = stripe_metadata_bits(StripeFormat.CSR, nnz, n_rows, 1 << 10)
+        cheaper = StripeFormat.RM_COO if coo < csr else StripeFormat.CSR
+        assert fmt is cheaper

@@ -1,0 +1,114 @@
+"""Tests for Matrix Market and packed binary I/O."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.formats.io import read_binary, read_matrix_market, write_binary, write_matrix_market
+
+
+def test_matrix_market_roundtrip(tiny_matrix, tmp_path):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(tiny_matrix, path, comment="tiny test matrix")
+    back = read_matrix_market(path)
+    assert back.shape == tiny_matrix.shape
+    assert np.array_equal(back.rows, tiny_matrix.rows)
+    assert np.array_equal(back.cols, tiny_matrix.cols)
+    assert np.allclose(back.vals, tiny_matrix.vals)
+
+
+def test_matrix_market_roundtrip_random(small_er_graph, tmp_path):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(small_er_graph, path)
+    back = read_matrix_market(path)
+    assert np.allclose(back.spmv(np.ones(back.n_cols)), small_er_graph.spmv(np.ones(small_er_graph.n_cols)))
+
+
+def test_matrix_market_pattern_field(tmp_path):
+    path = tmp_path / "p.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% a pattern matrix\n"
+        "3 3 2\n"
+        "1 2\n"
+        "3 1\n"
+    )
+    m = read_matrix_market(path)
+    assert m.nnz == 2
+    assert np.all(m.vals == 1.0)
+    assert m.to_dense()[0, 1] == 1.0
+    assert m.to_dense()[2, 0] == 1.0
+
+
+def test_matrix_market_symmetric(tmp_path):
+    path = tmp_path / "s.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 5.0\n"
+        "2 1 1.5\n"
+        "3 2 2.5\n"
+    )
+    m = read_matrix_market(path)
+    dense = m.to_dense()
+    assert np.allclose(dense, dense.T)
+    assert dense[0, 0] == 5.0  # diagonal not duplicated
+    assert dense[0, 1] == 1.5 and dense[1, 0] == 1.5
+    assert m.nnz == 5
+
+
+def test_matrix_market_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_matrix_market_rejects_complex(tmp_path):
+    path = tmp_path / "c.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_matrix_market_truncated(tmp_path):
+    path = tmp_path / "t.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_binary_roundtrip(small_rmat_graph, tmp_path):
+    path = tmp_path / "g.bin"
+    write_binary(small_rmat_graph, path)
+    back = read_binary(path)
+    assert back.shape == small_rmat_graph.shape
+    assert np.array_equal(back.rows, small_rmat_graph.rows)
+    assert np.array_equal(back.cols, small_rmat_graph.cols)
+    assert np.array_equal(back.vals, small_rmat_graph.vals)
+
+
+def test_binary_rejects_wrong_magic(tmp_path):
+    path = tmp_path / "x.bin"
+    path.write_bytes(b"NOTCOO!\x00" + b"\x00" * 64)
+    with pytest.raises(ValueError):
+        read_binary(path)
+
+
+def test_binary_rejects_truncation(tiny_matrix, tmp_path):
+    path = tmp_path / "t.bin"
+    write_binary(tiny_matrix, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:-8])
+    with pytest.raises(ValueError):
+        read_binary(path)
+
+
+def test_empty_matrix_io(tmp_path):
+    empty = COOMatrix(4, 4, np.array([], dtype=np.int64), np.array([], dtype=np.int64), np.array([]))
+    mtx = tmp_path / "e.mtx"
+    write_matrix_market(empty, mtx)
+    assert read_matrix_market(mtx).nnz == 0
+    binary = tmp_path / "e.bin"
+    write_binary(empty, binary)
+    assert read_binary(binary).nnz == 0

@@ -1,0 +1,104 @@
+"""Tests for matrix statistics and the silicon resource model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.matrix_stats import compute_stats, fit_power_law_alpha
+from repro.core.design_points import TS_ASIC, TS_FPGA2
+from repro.formats.coo import COOMatrix
+from repro.generators.datasets import _mesh_graph
+from repro.generators.erdos_renyi import erdos_renyi_graph
+from repro.generators.rmat import rmat_graph
+from repro.merge.resources import (
+    PUBLISHED_ASIC,
+    ProcessCoefficients,
+    estimate_core_resources,
+)
+
+
+class TestMatrixStats:
+    def test_basic_counts(self, small_er_graph):
+        stats = compute_stats(small_er_graph)
+        assert stats.nnz == small_er_graph.nnz
+        assert stats.avg_degree == pytest.approx(small_er_graph.nnz / small_er_graph.n_rows)
+        assert stats.max_degree >= stats.avg_degree
+
+    def test_power_law_detection(self):
+        er = compute_stats(erdos_renyi_graph(4000, 8.0, seed=51))
+        pl = compute_stats(rmat_graph(12, 8.0, seed=51))
+        assert not er.is_power_law
+        assert pl.is_power_law
+        assert pl.degree_skew > er.degree_skew
+
+    def test_alpha_fit_on_synthetic_power_law(self):
+        # Inverse-CDF sample of a pdf ~ d^-2.5 tail (alpha = 2.5).
+        rng = np.random.default_rng(7)
+        u = rng.uniform(size=50_000)
+        degrees = np.floor((1 - u) ** (-1.0 / 1.5)).astype(np.int64)
+        # Fit above the discretization-biased head of the distribution.
+        alpha = fit_power_law_alpha(degrees, d_min=4)
+        assert 2.2 < alpha < 2.8
+
+    def test_alpha_degenerate(self):
+        assert math.isnan(fit_power_law_alpha(np.array([1])))
+
+    def test_mesh_locality_small_bandwidth(self):
+        mesh = compute_stats(_mesh_graph(4000, 4.0, seed=52))
+        uniform = compute_stats(erdos_renyi_graph(4000, 4.0, seed=52))
+        assert mesh.bandwidth_p50 < uniform.bandwidth_p50 / 10
+
+    def test_hypersparse_fraction(self):
+        sparse = erdos_renyi_graph(5000, 1.5, seed=53)
+        stats = compute_stats(sparse, stripe_width=100)
+        assert stats.hypersparse_stripe_fraction == 1.0
+
+    def test_suggested_hdn_threshold(self, small_rmat_graph):
+        stats = compute_stats(small_rmat_graph)
+        threshold = stats.suggested_hdn_threshold()
+        assert threshold >= 8
+        assert threshold < stats.max_degree  # hubs exist above it
+
+    def test_empty_matrix(self):
+        empty = COOMatrix(5, 5, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0))
+        stats = compute_stats(empty)
+        assert stats.nnz == 0
+        assert stats.empty_row_fraction == 1.0
+
+
+class TestResources:
+    def test_asic_envelope_matches_fig2(self):
+        res = estimate_core_resources()
+        assert res.total_mm2 == pytest.approx(PUBLISHED_ASIC["area_mm2"], rel=0.05)
+        assert res.leakage_w == pytest.approx(PUBLISHED_ASIC["leakage_w"], rel=0.10)
+        assert res.total_w == pytest.approx(PUBLISHED_ASIC["total_w"], rel=0.05)
+
+    def test_sram_dominates_area(self):
+        res = estimate_core_resources()
+        assert res.merge_sram_mm2 > 0.5 * res.total_mm2
+
+    def test_breakdown_sums_to_total(self):
+        res = estimate_core_resources()
+        assert sum(res.breakdown().values()) == pytest.approx(res.total_mm2)
+
+    def test_fpga_geometry_smaller_merge_sram(self):
+        asic = estimate_core_resources(TS_ASIC)
+        fpga = estimate_core_resources(TS_FPGA2)
+        # 32-way cores need vastly fewer FIFOs than 2048-way.
+        assert fpga.merge_sram_mm2 < asic.merge_sram_mm2 / 10
+
+    def test_utilization_scales_dynamic_only(self):
+        full = estimate_core_resources(utilization=1.0)
+        half = estimate_core_resources(utilization=0.5)
+        assert half.dynamic_w == pytest.approx(full.dynamic_w / 2)
+        assert half.leakage_w == full.leakage_w
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_core_resources(utilization=0.0)
+
+    def test_custom_coefficients(self):
+        cheap = ProcessCoefficients(sram_mm2_per_mb=0.1)
+        res = estimate_core_resources(coeffs=cheap)
+        assert res.merge_sram_mm2 < 1.0

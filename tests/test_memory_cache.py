@@ -1,0 +1,115 @@
+"""Tests for the cache simulator and analytic miss model."""
+
+import numpy as np
+import pytest
+
+from repro.memory.cache import CacheConfig, CacheSim, analytic_miss_rate
+
+
+def make_cache(capacity=1024, line=64, ways=2):
+    return CacheSim(CacheConfig(capacity, line, ways))
+
+
+def test_config_geometry():
+    cfg = CacheConfig(capacity_bytes=8192, line_bytes=64, associativity=4)
+    assert cfg.n_sets == 32
+    assert cfg.n_lines == 128
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(0, 64, 4)
+    with pytest.raises(ValueError):
+        CacheConfig(100, 64, 4)  # not a multiple
+
+
+def test_cold_miss_then_hit():
+    sim = make_cache()
+    assert sim.access(0) is False
+    assert sim.access(0) is True
+    assert sim.access(63) is True  # same line
+    assert sim.access(64) is False  # next line
+    assert sim.misses == 2 and sim.hits == 2
+
+
+def test_lru_eviction_within_set():
+    # Direct-mapped 2-line cache of 64 B lines: addresses 0 and 128 collide.
+    sim = CacheSim(CacheConfig(128, 64, 1))
+    sim.access(0)
+    sim.access(128)  # evicts line 0
+    assert sim.access(0) is False
+
+
+def test_associativity_prevents_conflict():
+    # Two-way: both conflicting lines fit.
+    sim = CacheSim(CacheConfig(256, 64, 2))
+    sim.access(0)
+    sim.access(256)  # same set, second way
+    assert sim.access(0) is True
+    assert sim.access(256) is True
+
+
+def test_lru_order():
+    sim = CacheSim(CacheConfig(128, 64, 2))  # one set, two ways
+    sim.access(0)
+    sim.access(64)
+    sim.access(0)  # refresh 0
+    sim.access(128)  # evicts 64 (LRU)
+    assert sim.access(0) is True
+    assert sim.access(64) is False
+
+
+def test_access_trace_counts_misses():
+    sim = make_cache()
+    addrs = np.array([0, 64, 0, 64, 128])
+    misses = sim.access_trace(addrs)
+    assert misses == 3
+    assert sim.miss_rate == pytest.approx(3 / 5)
+
+
+def test_reset():
+    sim = make_cache()
+    sim.access(0)
+    sim.reset()
+    assert sim.accesses == 0
+    assert sim.access(0) is False
+
+
+def test_working_set_within_cache_all_hits_after_warmup():
+    sim = CacheSim(CacheConfig(4096, 64, 4))
+    addrs = np.tile(np.arange(0, 4096, 64), 3)
+    sim.access_trace(addrs)
+    assert sim.misses == 64  # cold only
+
+
+def test_analytic_miss_rate_large_working_set():
+    rate = analytic_miss_rate(1e9, 1e6, 64, 4)
+    assert rate == pytest.approx(1 - 1e-3)
+
+
+def test_analytic_miss_rate_fits():
+    assert analytic_miss_rate(1e6, 2e6, 64, 4) == 0.0
+
+
+def test_analytic_locality_discount():
+    base = analytic_miss_rate(1e9, 1e6, 64, 4)
+    discounted = analytic_miss_rate(1e9, 1e6, 64, 4, locality=0.5)
+    assert discounted == pytest.approx(base * 0.5)
+
+
+def test_analytic_locality_validation():
+    with pytest.raises(ValueError):
+        analytic_miss_rate(1e9, 1e6, 64, 4, locality=1.5)
+
+
+def test_simulator_approaches_analytic_for_random_trace():
+    # Uniform random accesses over a working set 8x the cache.
+    cache_bytes, line = 4096, 64
+    sim = CacheSim(CacheConfig(cache_bytes, line, 4))
+    rng = np.random.default_rng(0)
+    working_set = 8 * cache_bytes
+    addrs = rng.integers(0, working_set, size=20000)
+    sim.access_trace(addrs)
+    predicted = analytic_miss_rate(working_set, cache_bytes, line, 1)
+    # Line granularity buys some extra hits; allow a generous band.
+    assert abs(sim.miss_rate - predicted) < 0.25

@@ -1,0 +1,59 @@
+"""Tests for the DRAM/HBM channel models."""
+
+import pytest
+
+from repro.memory.dram import (
+    DDR4_DUAL_SOCKET,
+    GDDR5,
+    HBM2_4STACK,
+    HBM2_STACK,
+    MCDRAM_PHI,
+    DRAMConfig,
+)
+
+
+def test_stream_time_linear():
+    assert HBM2_4STACK.stream_time(512e9) == pytest.approx(1.0)
+    assert HBM2_4STACK.stream_time(0) == 0.0
+
+
+def test_stream_time_rejects_negative():
+    with pytest.raises(ValueError):
+        HBM2_4STACK.stream_time(-1)
+
+
+def test_random_time_uses_cache_line_granule():
+    t = DDR4_DUAL_SOCKET.random_time(1e6)
+    expected = 1e6 * DDR4_DUAL_SOCKET.cache_line_bytes / DDR4_DUAL_SOCKET.random_bandwidth
+    assert t == pytest.approx(expected)
+
+
+def test_random_time_custom_granule():
+    t = DDR4_DUAL_SOCKET.random_time(100, bytes_per_access=8)
+    assert t == pytest.approx(800 / DDR4_DUAL_SOCKET.random_bandwidth)
+
+
+def test_random_slower_than_stream_per_byte():
+    for cfg in (HBM2_STACK, HBM2_4STACK, DDR4_DUAL_SOCKET, GDDR5, MCDRAM_PHI):
+        assert cfg.random_bandwidth < cfg.stream_bandwidth
+
+
+def test_hbm_4stack_is_paper_bandwidth():
+    assert HBM2_4STACK.stream_bandwidth == pytest.approx(512e9)
+
+
+def test_transfer_energy():
+    j = HBM2_4STACK.transfer_energy_j(1e9)
+    assert j == pytest.approx(1e9 * 3.7e-12)
+
+
+def test_page_sizes_positive():
+    for cfg in (HBM2_STACK, HBM2_4STACK, DDR4_DUAL_SOCKET, GDDR5, MCDRAM_PHI):
+        assert cfg.page_bytes > 0
+        assert cfg.cache_line_bytes > 0
+
+
+def test_custom_config():
+    cfg = DRAMConfig("x", 1e9, 1e8, 1024, 64, 1e-7, 5.0)
+    assert cfg.stream_time(1e9) == pytest.approx(1.0)
+    assert cfg.random_time(1, bytes_per_access=64) == pytest.approx(64 / 1e8)

@@ -1,0 +1,84 @@
+"""Tests for the event-level DRAM timing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.memory.dram_sim import DRAMSim, DRAMTiming, random_trace, streaming_trace
+
+
+def test_peak_bandwidth():
+    t = DRAMTiming(t_burst_ns=0.25, burst_bytes=32, n_channels=8)
+    assert t.peak_bandwidth == pytest.approx(8 * 32 / 0.25e-9)
+
+
+def test_streaming_near_peak():
+    """Sequential bursts amortize activations: > 80% of pin bandwidth."""
+    t = DRAMTiming()
+    sim = DRAMSim(t)
+    bw = sim.replay(streaming_trace(8 << 20, t), max_outstanding=1 << 20)
+    assert bw > 0.8 * t.peak_bandwidth
+    assert sim.row_hit_rate > 0.95
+
+
+def test_random_far_below_streaming():
+    """The core DAM-model assumption: random << streaming bandwidth."""
+    t = DRAMTiming()
+    stream_sim = DRAMSim(t)
+    stream_bw = stream_sim.replay(streaming_trace(8 << 20, t), max_outstanding=1 << 20)
+    rand_sim = DRAMSim(t)
+    rand_bw = rand_sim.replay(
+        random_trace(50_000, 1 << 30, t, seed=1), max_outstanding=10
+    )
+    assert rand_bw < stream_bw / 10
+    assert rand_sim.row_hit_rate < 0.05
+
+
+def test_mlp_scales_random_bandwidth():
+    t = DRAMTiming()
+    trace = random_trace(20_000, 1 << 30, t, seed=2)
+    low = DRAMSim(t).replay(trace, max_outstanding=4)
+    high = DRAMSim(t).replay(trace, max_outstanding=64)
+    assert high > 2 * low
+
+
+def test_row_hits_counted():
+    t = DRAMTiming(row_bytes=128, n_banks=1, n_channels=1, burst_bytes=32)
+    sim = DRAMSim(t)
+    # Four bursts in the same 128 B row: 1 miss + 3 hits.
+    sim.replay(np.array([0, 32, 64, 96]))
+    assert sim.row_misses == 1
+    assert sim.row_hits == 3
+
+
+def test_row_conflict_costs_precharge():
+    t = DRAMTiming(row_bytes=128, n_banks=1, n_channels=1, burst_bytes=32)
+    # Alternating rows in one bank: every access is a conflict miss.
+    alternating = np.array([0, 128, 0, 128], dtype=np.int64)
+    sim = DRAMSim(t)
+    bw_conflict = sim.replay(alternating, max_outstanding=1)
+    same_row = np.array([0, 32, 64, 96], dtype=np.int64)
+    sim2 = DRAMSim(t)
+    bw_hit = sim2.replay(same_row, max_outstanding=1)
+    assert bw_hit > 2 * bw_conflict
+
+
+def test_empty_trace():
+    sim = DRAMSim(DRAMTiming())
+    assert sim.replay(np.array([], dtype=np.int64)) == 0.0
+
+
+def test_channel_parallelism_helps():
+    t1 = DRAMTiming(n_channels=1)
+    t8 = DRAMTiming(n_channels=8)
+    trace1 = streaming_trace(4 << 20, t1)
+    bw1 = DRAMSim(t1).replay(trace1, max_outstanding=1 << 20)
+    bw8 = DRAMSim(t8).replay(streaming_trace(4 << 20, t8), max_outstanding=1 << 20)
+    assert bw8 > 4 * bw1
+
+
+def test_validates_config_constants_order():
+    """The DRAMConfig presets must respect what the simulator measures:
+    streaming above random by an order of magnitude."""
+    from repro.memory.dram import HBM2_4STACK
+
+    assert HBM2_4STACK.stream_bandwidth / HBM2_4STACK.random_bandwidth >= 8

@@ -1,0 +1,83 @@
+"""Tests for the energy models."""
+
+import pytest
+
+from repro.memory.energy import (
+    ASIC_16NM_ENERGY,
+    CPU_ENERGY,
+    FPGA_ENERGY,
+    GPU_ENERGY,
+    PHI_ENERGY,
+    EnergyModel,
+)
+from repro.memory.traffic import TrafficLedger
+
+
+def test_asic_has_no_instruction_overhead():
+    assert ASIC_16NM_ENERGY.pj_per_dispatched_instruction == 0.0
+    assert ASIC_16NM_ENERGY.instructions_per_edge == 0.0
+
+
+def test_cpu_pays_scheduling_energy():
+    # The paper's section 1 numbers: ~2000 pJ per scheduled instruction.
+    assert CPU_ENERGY.pj_per_dispatched_instruction == 2000.0
+    assert CPU_ENERGY.instructions_per_edge >= 16
+
+
+def test_energy_scales_with_edges():
+    ledger = TrafficLedger()
+    e1 = ASIC_16NM_ENERGY.energy_j(ledger, 1e6, 0.0)
+    e2 = ASIC_16NM_ENERGY.energy_j(ledger, 2e6, 0.0)
+    assert e2 == pytest.approx(2 * e1)
+
+
+def test_energy_includes_static_power():
+    ledger = TrafficLedger()
+    idle = ASIC_16NM_ENERGY.energy_j(ledger, 0, 1.0)
+    assert idle == pytest.approx(ASIC_16NM_ENERGY.static_power_w)
+
+
+def test_energy_includes_dram_traffic():
+    ledger = TrafficLedger(matrix_bytes=1e9)
+    with_traffic = ASIC_16NM_ENERGY.energy_j(ledger, 0, 0.0)
+    assert with_traffic == pytest.approx(1e9 * 3.7e-12)
+
+
+def test_nj_per_edge():
+    ledger = TrafficLedger(matrix_bytes=1e9)
+    nj = ASIC_16NM_ENERGY.nj_per_edge(ledger, 1e9, 0.0)
+    # 2 flops/edge * 1 pJ + 1 B/edge * 3.7 pJ = 5.7 pJ = 0.0057 nJ
+    assert nj == pytest.approx(0.0057, rel=1e-6)
+
+
+def test_nj_per_edge_requires_edges():
+    with pytest.raises(ValueError):
+        ASIC_16NM_ENERGY.nj_per_edge(TrafficLedger(), 0, 1.0)
+
+
+def test_energy_validation():
+    with pytest.raises(ValueError):
+        ASIC_16NM_ENERGY.energy_j(TrafficLedger(), -1, 0.0)
+
+
+def test_platform_ordering_per_edge():
+    """Custom hardware must beat COTS per edge at equal runtime/traffic.
+
+    This is the core energy claim of the paper (Figs. 19-22).
+    """
+    ledger = TrafficLedger(matrix_bytes=8e9)  # 8 B/edge
+    n_edges = 1e9
+    runtime = 0.1
+    asic = ASIC_16NM_ENERGY.nj_per_edge(ledger, n_edges, runtime)
+    fpga = FPGA_ENERGY.nj_per_edge(ledger, n_edges, runtime)
+    cpu = CPU_ENERGY.nj_per_edge(ledger, n_edges, runtime)
+    gpu = GPU_ENERGY.nj_per_edge(ledger, n_edges, runtime)
+    phi = PHI_ENERGY.nj_per_edge(ledger, n_edges, runtime)
+    assert asic < fpga < cpu
+    assert asic < gpu
+    assert asic < phi
+
+
+def test_custom_model():
+    model = EnergyModel("m", 1.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    assert model.energy_j(TrafficLedger(), 1e12, 0.0, flops_per_edge=1.0) == pytest.approx(1.0)

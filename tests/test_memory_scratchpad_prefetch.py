@@ -1,0 +1,112 @@
+"""Tests for the scratchpad and prefetch-buffer models."""
+
+import numpy as np
+import pytest
+
+from repro.memory.prefetch import PrefetchBuffer, prefetch_buffer_bytes
+from repro.memory.scratchpad import Scratchpad, ScratchpadConfig, expected_conflict_factor
+
+
+def make_scratchpad(capacity=1024, banks=8):
+    return Scratchpad(ScratchpadConfig("test", capacity, banks, 8), element_bytes=8)
+
+
+def test_segment_capacity():
+    cfg = ScratchpadConfig("eDRAM", 8 << 20, 64, 8)
+    assert cfg.segment_elements(4) == 2 << 20
+    assert cfg.segment_elements(4, segments=2) == 1 << 20  # ITS halves it
+
+
+def test_segment_capacity_validation():
+    cfg = ScratchpadConfig("x", 1024, 4, 8)
+    with pytest.raises(ValueError):
+        cfg.segment_elements(0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ScratchpadConfig("x", 0, 4, 8)
+
+
+def test_load_and_gather():
+    pad = make_scratchpad()
+    segment = np.arange(10.0)
+    pad.load_segment(segment)
+    out = pad.gather(np.array([3, 1, 4]))
+    assert out.tolist() == [3.0, 1.0, 4.0]
+    assert pad.accesses == 3
+
+
+def test_load_overflow_rejected():
+    pad = make_scratchpad(capacity=64)  # 8 elements of 8 B
+    with pytest.raises(ValueError):
+        pad.load_segment(np.zeros(9))
+
+
+def test_gather_requires_segment():
+    pad = make_scratchpad()
+    with pytest.raises(RuntimeError):
+        pad.gather(np.array([0]))
+
+
+def test_conflict_factor_single_access():
+    assert expected_conflict_factor(1, 32) == 1.0
+
+
+def test_conflict_factor_grows_with_parallelism():
+    assert expected_conflict_factor(8, 32) > expected_conflict_factor(2, 32)
+    assert expected_conflict_factor(8, 32) == pytest.approx(1 + 7 / 32)
+
+
+def test_conflict_factor_shrinks_with_banks():
+    assert expected_conflict_factor(8, 64) < expected_conflict_factor(8, 8)
+
+
+def test_conflict_factor_validation():
+    with pytest.raises(ValueError):
+        expected_conflict_factor(0, 8)
+
+
+def test_prefetch_buffer_bytes_partitioning_vs_prap():
+    # The paper's Fig. 7 example: 1024 lists x 2 KB = 2 MB for PRaP,
+    # 16 partitions x that = 32 MB for partitioning.
+    assert prefetch_buffer_bytes(1024, 2048) == 2 << 20
+    assert prefetch_buffer_bytes(1024, 2048, partitions=16) == 32 << 20
+
+
+def test_prefetch_buffer_bytes_validation():
+    with pytest.raises(ValueError):
+        prefetch_buffer_bytes(-1, 2048)
+
+
+def test_prefetch_buffer_serves_records_in_order():
+    lists = [[(0, 1.0), (5, 2.0), (9, 3.0)], [(2, 4.0)]]
+    buf = PrefetchBuffer(lists, dpage_bytes=16, record_bytes=8)  # 2 records/page
+    assert buf.peek(0) == (0, 1.0)
+    assert buf.pop(0) == (0, 1.0)
+    assert buf.pop(0) == (5, 2.0)
+    assert buf.pop(0) == (9, 3.0)
+    assert buf.exhausted(0)
+    assert not buf.exhausted(1)
+
+
+def test_prefetch_buffer_counts_page_fetches():
+    lists = [[(i, float(i)) for i in range(5)]]
+    buf = PrefetchBuffer(lists, dpage_bytes=16, record_bytes=8)  # 2 per page
+    while not buf.exhausted(0):
+        buf.pop(0)
+    assert buf.page_fetches == 3  # ceil(5 / 2)
+    assert buf.fetched_bytes == 48
+    assert buf.records_served == 5
+
+
+def test_prefetch_buffer_pop_exhausted_raises():
+    buf = PrefetchBuffer([[]], dpage_bytes=16, record_bytes=8)
+    assert buf.peek(0) is None
+    with pytest.raises(IndexError):
+        buf.pop(0)
+
+
+def test_prefetch_buffer_validation():
+    with pytest.raises(ValueError):
+        PrefetchBuffer([[]], dpage_bytes=4, record_bytes=8)  # record > page

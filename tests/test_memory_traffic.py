@@ -1,0 +1,62 @@
+"""Tests for the off-chip traffic ledger."""
+
+import pytest
+
+from repro.memory.traffic import TrafficLedger
+
+
+def test_empty_ledger_is_zero():
+    ledger = TrafficLedger()
+    assert ledger.total_bytes == 0
+    assert ledger.payload_bytes == 0
+
+
+def test_payload_excludes_wastage():
+    ledger = TrafficLedger(matrix_bytes=100, cache_line_wastage_bytes=50)
+    assert ledger.payload_bytes == 100
+    assert ledger.total_bytes == 150
+
+
+def test_intermediate_round_trip():
+    ledger = TrafficLedger(intermediate_write_bytes=10, intermediate_read_bytes=10)
+    assert ledger.intermediate_bytes == 20
+    assert ledger.payload_bytes == 20
+
+
+def test_add_sums_all_categories():
+    a = TrafficLedger(matrix_bytes=1, source_vector_bytes=2, result_vector_bytes=3,
+                      intermediate_write_bytes=4, intermediate_read_bytes=5,
+                      cache_line_wastage_bytes=6, notes={"a": 1})
+    b = TrafficLedger(matrix_bytes=10, source_vector_bytes=20, result_vector_bytes=30,
+                      intermediate_write_bytes=40, intermediate_read_bytes=50,
+                      cache_line_wastage_bytes=60, notes={"b": 2})
+    c = a.add(b)
+    assert c.matrix_bytes == 11
+    assert c.source_vector_bytes == 22
+    assert c.result_vector_bytes == 33
+    assert c.intermediate_write_bytes == 44
+    assert c.intermediate_read_bytes == 55
+    assert c.cache_line_wastage_bytes == 66
+    assert c.notes == {"a": 1, "b": 2}
+    # Originals untouched.
+    assert a.matrix_bytes == 1 and b.matrix_bytes == 10
+
+
+def test_scaled():
+    a = TrafficLedger(matrix_bytes=3, intermediate_write_bytes=4)
+    s = a.scaled(2.5)
+    assert s.matrix_bytes == 7.5
+    assert s.intermediate_write_bytes == 10.0
+    assert a.matrix_bytes == 3
+
+
+def test_breakdown_sums_to_total():
+    ledger = TrafficLedger(matrix_bytes=1, source_vector_bytes=2, result_vector_bytes=3,
+                           intermediate_write_bytes=4, intermediate_read_bytes=5,
+                           cache_line_wastage_bytes=6)
+    assert sum(ledger.breakdown().values()) == pytest.approx(ledger.total_bytes)
+
+
+def test_str_contains_total():
+    text = str(TrafficLedger(matrix_bytes=float(1 << 30)))
+    assert "TOTAL" in text and "1.000 GiB" in text

@@ -1,0 +1,99 @@
+"""Tests for the bitonic sorting network and the stable radix pre-sort."""
+
+import numpy as np
+import pytest
+
+from repro.merge.bitonic import (
+    bitonic_network,
+    bitonic_sort,
+    comparator_count,
+    presorter_stage_count,
+    stable_radix_sort,
+)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+def test_network_sorts_random_inputs(n, rng):
+    for _ in range(20):
+        keys = rng.integers(0, 100, size=n)
+        perm = bitonic_sort(keys)
+        assert np.all(np.diff(keys[perm]) >= 0)
+
+
+def test_network_sorts_adversarial_patterns():
+    for keys in ([1, 0], [3, 2, 1, 0], [0, 0, 0, 0], [7, 7, 0, 0, 7, 7, 0, 0]):
+        arr = np.array(keys)
+        perm = bitonic_sort(arr)
+        assert np.all(np.diff(arr[perm]) >= 0)
+
+
+def test_perm_is_a_permutation(rng):
+    keys = rng.integers(0, 10, size=16)
+    perm = bitonic_sort(keys)
+    assert sorted(perm.tolist()) == list(range(16))
+
+
+def test_network_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        bitonic_sort(np.array([1, 2, 3]))
+    with pytest.raises(ValueError):
+        bitonic_network(6)
+
+
+def test_comparator_count_formula():
+    # n/2 * log2(n) * (log2(n)+1) / 2
+    assert comparator_count(2) == 1
+    assert comparator_count(4) == 6
+    assert comparator_count(8) == 24
+    assert comparator_count(16) == 80
+
+
+def test_network_schedule_matches_comparator_count():
+    for n in (2, 4, 8, 16):
+        stages = bitonic_network(n)
+        assert sum(len(s) for s in stages) == comparator_count(n)
+
+
+def test_stage_lanes_disjoint():
+    for stage in bitonic_network(16):
+        lanes = [lane for pair in stage for lane in pair]
+        assert len(lanes) == len(set(lanes))
+
+
+def test_stage_count():
+    assert presorter_stage_count(2) == 1
+    assert presorter_stage_count(8) == 6
+    assert len(bitonic_network(8)) == 6
+
+
+def test_stable_radix_sort_preserves_lane_order():
+    # Two records share radix 2; the earlier lane must come first
+    # (mandatory stability, paper section 4.2.1).
+    radices = np.array([2, 1, 2, 0])
+    perm = stable_radix_sort(radices)
+    assert radices[perm].tolist() == [0, 1, 2, 2]
+    same = [lane for lane in perm.tolist() if radices[lane] == 2]
+    assert same == [0, 2]
+
+
+def test_stable_radix_sort_all_equal(rng):
+    radices = np.full(8, 5)
+    perm = stable_radix_sort(radices)
+    assert perm.tolist() == list(range(8))  # identity for all-equal radices
+
+
+def test_stable_radix_sort_random(rng):
+    for _ in range(25):
+        radices = rng.integers(0, 4, size=16)
+        perm = stable_radix_sort(radices)
+        sorted_r = radices[perm]
+        assert np.all(np.diff(sorted_r) >= 0)
+        # Stability: within each radix, lanes ascend.
+        for r in np.unique(radices):
+            lanes = perm[sorted_r == r]
+            assert np.all(np.diff(lanes) > 0)
+
+
+def test_stable_radix_sort_validates_width():
+    with pytest.raises(ValueError):
+        stable_radix_sort(np.array([1, 0]), width=4)

@@ -1,0 +1,149 @@
+"""Tests for the binary-tree Merge Core cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.merge.merge_core import MergeCore, MergeCoreConfig, inject_missing_keys
+from repro.merge.tournament import merge_accumulate
+from tests.conftest import random_sorted_lists
+
+
+def make_core(ways=8, fifo_depth=2):
+    return MergeCore(MergeCoreConfig(ways=ways, fifo_depth=fifo_depth))
+
+
+def test_config_geometry():
+    cfg = MergeCoreConfig(ways=2048)
+    assert cfg.stages == 11
+    assert cfg.sorter_cells == 2047
+    assert cfg.n_fifos == 4094
+
+
+def test_config_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        MergeCoreConfig(ways=3)
+    with pytest.raises(ValueError):
+        MergeCoreConfig(ways=1)
+
+
+def test_paper_asic_throughput_anchor():
+    """A 2048-way MC at 1.4 GHz saturates 28 GB/s (paper section 3.2)."""
+    cfg = MergeCoreConfig(ways=2048, record_bits=160, frequency_hz=1.4e9)
+    assert cfg.peak_bandwidth == pytest.approx(28e9)
+
+
+def test_sixteen_cores_exceed_hbm():
+    cfg = MergeCoreConfig(ways=2048, record_bits=160, frequency_hz=1.4e9)
+    assert 16 * cfg.peak_bandwidth >= 432e9  # Table 2 sustained TS_ASIC
+
+
+def test_fifo_sram_bits_scale_with_ways():
+    small = MergeCoreConfig(ways=64).fifo_sram_bits
+    big = MergeCoreConfig(ways=2048).fifo_sram_bits
+    assert big / small == pytest.approx((2 * 2048 - 2) / (2 * 64 - 2))
+
+
+def test_estimate_cycles():
+    cfg = MergeCoreConfig(ways=8, fifo_depth=4)
+    assert cfg.estimate_cycles(100) == pytest.approx(3 * 4 + 100)
+    assert cfg.estimate_cycles(100, stall_fraction=0.5) == pytest.approx(12 + 150)
+
+
+def test_merge_two_lists():
+    core = make_core(ways=2)
+    keys, vals = core.merge([
+        (np.array([0, 2, 4]), np.array([1.0, 2.0, 3.0])),
+        (np.array([1, 3]), np.array([10.0, 20.0])),
+    ])
+    assert keys.tolist() == [0, 1, 2, 3, 4]
+    assert vals.tolist() == [1.0, 10.0, 2.0, 20.0, 3.0]
+
+
+def test_merge_accumulates_at_root():
+    core = make_core(ways=4)
+    keys, vals = core.merge([
+        (np.array([5]), np.array([1.0])),
+        (np.array([5]), np.array([2.0])),
+        (np.array([5]), np.array([4.0])),
+    ])
+    assert keys.tolist() == [5]
+    assert vals.tolist() == [7.0]
+
+
+def test_merge_matches_software_reference(rng):
+    core = make_core(ways=8, fifo_depth=3)
+    lists = random_sorted_lists(rng, 8, 200, 40)
+    keys, vals = core.merge(lists)
+    ref_keys, ref_vals = merge_accumulate(lists)
+    assert np.array_equal(keys, ref_keys)
+    assert np.allclose(vals, ref_vals)
+
+
+def test_merge_with_fewer_lists_than_ways(rng):
+    core = make_core(ways=16)
+    lists = random_sorted_lists(rng, 5, 100, 30)
+    keys, _ = core.merge(lists)
+    ref_keys, _ = merge_accumulate(lists)
+    assert np.array_equal(keys, ref_keys)
+
+
+def test_merge_rejects_too_many_lists(rng):
+    core = make_core(ways=2)
+    with pytest.raises(ValueError):
+        core.merge(random_sorted_lists(rng, 3, 50, 10))
+
+
+def test_merge_rejects_unsorted_input():
+    core = make_core(ways=2)
+    with pytest.raises(ValueError):
+        core.merge([(np.array([3, 1]), np.array([1.0, 2.0]))])
+
+
+def test_cycle_count_near_one_record_per_cycle(rng):
+    """Steady-state throughput: cycles ~ records + pipeline fill."""
+    core = make_core(ways=8, fifo_depth=4)
+    lists = [(np.arange(i, 800, 8, dtype=np.int64), np.ones(100)) for i in range(8)]
+    core.merge(lists)
+    total = 800
+    assert core.cycles <= total * 1.5 + 100
+
+
+def test_empty_merge():
+    core = make_core(ways=2)
+    keys, vals = core.merge([])
+    assert keys.size == 0 and vals.size == 0
+
+
+def test_inject_missing_keys_dense_unit_stride():
+    keys, vals = inject_missing_keys(
+        np.array([2, 5]), np.array([1.0, 2.0]), (0, 7)
+    )
+    assert keys.tolist() == [0, 1, 2, 3, 4, 5, 6]
+    assert vals.tolist() == [0.0, 0.0, 1.0, 0.0, 0.0, 2.0, 0.0]
+
+
+def test_inject_missing_keys_residue_class():
+    # Paper Fig. 11: radix 2 of 8, key 10 missing.
+    keys, vals = inject_missing_keys(
+        np.array([2, 18, 26]), np.array([0.2, 1.8, 2.6]), (0, 32), stride=8, offset=2
+    )
+    assert keys.tolist() == [2, 10, 18, 26]
+    assert vals.tolist() == [0.2, 0.0, 1.8, 2.6]
+
+
+def test_inject_missing_keys_rejects_wrong_residue():
+    with pytest.raises(ValueError):
+        inject_missing_keys(np.array([3]), np.array([1.0]), (0, 8), stride=4, offset=2)
+
+
+def test_inject_missing_keys_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        inject_missing_keys(np.array([12]), np.array([1.0]), (0, 8), stride=4, offset=0)
+
+
+def test_inject_missing_keys_empty_input():
+    keys, vals = inject_missing_keys(
+        np.empty(0, dtype=np.int64), np.empty(0), (0, 8), stride=4, offset=1
+    )
+    assert keys.tolist() == [1, 5]
+    assert vals.tolist() == [0.0, 0.0]

@@ -1,0 +1,106 @@
+"""Tests for merge-path SpMV (the software merge-based baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.merge_path import merge_path_search, merge_path_spmv
+from repro.formats.convert import coo_to_csr
+from repro.formats.coo import COOMatrix
+from repro.generators.rmat import rmat_graph
+
+
+def test_search_endpoints():
+    row_ends = np.array([2, 5, 9], dtype=np.int64)
+    assert merge_path_search(0, row_ends, 9) == (0, 0)
+    assert merge_path_search(12, row_ends, 9) == (3, 9)
+
+
+def test_search_is_monotone():
+    row_ends = np.array([1, 1, 4, 8], dtype=np.int64)
+    prev = (0, 0)
+    for diag in range(12 + 1):
+        cur = merge_path_search(diag, row_ends, 8)
+        assert cur[0] >= prev[0] and cur[1] >= prev[1]
+        assert cur[0] + cur[1] == diag
+        prev = cur
+
+
+def test_search_split_validity():
+    """At a valid split, all rows before i end at or before nnz index j."""
+    rng = np.random.default_rng(3)
+    counts = rng.integers(0, 6, size=20)
+    row_ends = np.cumsum(counts).astype(np.int64)
+    nnz = int(row_ends[-1])
+    for diag in range(0, 20 + nnz + 1, 3):
+        i, j = merge_path_search(diag, row_ends, nnz)
+        if i > 0:
+            assert row_ends[i - 1] <= j
+
+
+@pytest.mark.parametrize("n_chunks", [1, 2, 7, 16, 64])
+def test_spmv_matches_reference(small_er_graph, rng, n_chunks):
+    csr = coo_to_csr(small_er_graph)
+    x = rng.uniform(size=small_er_graph.n_cols)
+    out, _ = merge_path_spmv(csr, x, n_chunks=n_chunks)
+    assert np.allclose(out, small_er_graph.spmv(x))
+
+
+def test_spmv_accumulates_y(small_er_graph, rng):
+    csr = coo_to_csr(small_er_graph)
+    x = rng.uniform(size=small_er_graph.n_cols)
+    y = rng.uniform(size=small_er_graph.n_rows)
+    out, _ = merge_path_spmv(csr, x, n_chunks=5, y=y)
+    assert np.allclose(out, small_er_graph.spmv(x, y))
+
+
+def test_spmv_on_powerlaw_skew(rng):
+    """Merge-path's whole point: hub rows split across chunks cleanly."""
+    graph = rmat_graph(11, 12.0, seed=41)
+    csr = coo_to_csr(graph)
+    x = rng.uniform(size=graph.n_cols)
+    out, stats = merge_path_spmv(csr, x, n_chunks=16)
+    assert np.allclose(out, graph.spmv(x))
+    # Path items per chunk are equal by construction (last chunk partial).
+    assert stats.path_balance() < 1.1
+
+
+def test_work_balance_beats_row_partitioning(rng):
+    """Against row-split partitioning, merge-path balances a graph with
+    one giant row."""
+    n = 512
+    rows = np.concatenate([np.zeros(2000, dtype=np.int64), np.arange(n)])
+    cols = np.concatenate([rng.integers(0, n, 2000), rng.integers(0, n, n)])
+    matrix = COOMatrix.from_triples(n, n, rows, cols, np.ones(rows.size))
+    csr = coo_to_csr(matrix)
+    x = rng.uniform(size=n)
+    out, stats = merge_path_spmv(csr, x, n_chunks=8)
+    assert np.allclose(out, matrix.spmv(x))
+    # The giant row's nonzeros spread over several chunks.
+    assert (stats.nnz_per_chunk > 100).sum() >= 3
+
+
+def test_single_row_split_across_all_chunks(rng):
+    n = 16
+    matrix = COOMatrix.from_triples(
+        n, n, np.zeros(400, dtype=np.int64), rng.integers(0, n, 400), np.ones(400)
+    )
+    csr = coo_to_csr(matrix)
+    out, _ = merge_path_spmv(csr, np.ones(n), n_chunks=8)
+    assert out[0] == pytest.approx(400.0)
+    assert np.allclose(out[1:], 0.0)
+
+
+def test_empty_matrix():
+    csr = coo_to_csr(
+        COOMatrix(4, 4, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0))
+    )
+    out, stats = merge_path_spmv(csr, np.ones(4), n_chunks=4)
+    assert np.allclose(out, 0.0)
+
+
+def test_validation(small_er_graph):
+    csr = coo_to_csr(small_er_graph)
+    with pytest.raises(ValueError):
+        merge_path_spmv(csr, np.ones(3))
+    with pytest.raises(ValueError):
+        merge_path_spmv(csr, np.ones(csr.n_cols), n_chunks=0)

@@ -1,0 +1,91 @@
+"""Tests for the composed record-level step-2 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.merge.merge_core import MergeCoreConfig
+from repro.merge.pipeline import Step2Pipeline
+from repro.merge.prap import PRaPConfig
+from tests.conftest import dense_from_lists, random_sorted_lists
+
+
+def make_pipeline(q=2, ways=8, dpage=64, record_bytes=8):
+    return Step2Pipeline(
+        PRaPConfig(q=q, core=MergeCoreConfig(ways=ways), dpage_bytes=dpage),
+        record_bytes=record_bytes,
+    )
+
+
+def test_pipeline_output_matches_reference(rng):
+    pipeline = make_pipeline()
+    lists = random_sorted_lists(rng, 8, 256, 60)
+    out, stats = pipeline.run(lists, 256)
+    assert np.allclose(out, dense_from_lists(lists, 256))
+    assert stats.core_output_records == stats.output_cycles * 4
+
+
+def test_pipeline_counts_page_fetches(rng):
+    dpage, record_bytes = 64, 8  # 8 records per page
+    pipeline = make_pipeline(dpage=dpage, record_bytes=record_bytes)
+    lists = random_sorted_lists(rng, 4, 300, 100)
+    _, stats = pipeline.run(lists, 300)
+    expected = sum(-(-i.size // 8) for i, _ in lists if i.size)
+    assert stats.page_fetches == expected
+    assert stats.dram_read_bytes == expected * dpage
+
+
+def test_pipeline_core_loads_sum_to_input(rng):
+    pipeline = make_pipeline(q=3)
+    lists = random_sorted_lists(rng, 6, 200, 50)
+    _, stats = pipeline.run(lists, 200)
+    assert stats.core_input_records.sum() == sum(i.size for i, _ in lists)
+    assert stats.load_imbalance() >= 1.0
+
+
+def test_pipeline_output_cycles_equalized_despite_skew():
+    """All keys in one residue class: inputs are maximally imbalanced but
+    every core still emits exactly N/p records (section 4.2.2)."""
+    idx = np.arange(0, 256, 4, dtype=np.int64)  # radix 0 only at q=2
+    lists = [(idx, np.ones(idx.size))]
+    pipeline = make_pipeline(q=2, ways=2)
+    out, stats = pipeline.run(lists, 256)
+    assert out.sum() == idx.size
+    assert stats.load_imbalance() == pytest.approx(4.0)
+    assert stats.output_cycles == 64  # 256 / 4 cores
+
+
+def test_pipeline_presort_batches(rng):
+    pipeline = make_pipeline(q=2)
+    idx = np.arange(64, dtype=np.int64)
+    lists = [(idx, np.ones(64))]
+    _, stats = pipeline.run(lists, 64)
+    assert stats.presort_batches == 16  # 64 records in batches of p=4
+
+
+def test_pipeline_rejects_too_many_lists(rng):
+    pipeline = make_pipeline(ways=2)
+    with pytest.raises(ValueError):
+        pipeline.run(random_sorted_lists(rng, 3, 50, 10), 50)
+
+
+def test_pipeline_rejects_unsorted():
+    pipeline = make_pipeline()
+    with pytest.raises(ValueError):
+        pipeline.run([(np.array([5, 1]), np.array([1.0, 2.0]))], 10)
+
+
+def test_pipeline_empty_lists():
+    pipeline = make_pipeline()
+    out, stats = pipeline.run([], 32)
+    assert np.allclose(out, np.zeros(32))
+    assert stats.page_fetches == 0
+
+
+def test_pipeline_matches_prap_network(rng):
+    from repro.merge.prap import PRaPMergeNetwork
+
+    lists = random_sorted_lists(rng, 5, 128, 40)
+    cfg = PRaPConfig(q=2, core=MergeCoreConfig(ways=8))
+    pipeline_out, _ = Step2Pipeline(cfg).run(lists, 128)
+    network_out = PRaPMergeNetwork(cfg).merge(lists, 128)
+    assert np.allclose(pipeline_out, network_out)

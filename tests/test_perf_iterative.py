@@ -1,0 +1,60 @@
+"""Tests for the iterative (multi-SpMV) performance model."""
+
+import pytest
+
+from repro.core.design_points import ITS_ASIC, TS_ASIC
+from repro.core.perf import estimate_iterative, estimate_performance
+
+
+N, NNZ = 10**8, 3 * 10**8
+
+
+def test_single_iteration_matches_plain_estimate_ts():
+    single = estimate_performance(TS_ASIC, N, NNZ)
+    run = estimate_iterative(TS_ASIC, N, NNZ, 1)
+    assert run.runtime_s == pytest.approx(single.runtime_s)
+    assert run.traffic.total_bytes == pytest.approx(single.traffic.total_bytes)
+
+
+def test_ts_scales_linearly():
+    one = estimate_iterative(TS_ASIC, N, NNZ, 1)
+    ten = estimate_iterative(TS_ASIC, N, NNZ, 10)
+    assert ten.runtime_s == pytest.approx(10 * one.runtime_s)
+    assert ten.traffic.total_bytes == pytest.approx(10 * one.traffic.total_bytes)
+
+
+def test_its_amortizes_boundary_transfers():
+    one = estimate_iterative(ITS_ASIC, N, NNZ, 1)
+    ten = estimate_iterative(ITS_ASIC, N, NNZ, 10)
+    # Boundary x/y transfers happen once per run, not per iteration.
+    assert ten.runtime_s < 10 * one.runtime_s
+    boundary = 2 * N * ITS_ASIC.value_bytes
+    assert ten.traffic.source_vector_bytes == pytest.approx(boundary / 2)
+    assert ten.traffic.result_vector_bytes == pytest.approx(boundary / 2)
+
+
+def test_its_beats_ts_over_iterations():
+    for iterations in (1, 5, 20):
+        ts = estimate_iterative(TS_ASIC, N, NNZ, iterations)
+        its = estimate_iterative(ITS_ASIC, N, NNZ, iterations)
+        assert its.runtime_s < ts.runtime_s, iterations
+    # ITS's edge grows with iterations (the overlap compounds).
+    r1 = estimate_iterative(TS_ASIC, N, NNZ, 1).runtime_s / estimate_iterative(
+        ITS_ASIC, N, NNZ, 1
+    ).runtime_s
+    r20 = estimate_iterative(TS_ASIC, N, NNZ, 20).runtime_s / estimate_iterative(
+        ITS_ASIC, N, NNZ, 20
+    ).runtime_s
+    assert r20 >= r1 * 0.99
+
+
+def test_aggregate_gteps():
+    run = estimate_iterative(TS_ASIC, N, NNZ, 5)
+    assert run.gteps == pytest.approx(NNZ * 5 / run.runtime_s / 1e9)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        estimate_iterative(TS_ASIC, N, NNZ, 0)
+    with pytest.raises(ValueError):
+        estimate_iterative(ITS_ASIC, int(5e9), int(1e10), 2)  # over capacity

@@ -1,0 +1,127 @@
+"""Tests for matrix reordering and the sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import SweepSkip, SweepSpec, design_point_sweep, run_sweep
+from repro.core.design_points import ITS_FPGA2, TS_ASIC
+from repro.formats.coo import COOMatrix
+from repro.formats.permute import index_bandwidth, permute, rcm_ordering
+from repro.generators.mesh import mesh_graph
+from repro.generators.rmat import rmat_graph
+
+
+class TestPermute:
+    def test_permutation_preserves_spectrum_of_spmv(self, small_er_graph, rng):
+        perm = rng.permutation(small_er_graph.n_rows).astype(np.int64)
+        permuted = permute(small_er_graph, perm)
+        x = rng.uniform(size=small_er_graph.n_cols)
+        # (P A P^T)(P x) = P (A x)
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(perm.size)
+        y_perm = permuted.spmv(x[perm])
+        y_ref = small_er_graph.spmv(x)
+        assert np.allclose(y_perm, y_ref[perm])
+
+    def test_identity_permutation(self, tiny_matrix):
+        eye = np.arange(6, dtype=np.int64)
+        assert np.allclose(permute(tiny_matrix, eye).to_dense(), tiny_matrix.to_dense())
+
+    def test_permute_validation(self, tiny_matrix):
+        with pytest.raises(ValueError):
+            permute(tiny_matrix, np.array([0, 1, 2]))  # wrong length
+        rect = COOMatrix.from_triples(2, 3, [0], [1], [1.0])
+        with pytest.raises(ValueError):
+            permute(rect, np.array([0, 1]))
+
+    def test_rcm_is_a_permutation(self, small_er_graph):
+        perm = rcm_ordering(small_er_graph)
+        assert sorted(perm.tolist()) == list(range(small_er_graph.n_rows))
+
+    def test_rcm_restores_mesh_locality(self, rng):
+        """A shuffled mesh regains its narrow band under RCM."""
+        mesh = mesh_graph(2000, 4.0, seed=31, band=12)
+        shuffle = rng.permutation(2000).astype(np.int64)
+        scrambled = permute(mesh, shuffle)
+        assert index_bandwidth(scrambled) > 20 * index_bandwidth(mesh)
+        recovered = permute(scrambled, rcm_ordering(scrambled))
+        assert index_bandwidth(recovered) < index_bandwidth(scrambled) / 5
+
+    def test_rcm_barely_helps_power_law(self):
+        """The intro's claim: renumbering cannot manufacture locality in
+        unstructured power-law graphs."""
+        graph = rmat_graph(11, 8.0, seed=32)
+        reordered = permute(graph, rcm_ordering(graph))
+        before = index_bandwidth(graph)
+        after = index_bandwidth(reordered)
+        # At best a small constant factor -- nothing like the mesh's 5-20x.
+        assert after > before / 4
+
+    def test_twostep_streaming_invariant_under_permutation(self, rng):
+        """Two-Step stays correct and 100% streaming however the matrix is
+        numbered -- the access *pattern* is locality-free (the paper's
+        claim), even though record counts shift with row clustering."""
+        from repro.core.config import TwoStepConfig
+        from repro.core.twostep import TwoStepEngine
+
+        mesh = mesh_graph(1500, 4.0, seed=33, band=10)
+        shuffled = permute(mesh, rng.permutation(1500).astype(np.int64))
+        engine = TwoStepEngine(TwoStepConfig(segment_width=300, q=2))
+        x = rng.uniform(size=1500)
+        for matrix in (mesh, shuffled):
+            y, report = engine.run(matrix, x)
+            assert np.allclose(y, matrix.spmv(x))
+            assert report.traffic.cache_line_wastage_bytes == 0.0
+
+
+class TestSweep:
+    def test_run_sweep_grid(self):
+        spec = SweepSpec(
+            experiment="toy",
+            configurations={"a": 2, "b": 3},
+            workloads={"x": 10, "y": 20},
+            evaluate=lambda c, w: {"product": float(c * w)},
+        )
+        result = run_sweep(spec)
+        assert len(result.records) == 4
+        grid = result.metric_grid("product")
+        assert grid[("a", "x")] == 20.0
+        assert grid[("b", "y")] == 60.0
+
+    def test_skip_cells(self):
+        def evaluate(config, workload):
+            # evaluate receives the configuration *object* (here: 2).
+            if config == 2:
+                raise SweepSkip("unsupported")
+            return {"v": 1.0}
+
+        spec = SweepSpec("toy", {"ok": 1, "bad": 2}, {"w": 1}, evaluate)
+        result = run_sweep(spec)
+        assert len(result.records) == 1
+        assert result.skipped == [("bad", "w", "unsupported")]
+
+    def test_errors_propagate(self):
+        def evaluate(c, w):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_sweep(SweepSpec("toy", {"c": 1}, {"w": 1}, evaluate))
+
+    def test_design_point_sweep_matches_direct_estimates(self):
+        from repro.core.perf import estimate_performance
+        from repro.generators.datasets import get_dataset
+
+        result = design_point_sweep(["patents", "TW"], [TS_ASIC])
+        grid = result.metric_grid("gteps")
+        spec = get_dataset("TW")
+        direct = estimate_performance(TS_ASIC, spec.n_nodes, spec.n_edges)
+        assert grid[("TS_ASIC", "TW")] == pytest.approx(direct.gteps)
+
+    def test_design_point_sweep_skips_over_capacity(self):
+        result = design_point_sweep(["TW"], [ITS_FPGA2])  # 41.6M > 33.6M
+        assert not result.records
+        assert result.skipped and result.skipped[0][0] == "ITS_FPGA2"
+
+    def test_iterative_sweep(self):
+        result = design_point_sweep(["patents"], [TS_ASIC], iterations=10)
+        assert result.records[0].metrics["runtime_s"] > 0

@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the invariants the paper's correctness rests on:
+
+* Two-Step SpMV == dense reference for any matrix/vector/blocking.
+* PRaP merging == plain accumulation for any q and any list shapes.
+* Missing-key injection always yields exactly the dense residue class.
+* The bitonic network sorts any input; the stabilized variant is stable.
+* VLDI round-trips bit-exactly for any positive deltas and block width.
+* Bloom filters never produce false negatives.
+* Delta encoding round-trips for any strictly increasing index stream.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.delta import delta_decode, delta_encode
+from repro.compression.vldi import VLDICodec, total_encoded_bits
+from repro.core.config import TwoStepConfig
+from repro.core.twostep import TwoStepEngine
+from repro.filters.bloom import BloomFilter, OneMemoryAccessBloomFilter
+from repro.formats.coo import COOMatrix
+from repro.merge.bitonic import bitonic_sort, stable_radix_sort
+from repro.merge.merge_core import inject_missing_keys
+from repro.merge.prap import prap_merge_dense
+from repro.merge.tournament import merge_accumulate
+
+settings.register_profile("repro", deadline=None, max_examples=40)
+settings.load_profile("repro")
+
+
+@st.composite
+def coo_matrices(draw, max_dim=60, max_nnz=120):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix.from_triples(n_rows, n_cols, np.array(rows, dtype=np.int64),
+                                  np.array(cols, dtype=np.int64), np.array(vals))
+
+
+@st.composite
+def sorted_lists(draw, max_lists=6, key_space=64):
+    n_lists = draw(st.integers(0, max_lists))
+    lists = []
+    for _ in range(n_lists):
+        keys = draw(
+            st.lists(st.integers(0, key_space - 1), unique=True, max_size=key_space)
+        )
+        keys = np.sort(np.array(keys, dtype=np.int64))
+        vals = draw(
+            st.lists(
+                st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+                min_size=len(keys),
+                max_size=len(keys),
+            )
+        )
+        lists.append((keys, np.array(vals)))
+    return lists
+
+
+@given(coo_matrices(), st.integers(1, 70), st.integers(0, 4))
+def test_twostep_equals_reference(matrix, segment_width, q):
+    engine = TwoStepEngine(TwoStepConfig(segment_width=segment_width, q=q))
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=matrix.n_cols)
+    y, _ = engine.run(matrix, x)
+    assert np.allclose(y, matrix.spmv(x), atol=1e-9)
+
+
+@given(sorted_lists(), st.integers(0, 3))
+def test_prap_merge_equals_accumulation(lists, q):
+    n_out = 64
+    out = prap_merge_dense(lists, n_out, q)
+    ref = np.zeros(n_out)
+    for idx, val in lists:
+        np.add.at(ref, idx, val)
+    assert np.allclose(out, ref, atol=1e-9)
+
+
+@given(sorted_lists())
+def test_merge_accumulate_strictly_sorted(lists):
+    idx, _ = merge_accumulate(lists)
+    assert np.all(np.diff(idx) > 0)
+
+
+@given(
+    st.lists(st.integers(0, 127), unique=True, max_size=32),
+    st.integers(1, 8),
+    st.integers(0, 7),
+)
+def test_missing_key_injection_covers_residue_class(keys, stride, offset):
+    offset = offset % stride
+    keys = np.sort(np.array([k for k in keys if k % stride == offset], dtype=np.int64))
+    vals = np.ones(keys.size)
+    out_keys, out_vals = inject_missing_keys(keys, vals, (0, 128), stride, offset)
+    expected = np.arange(offset, 128, stride)
+    assert np.array_equal(out_keys, expected)
+    assert out_vals.sum() == keys.size  # zeros injected, values preserved
+
+
+@given(st.lists(st.integers(0, 1000), min_size=16, max_size=16))
+def test_bitonic_network_sorts(keys):
+    keys = np.array(keys)
+    perm = bitonic_sort(keys)
+    assert np.all(np.diff(keys[perm]) >= 0)
+
+
+@given(st.lists(st.integers(0, 7), min_size=8, max_size=8))
+def test_stable_radix_sort_stability(radices):
+    radices = np.array(radices, dtype=np.int64)
+    perm = stable_radix_sort(radices)
+    out = radices[perm]
+    assert np.all(np.diff(out) >= 0)
+    for r in np.unique(radices):
+        lanes = perm[out == r]
+        assert np.all(np.diff(lanes) > 0)
+
+
+@given(
+    st.lists(st.integers(1, 1 << 40), min_size=1, max_size=60),
+    st.integers(1, 20),
+)
+def test_vldi_roundtrip(deltas, block_bits):
+    codec = VLDICodec(block_bits)
+    arr = np.array(deltas, dtype=np.int64)
+    bits = codec.encode(arr)
+    assert np.array_equal(codec.decode(bits), arr)
+    assert bits.size == total_encoded_bits(arr, block_bits)
+
+
+@given(st.lists(st.integers(0, 1 << 40), unique=True, min_size=1, max_size=80))
+def test_delta_roundtrip(indices):
+    idx = np.sort(np.array(indices, dtype=np.int64))
+    assert np.array_equal(delta_decode(delta_encode(idx)), idx)
+
+
+@given(
+    st.lists(st.integers(0, 1 << 30), unique=True, min_size=1, max_size=100),
+    st.integers(2, 5),
+)
+def test_bloom_no_false_negatives(members, g):
+    members = np.array(members)
+    bloom = BloomFilter(1 << 12, g)
+    bloom.insert(members)
+    assert bloom.query(members).all()
+
+
+@given(st.lists(st.integers(0, 1 << 30), unique=True, min_size=1, max_size=100))
+def test_one_access_bloom_no_false_negatives(members):
+    members = np.array(members)
+    bloom = OneMemoryAccessBloomFilter(n_words=512, word_bits=64, g_hashes=4)
+    bloom.insert(members)
+    assert bloom.query(members).all()
+
+
+@given(coo_matrices(max_dim=40, max_nnz=80))
+def test_transpose_involution(matrix):
+    assert np.allclose(matrix.transpose().transpose().to_dense(), matrix.to_dense())
+
+
+@given(coo_matrices(max_dim=40, max_nnz=80), st.integers(1, 50))
+def test_column_blocks_partition_nnz(matrix, width):
+    from repro.formats.blocking import column_blocks
+
+    blocks = column_blocks(matrix, width)
+    assert sum(b.nnz for b in blocks) == matrix.nnz

@@ -1,0 +1,106 @@
+"""Tests for the roofline analysis and the HBM channel allocator."""
+
+import pytest
+
+from repro.analysis.roofline import RooflinePoint, roofline_point, spmv_intensity
+from repro.core.design_points import TS_ASIC
+from repro.core.perf import estimate_performance
+from repro.memory.hbm import ChannelAllocator, HBMSystem
+from repro.memory.traffic import TrafficLedger
+
+
+class TestRoofline:
+    def test_spmv_intensity(self):
+        traffic = TrafficLedger(matrix_bytes=20e9)
+        assert spmv_intensity(traffic, n_edges=1e9) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            spmv_intensity(TrafficLedger(), 1e9)
+
+    def test_spmv_is_memory_bound_everywhere(self):
+        """The premise of the whole paper: SpMV sits far left of every
+        platform's ridge point."""
+        est = estimate_performance(TS_ASIC, 10**9, 3 * 10**9)
+        for platform, gflops, bw in (
+            ("ASIC", 100.0, 512.0),
+            ("Xeon E5", 400.0, 102.0),
+            ("GPU cluster", 8 * 1030.0, 8 * 148.0),
+        ):
+            point = roofline_point(
+                platform, gflops, bw, est.traffic, est.n_edges, est.runtime_s
+            )
+            assert point.is_memory_bound, platform
+
+    def test_accelerator_achieves_high_bandwidth_efficiency(self):
+        est = estimate_performance(TS_ASIC, 10**9, 3 * 10**9)
+        point = roofline_point(
+            "TS_ASIC", 100.0, 512.0, est.traffic, est.n_edges, est.runtime_s
+        )
+        assert point.bandwidth_efficiency > 0.3
+        assert point.roof_fraction <= 1.0 + 1e-9
+
+    def test_roof_math(self):
+        point = RooflinePoint("x", peak_gflops=100, peak_bandwidth_gbs=50,
+                              arithmetic_intensity=0.5, achieved_gflops=20)
+        assert point.ridge_intensity == pytest.approx(2.0)
+        assert point.roof_gflops == pytest.approx(25.0)
+        assert point.roof_fraction == pytest.approx(0.8)
+        assert point.bandwidth_efficiency == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roofline_point("x", 1, 1, TrafficLedger(matrix_bytes=1), 1, 0.0)
+
+
+class TestChannelAllocator:
+    def test_system_totals(self):
+        system = HBMSystem(n_channels=32, channel_bandwidth=16e9)
+        assert system.total_bandwidth == pytest.approx(512e9)
+
+    def test_allocate_and_bandwidth(self):
+        alloc = ChannelAllocator()
+        alloc.allocate("matrix", 16)
+        alloc.allocate("intermediate", 16)
+        assert alloc.bandwidth("matrix") == pytest.approx(256e9)
+        assert alloc.allocated_channels == 32
+
+    def test_over_allocation_rejected(self):
+        alloc = ChannelAllocator(system=HBMSystem(n_channels=4))
+        alloc.allocate("a", 3)
+        with pytest.raises(ValueError):
+            alloc.allocate("b", 2)
+        with pytest.raises(ValueError):
+            alloc.allocate("a", 1)  # duplicate
+
+    def test_phase_time_is_slowest_stream(self):
+        alloc = ChannelAllocator(system=HBMSystem(n_channels=2, channel_bandwidth=1e9))
+        alloc.allocate("a", 1)
+        alloc.allocate("b", 1)
+        t = alloc.phase_time({"a": 2e9, "b": 1e9})
+        assert t == pytest.approx(2.0)
+
+    def test_phase_time_unknown_stream(self):
+        alloc = ChannelAllocator()
+        with pytest.raises(KeyError):
+            alloc.phase_time({"nope": 1.0})
+
+    def test_balanced_allocation_reaches_aggregate_bandwidth(self):
+        """Proportional allocation -> phase time ~ total/aggregate, which
+        is the analytic model's assumption."""
+        system = HBMSystem(n_channels=32, channel_bandwidth=16e9)
+        transfers = {"matrix": 300e9, "x": 20e9, "intermediate_w": 180e9}
+        alloc = ChannelAllocator.balanced(transfers, system)
+        ideal = sum(transfers.values()) / system.total_bandwidth
+        assert alloc.phase_time(transfers) <= ideal * 1.35
+
+    def test_unbalanced_allocation_is_slower(self):
+        system = HBMSystem(n_channels=32, channel_bandwidth=16e9)
+        transfers = {"matrix": 300e9, "x": 20e9}
+        balanced = ChannelAllocator.balanced(transfers, system)
+        skewed = ChannelAllocator(system=system)
+        skewed.allocate("matrix", 2)
+        skewed.allocate("x", 30)
+        assert skewed.phase_time(transfers) > balanced.phase_time(transfers)
+
+    def test_balanced_empty(self):
+        alloc = ChannelAllocator.balanced({})
+        assert alloc.phase_time({}) == 0.0

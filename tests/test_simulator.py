@@ -1,0 +1,210 @@
+"""Tests for the clocked accelerator simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TwoStepConfig
+from repro.core.twostep import TwoStepEngine
+from repro.filters.hdn import HDNConfig
+from repro.generators.erdos_renyi import erdos_renyi_graph
+from repro.generators.rmat import rmat_graph
+from repro.simulator.step1_sim import Step1CycleSim, Step1SimConfig
+from repro.simulator.step2_sim import Step2CycleSim, Step2SimConfig
+from repro.simulator.system import SystemSim
+from tests.conftest import dense_from_lists, random_sorted_lists
+
+
+def stripe_arrays(graph):
+    return graph.rows, graph.cols, graph.vals
+
+
+class TestStep1CycleSim:
+    def test_functional_output(self, small_er_graph, rng):
+        x = rng.uniform(size=small_er_graph.n_cols)
+        sim = Step1CycleSim()
+        r = sim.run_stripe(*stripe_arrays(small_er_graph), x)
+        dense = np.zeros(small_er_graph.n_rows)
+        dense[r.indices] = r.values
+        assert np.allclose(dense, small_er_graph.spmv(x))
+
+    def test_cycle_floor_is_records_over_pipelines(self, small_er_graph, rng):
+        x = rng.uniform(size=small_er_graph.n_cols)
+        cfg = Step1SimConfig(pipelines=8, n_banks=1024)
+        r = Step1CycleSim(cfg).run_stripe(*stripe_arrays(small_er_graph), x)
+        floor = -(-small_er_graph.nnz // 8)
+        assert r.cycles >= floor
+        assert r.utilization <= 8.0
+
+    def test_bank_conflicts_increase_with_fewer_banks(self, small_er_graph, rng):
+        x = rng.uniform(size=small_er_graph.n_cols)
+        few = Step1CycleSim(Step1SimConfig(pipelines=8, n_banks=2)).run_stripe(
+            *stripe_arrays(small_er_graph), x
+        )
+        many = Step1CycleSim(Step1SimConfig(pipelines=8, n_banks=256)).run_stripe(
+            *stripe_arrays(small_er_graph), x
+        )
+        assert few.bank_conflict_stalls > many.bank_conflict_stalls
+        assert few.cycles > many.cycles
+
+    def test_single_pipeline_no_conflicts(self, small_er_graph, rng):
+        x = rng.uniform(size=small_er_graph.n_cols)
+        r = Step1CycleSim(Step1SimConfig(pipelines=1)).run_stripe(
+            *stripe_arrays(small_er_graph), x
+        )
+        assert r.bank_conflict_stalls == 0
+
+    def test_hazards_on_long_rows(self):
+        # One row with 64 consecutive records: deep same-row run.
+        rows = np.zeros(64, dtype=np.int64)
+        cols = np.arange(64, dtype=np.int64)
+        vals = np.ones(64)
+        x = np.ones(64)
+        r = Step1CycleSim(Step1SimConfig(adder_chain_depth=8)).run_stripe(rows, cols, vals, x)
+        assert r.hazard_stalls > 0
+        assert r.indices.tolist() == [0]
+        assert r.values[0] == pytest.approx(64.0)
+
+    def test_hdn_dispatch_removes_hazards(self):
+        graph = rmat_graph(11, 16.0, seed=23)
+        from repro.filters.hdn import HDNDetector
+
+        degrees = graph.row_degrees()
+        detector = HDNDetector(degrees, HDNConfig(degree_threshold=16))
+        x = np.ones(graph.n_cols)
+        plain = Step1CycleSim().run_stripe(*stripe_arrays(graph), x)
+        dispatched = Step1CycleSim().run_stripe(*stripe_arrays(graph), x, detector)
+        assert dispatched.hazard_stalls < plain.hazard_stalls
+        assert dispatched.hdn_records > 0
+        # Same functional result either way.
+        assert np.array_equal(plain.indices, dispatched.indices)
+        assert np.allclose(plain.values, dispatched.values)
+
+    def test_rejects_unsorted_rows(self):
+        sim = Step1CycleSim()
+        with pytest.raises(ValueError):
+            sim.run_stripe(np.array([2, 1]), np.array([0, 0]), np.ones(2), np.ones(1))
+
+    def test_empty_stripe(self):
+        r = Step1CycleSim().run_stripe(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64), np.array([]), np.ones(4)
+        )
+        assert r.cycles == 0
+        assert r.indices.size == 0
+
+
+class TestStep2CycleSim:
+    def test_functional_output(self, rng):
+        lists = random_sorted_lists(rng, 6, 300, 80)
+        sim = Step2CycleSim(Step2SimConfig(q=2))
+        result = sim.run(lists, 300)
+        assert np.allclose(result.output, dense_from_lists(lists, 300))
+
+    def test_cycle_floor_is_dense_output_per_core(self, rng):
+        lists = random_sorted_lists(rng, 4, 256, 40)
+        result = Step2CycleSim(Step2SimConfig(q=2)).run(lists, 256)
+        assert result.cycles >= 256 // 4
+
+    def test_shallow_buffer_stalls_more(self, rng):
+        lists = [(np.arange(0, 4096, 2, dtype=np.int64), np.ones(2048))]
+        slow = Step2CycleSim(
+            Step2SimConfig(q=0, records_per_page=4, page_fetch_cycles=64, pages_buffered=1)
+        ).run(lists, 4096)
+        fast = Step2CycleSim(
+            Step2SimConfig(q=0, records_per_page=4, page_fetch_cycles=64, pages_buffered=32)
+        ).run(lists, 4096)
+        assert slow.stall_cycles > fast.stall_cycles
+        assert slow.cycles > fast.cycles
+
+    def test_page_fetch_count(self, rng):
+        idx = np.arange(100, dtype=np.int64)
+        lists = [(idx, np.ones(100))]
+        result = Step2CycleSim(Step2SimConfig(q=1, records_per_page=16)).run(lists, 100)
+        # Records split across 2 radix classes, 50 each -> ceil(50/16)*2.
+        assert result.page_fetches == 2 * 4
+
+    def test_empty(self):
+        result = Step2CycleSim().run([], 16)
+        assert np.allclose(result.output, np.zeros(16))
+
+
+class TestSystemSim:
+    def test_full_system_matches_reference(self, small_er_graph, rng):
+        x = rng.uniform(size=small_er_graph.n_cols)
+        sim = SystemSim(segment_width=300)
+        y, report = sim.run(small_er_graph, x)
+        assert np.allclose(y, small_er_graph.spmv(x))
+        assert report.step1_cycles > 0
+        assert report.step2_cycles > 0
+
+    def test_overlap_reduces_total(self, small_er_graph, rng):
+        x = rng.uniform(size=small_er_graph.n_cols)
+        ts = SystemSim(segment_width=300, overlapped=False)
+        its = SystemSim(segment_width=300, overlapped=True)
+        _, ts_report = ts.run(small_er_graph, x)
+        _, its_report = its.run(small_er_graph, x)
+        assert its_report.total_cycles < ts_report.total_cycles
+        assert its_report.total_cycles == max(
+            its_report.step1_cycles, its_report.step2_cycles
+        )
+
+    def test_gteps_at_frequency(self, small_er_graph, rng):
+        x = rng.uniform(size=small_er_graph.n_cols)
+        _, report = SystemSim(segment_width=300).run(small_er_graph, x)
+        gteps = report.gteps(small_er_graph.nnz, 1.4e9)
+        assert gteps > 0
+
+    def test_clocked_cycles_near_analytic_estimate(self, rng):
+        """The clocked simulator and the analytic engine must agree on
+        step-1 cycles within a modest factor (same fabric model)."""
+        graph = erdos_renyi_graph(20_000, 4.0, seed=31)
+        x = rng.uniform(size=graph.n_cols)
+        sim = SystemSim(
+            segment_width=2_000,
+            step1=Step1SimConfig(pipelines=8, n_banks=32),
+        )
+        _, clocked = sim.run(graph, x)
+        engine = TwoStepEngine(TwoStepConfig(segment_width=2_000, q=2, step1_pipelines=8))
+        _, analytic = engine.run(graph, x)
+        ratio = clocked.step1_cycles / analytic.step1.cycles
+        assert 0.5 < ratio < 2.0
+
+    def test_hdn_system_path(self, rng):
+        graph = rmat_graph(11, 12.0, seed=25)
+        x = rng.uniform(size=graph.n_cols)
+        sim = SystemSim(segment_width=1024, hdn=HDNConfig(degree_threshold=32))
+        y, report = sim.run(graph, x)
+        assert np.allclose(y, graph.spmv(x))
+        assert report.hdn_records > 0
+
+    def test_validates_input(self, small_er_graph):
+        sim = SystemSim(segment_width=100)
+        with pytest.raises(ValueError):
+            sim.run(small_er_graph, np.zeros(3))
+        with pytest.raises(ValueError):
+            SystemSim(segment_width=0)
+
+
+class TestSystemTiming:
+    def test_time_without_memory_model(self, small_er_graph, rng):
+        x = rng.uniform(size=small_er_graph.n_cols)
+        _, report = SystemSim(segment_width=300).run(small_er_graph, x)
+        assert report.time_s(1.4e9) == pytest.approx(report.total_cycles / 1.4e9)
+
+    def test_memory_floor_applies(self, small_er_graph, rng):
+        from repro.core.config import TwoStepConfig
+        from repro.core.design_points import TS_ASIC
+        from repro.memory.dram import DRAMConfig
+
+        x = rng.uniform(size=small_er_graph.n_cols)
+        _, report = SystemSim(segment_width=300).run(small_er_graph, x)
+        engine = TwoStepEngine(TwoStepConfig(segment_width=300, q=2))
+        _, functional = engine.run(small_er_graph, x)
+        traffic = functional.traffic
+        # A hypothetical glacial DRAM makes the run memory-bound.
+        slow = DRAMConfig("slow", 1e6, 1e5, 2048, 32, 1e-6, 5.0)
+        assert report.is_memory_bound(1.4e9, traffic, slow)
+        assert report.time_s(1.4e9, traffic, slow) == pytest.approx(
+            traffic.total_bytes / 1e6
+        )
+        # The real HBM system leaves this small run compute-bound.
+        assert not report.is_memory_bound(1.4e9, traffic, TS_ASIC.dram)

@@ -1,0 +1,99 @@
+"""Tests for the SpMSpV kernel and the Barabási–Albert generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.spmspv import spmspv, spmspv_dense_reference
+from repro.generators.barabasi_albert import barabasi_albert_graph
+from repro.generators.vectors import sparse_vector
+
+
+def test_spmspv_matches_dense(small_er_graph, rng):
+    idx, val = sparse_vector(small_er_graph.n_cols, 50, seed=3)
+    out_idx, out_val, _ = spmspv(small_er_graph, idx, val)
+    dense = np.zeros(small_er_graph.n_rows)
+    dense[out_idx] = out_val
+    assert np.allclose(dense, spmspv_dense_reference(small_er_graph, idx, val))
+
+
+def test_spmspv_output_sorted(small_er_graph):
+    idx, val = sparse_vector(small_er_graph.n_cols, 80, seed=4)
+    out_idx, _, _ = spmspv(small_er_graph, idx, val)
+    assert np.all(np.diff(out_idx) > 0)
+
+
+def test_spmspv_record_savings(small_er_graph):
+    """A tiny frontier touches far fewer records than full SpMV."""
+    idx, val = sparse_vector(small_er_graph.n_cols, 5, seed=5)
+    _, _, stats = spmspv(small_er_graph, idx, val)
+    assert stats["touched_records"] < small_er_graph.nnz / 10
+    assert stats["record_savings"] > 0.9
+
+
+def test_spmspv_full_frontier_equals_spmv(small_er_graph, rng):
+    x = rng.uniform(0.1, 1.0, size=small_er_graph.n_cols)
+    idx = np.arange(small_er_graph.n_cols, dtype=np.int64)
+    out_idx, out_val, stats = spmspv(small_er_graph, idx, x)
+    dense = np.zeros(small_er_graph.n_rows)
+    dense[out_idx] = out_val
+    assert np.allclose(dense, small_er_graph.spmv(x))
+    assert stats["touched_records"] == small_er_graph.nnz
+
+
+def test_spmspv_empty_frontier(small_er_graph):
+    out_idx, out_val, stats = spmspv(
+        small_er_graph, np.array([], dtype=np.int64), np.array([])
+    )
+    assert out_idx.size == 0
+    assert stats["output_nnz"] == 0
+
+
+def test_spmspv_validation(small_er_graph):
+    with pytest.raises(ValueError):
+        spmspv(small_er_graph, np.array([5, 3]), np.ones(2))  # not increasing
+    with pytest.raises(ValueError):
+        spmspv(small_er_graph, np.array([10**9]), np.ones(1))  # out of range
+    with pytest.raises(ValueError):
+        spmspv(small_er_graph, np.array([1]), np.ones(2))  # length mismatch
+
+
+def test_ba_graph_shape_and_edges():
+    g = barabasi_albert_graph(500, attach=3, seed=8)
+    assert g.shape == (500, 500)
+    # (n - m) new nodes each add m edges.
+    assert g.nnz == (500 - 3) * 3
+
+
+def test_ba_graph_power_law_hubs():
+    g = barabasi_albert_graph(2000, attach=4, seed=9)
+    in_degrees = g.col_degrees()
+    # Preferential attachment: early nodes become hubs.
+    assert in_degrees[:10].mean() > 10 * in_degrees[1000:].mean()
+    assert in_degrees.max() > 8 * in_degrees[in_degrees > 0].mean()
+
+
+def test_ba_graph_reproducible():
+    a = barabasi_albert_graph(300, 2, seed=1)
+    b = barabasi_albert_graph(300, 2, seed=1)
+    assert np.array_equal(a.rows, b.rows) and np.array_equal(a.cols, b.cols)
+
+
+def test_ba_graph_validation():
+    with pytest.raises(ValueError):
+        barabasi_albert_graph(5, attach=0)
+    with pytest.raises(ValueError):
+        barabasi_albert_graph(3, attach=3)
+
+
+def test_ba_hubs_cluster_at_low_indices_hdn_case():
+    """BA hubs are the oldest (lowest-index) nodes -- the Bloom filter
+    handles them without any index-locality assumption."""
+    from repro.filters.hdn import HDNConfig, HDNDetector
+
+    g = barabasi_albert_graph(1500, attach=4, seed=10)
+    in_degrees = g.col_degrees()
+    threshold = int(8 * in_degrees.mean())
+    det = HDNDetector(in_degrees, HDNConfig(degree_threshold=threshold))
+    if det.n_hdns:
+        assert np.median(det.hdns) < 1500 / 4  # hubs skew old
+        assert det.dispatch(det.hdns).all()
