@@ -1,0 +1,87 @@
+"""Execution-backend speedup: vectorized vs reference on the Two-Step hot path.
+
+The ``reference`` backend replays every record through the oracle kernels
+(step-1 adder-chain loop, tournament-tree merge, per-key injection); the
+``vectorized`` backend runs the same pipeline as whole-array NumPy
+kernels.  Both must produce bit-identical results and byte-identical
+traffic ledgers -- the only difference allowed is wall-clock time.  The
+acceptance bar for the fast path is a >= 5x speedup on an ER graph with
+N = 2e5, d = 3.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.config import TwoStepConfig
+from repro.core.twostep import TwoStepEngine
+from repro.generators.erdos_renyi import erdos_renyi_graph
+
+from benchmarks._util import emit
+
+N_NODES = 200_000
+AVG_DEGREE = 3.0
+SEGMENT_WIDTH = 8192
+Q = 4
+MIN_SPEEDUP = 5.0
+
+
+def run_backend(graph, x, backend: str):
+    engine = TwoStepEngine(
+        TwoStepConfig(segment_width=SEGMENT_WIDTH, q=Q, backend=backend)
+    )
+    return engine.run(graph, x)
+
+
+def measure():
+    graph = erdos_renyi_graph(N_NODES, AVG_DEGREE, seed=42)
+    x = np.random.default_rng(42).uniform(size=graph.n_cols)
+    reference = run_backend(graph, x, "reference")
+    vectorized = run_backend(graph, x, "vectorized")
+    return graph, reference, vectorized
+
+
+def render(graph, reference, vectorized) -> str:
+    speedup = reference.wall_time_s / vectorized.wall_time_s
+    bit_equal = bool(np.array_equal(reference.y, vectorized.y))
+    ledger_equal = (
+        reference.report.traffic.total_bytes == vectorized.report.traffic.total_bytes
+    )
+    rows = [
+        ["graph", f"ER N={graph.n_rows:,} d={AVG_DEGREE:g} (nnz {graph.nnz:,})", ""],
+        ["reference wall time", f"{reference.wall_time_s * 1e3:,.0f} ms", "oracle"],
+        ["vectorized wall time", f"{vectorized.wall_time_s * 1e3:,.0f} ms", "fast path"],
+        ["speedup", f"{speedup:.1f}x", f">= {MIN_SPEEDUP:g}x"],
+        ["result vectors", "bit-identical" if bit_equal else "DIVERGED", "bit-identical"],
+        [
+            "traffic ledger",
+            "identical" if ledger_equal else "DIVERGED",
+            f"{vectorized.report.traffic.total_bytes / 1e6:.2f} MB both",
+        ],
+        [
+            "intermediate records",
+            f"{vectorized.report.intermediate_records:,}",
+            f"{reference.report.intermediate_records:,} (reference)",
+        ],
+    ]
+    return format_table(
+        ["quantity", "measured", "expectation"],
+        rows,
+        title="Execution-backend speedup (vectorized vs record-at-a-time oracle)",
+    )
+
+
+def test_backend_speedup():
+    graph, reference, vectorized = measure()
+    emit("backend_speedup", render(graph, reference, vectorized))
+    assert np.array_equal(reference.y, vectorized.y)
+    ref_t, vec_t = reference.report.traffic, vectorized.report.traffic
+    assert ref_t.total_bytes == vec_t.total_bytes
+    assert ref_t.matrix_bytes == vec_t.matrix_bytes
+    assert ref_t.intermediate_write_bytes == vec_t.intermediate_write_bytes
+    assert reference.report.intermediate_records == vectorized.report.intermediate_records
+    assert reference.wall_time_s / vectorized.wall_time_s >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    graph, reference, vectorized = measure()
+    print(render(graph, reference, vectorized))

@@ -18,12 +18,18 @@ Quickstart::
     print(report.traffic)
 
 Subpackages: :mod:`repro.core` (Two-Step, ITS, design points, performance
-model), :mod:`repro.merge` (merge cores, bitonic pre-sorter, PRaP),
+model), :mod:`repro.backends` (pluggable reference/vectorized execution
+kernels), :mod:`repro.merge` (merge cores, bitonic pre-sorter, PRaP),
 :mod:`repro.formats`, :mod:`repro.generators`, :mod:`repro.memory`,
 :mod:`repro.compression` (VLDI), :mod:`repro.filters` (Bloom/HDN),
 :mod:`repro.baselines`, :mod:`repro.apps`, :mod:`repro.analysis`.
+The public call surface is defined by :mod:`repro.api`: engines satisfy
+the :class:`~repro.api.SpMVEngine` protocol and return
+:class:`~repro.api.SpMVResult` (tuple-unpacking compatible).
 """
 
+from repro.api import SpMVEngine, SpMVResult
+from repro.backends import available_backends, get_backend, resolve_backend
 from repro.core import (
     Accelerator,
     ALL_DESIGN_POINTS,
@@ -52,6 +58,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Accelerator",
+    "SpMVEngine",
+    "SpMVResult",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
     "ALL_DESIGN_POINTS",
     "ASIC_POINTS",
     "FPGA_POINTS",

@@ -1,0 +1,73 @@
+"""Public engine protocol and result type for SpMV execution.
+
+Every engine-shaped object in the package (:class:`~repro.core.twostep.
+TwoStepEngine`, :class:`~repro.core.accelerator.Accelerator`) satisfies
+the :class:`SpMVEngine` protocol and returns an :class:`SpMVResult`, so
+callers can swap engines -- and execution backends -- without changing a
+line.  ``SpMVResult`` unpacks like the historical ``(y, report)`` tuple::
+
+    y, report = engine.run(matrix, x)          # still works
+    result = engine.run(matrix, x, verify=True)
+    result.y, result.report, result.verified, result.wall_time_s
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid an import cycle; core.twostep imports this module
+    from repro.core.twostep import TwoStepReport
+    from repro.formats.coo import COOMatrix
+
+
+@dataclass
+class SpMVResult:
+    """Outcome of one SpMV execution.
+
+    Attributes:
+        y: Dense ``float64`` result of ``y = A x (+ y0)``.
+        report: Engine instrumentation (:class:`TwoStepReport` for the
+            Two-Step engines).
+        verified: True/False when the engine checked ``y`` against the
+            dense reference, None when verification was skipped.
+        wall_time_s: Wall-clock seconds spent inside the engine.
+
+    Iterating (and indexing) yields ``(y, report)`` so the result keeps
+    tuple-unpacking compatibility with pre-protocol callers.
+    """
+
+    y: np.ndarray
+    report: "TwoStepReport"
+    verified: bool | None = None
+    wall_time_s: float = 0.0
+
+    def __iter__(self) -> Iterator:
+        yield self.y
+        yield self.report
+
+    def __len__(self) -> int:
+        return 2
+
+    def __getitem__(self, item):
+        return (self.y, self.report)[item]
+
+
+@runtime_checkable
+class SpMVEngine(Protocol):
+    """Anything that executes ``y = A x + y`` and reports how it went."""
+
+    def run(
+        self,
+        matrix: "COOMatrix",
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+        verify: bool = False,
+    ) -> SpMVResult:
+        """Execute one SpMV; see :class:`SpMVResult`."""
+        ...
+
+
+__all__ = ["SpMVEngine", "SpMVResult"]

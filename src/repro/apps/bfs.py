@@ -28,7 +28,8 @@ def bfs_levels(
         source: Start node.
         engine: Optional Two-Step engine; when given, each frontier
             expansion runs through the accelerator's SpMV (on the
-            transposed matrix); otherwise the reference kernel is used.
+            transposed matrix) using the engine's configured execution
+            backend; otherwise the dense reference kernel is used.
         max_levels: Optional safety cap (defaults to n_rows).
 
     Returns:
@@ -47,7 +48,7 @@ def bfs_levels(
     cap = n if max_levels is None else max_levels
     for level in range(1, cap + 1):
         if engine is not None:
-            reached, _ = engine.run(transposed, frontier)
+            reached = engine.run(transposed, frontier).y
         else:
             reached = transposed.spmv(frontier)
         new_frontier = (reached > 0) & (levels < 0)

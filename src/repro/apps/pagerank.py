@@ -7,7 +7,7 @@ the source of the next -- exactly the pattern ITS (section 5.2) overlaps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -77,6 +77,7 @@ def pagerank(
     damping: float = 0.85,
     tol: float = 1e-8,
     max_iterations: int = 100,
+    backend: str = None,
 ) -> PageRankResult:
     """PageRank through the ITS-overlapped Two-Step engine.
 
@@ -87,6 +88,8 @@ def pagerank(
         damping: PageRank damping factor d.
         tol: L1 convergence threshold.
         max_iterations: Iteration cap.
+        backend: Optional execution-backend override for every iteration's
+            SpMV (see :mod:`repro.backends`); None keeps ``config.backend``.
 
     Returns:
         :class:`PageRankResult` whose ``its_report`` carries the ITS
@@ -94,6 +97,8 @@ def pagerank(
     """
     if not 0.0 < damping < 1.0:
         raise ValueError("damping must be in (0, 1)")
+    if backend is not None:
+        config = replace(config, backend=backend)
     transition = stochastic_matrix(adjacency)
     n = adjacency.n_rows
     engine = ITSEngine(config)

@@ -1,0 +1,134 @@
+"""Execution-backend protocol for the Two-Step hot path.
+
+The functional Two-Step engine is a fixed orchestration (column blocking,
+stripe SpMV, DRAM round trip, PRaP merge) over a small set of *kernels*:
+stripe accumulation, sorted-list merge with accumulation, missing-key
+injection, dense scatter, and VLDI size accounting.  An
+:class:`ExecutionBackend` bundles one implementation of each kernel, so
+the engine can swap the record-at-a-time oracle for whole-array NumPy
+kernels (or, later, native/accelerator kernels) without touching any
+caller.
+
+Every backend must be *bit-compatible*: for the same inputs, all kernels
+accumulate in the same left-to-right stream order, so result vectors are
+``np.array_equal`` across backends and traffic ledgers agree to the byte.
+The differential test suite (``tests/test_backends_equivalence.py``)
+enforces this on randomized inputs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+#: ``(indices, values)`` sparse-vector pair; indices int64, values float64.
+SparseVector = tuple[np.ndarray, np.ndarray]
+
+
+class ExecutionBackend(ABC):
+    """One implementation of the Two-Step hot-path kernels.
+
+    Attributes:
+        name: Registry key (``"reference"``, ``"vectorized"``, ...).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def stripe_spmv(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        x_segment: np.ndarray,
+    ) -> SparseVector:
+        """Step-1 kernel: ``v_k = A_k @ x_k`` for one row-major stripe.
+
+        Nonzeros arrive sorted by row, so equal-row products are adjacent;
+        the kernel compresses each run into one accumulated record (the
+        adder chain of paper Fig. 5).  Accumulation must be sequential in
+        stream order.
+
+        Args:
+            rows: Stripe row indices (non-decreasing within runs).
+            cols: Stripe-local column indices.
+            vals: Nonzero values.
+            x_segment: Scratchpad-resident source-vector segment.
+
+        Returns:
+            ``(indices, values)`` of the intermediate sparse vector.
+        """
+
+    @abstractmethod
+    def merge_accumulate(self, lists: list[SparseVector]) -> SparseVector:
+        """Step-2 kernel: K-way merge of sorted sparse vectors.
+
+        Records sharing a key are accumulated in list order (the root
+        accumulator of the hardware merge core).
+
+        Args:
+            lists: ``(indices, values)`` pairs, each sorted by index.
+
+        Returns:
+            Merged ``(indices, values)``, indices strictly increasing.
+        """
+
+    @abstractmethod
+    def inject_missing_keys(
+        self,
+        keys: np.ndarray,
+        vals: np.ndarray,
+        dense_range: tuple[int, int],
+        stride: int = 1,
+        offset: int = 0,
+    ) -> SparseVector:
+        """Missing-key injection (paper section 4.2.2).
+
+        Inserts ``{key, 0}`` records for every absent key of the residue
+        class ``offset + i * stride`` within ``[lo, hi)`` so the store
+        queue can interleave core outputs into dense positions.
+
+        Args:
+            keys: Strictly increasing keys emitted by one merge core.
+            vals: Matching accumulated values.
+            dense_range: ``(lo, hi)`` global key range.
+            stride: Residue-class stride (the PRaP core count ``p``).
+            offset: The core's radix.
+
+        Returns:
+            ``(dense_keys, dense_vals)`` covering the full residue class.
+        """
+
+    @abstractmethod
+    def scatter_dense(
+        self, indices: np.ndarray, values: np.ndarray, n_out: int
+    ) -> np.ndarray:
+        """Store-queue kernel: place merged records into a dense vector.
+
+        Args:
+            indices: Strictly increasing record keys in ``[0, n_out)``.
+            values: Record values.
+            n_out: Dense output length.
+
+        Returns:
+            Dense ``float64`` vector; absent keys are 0.
+        """
+
+    @abstractmethod
+    def vldi_stream_bits(self, deltas: np.ndarray, block_bits: int) -> int:
+        """VLDI size accounting: total encoded bits of a delta stream.
+
+        Must equal the length of the bit-exact
+        :meth:`repro.compression.vldi.VLDICodec.encode` output.
+
+        Args:
+            deltas: Positive ``int64`` delta values.
+            block_bits: VLDI payload block width ``w``.
+
+        Returns:
+            Total bits including continuation bits.
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -58,7 +58,10 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args.matrix)
     point = get_design_point(args.design_point)
+    x = np.random.default_rng(args.seed).uniform(size=matrix.n_cols)
     if args.autotune:
+        from dataclasses import replace
+
         from repro.core.autotune import autotune
         from repro.core.twostep import TwoStepEngine
 
@@ -68,21 +71,21 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"hdn={'on (threshold %d)' % tuned.config.hdn.degree_threshold if tuned.hdn_enabled else 'off'}, "
             f"stripe={tuned.config.segment_width}"
         )
-        engine = TwoStepEngine(tuned.config)
-        x = np.random.default_rng(args.seed).uniform(size=matrix.n_cols)
-        y, report = engine.run(matrix, x)
+        engine = TwoStepEngine(replace(tuned.config, backend=args.backend))
     else:
-        accelerator = Accelerator(point, simulation_segment_width=args.segment_width)
-        x = np.random.default_rng(args.seed).uniform(size=matrix.n_cols)
-        y, report = accelerator.run(matrix, x)
-    ok = np.allclose(y, matrix.spmv(x))
+        engine = Accelerator(
+            point, simulation_segment_width=args.segment_width, backend=args.backend
+        )
+    result = engine.run(matrix, x, verify=True)
+    y, report = result
     print(f"design point: {point.name}")
     print(f"matrix: {matrix.n_rows:,} x {matrix.n_cols:,}, nnz {matrix.nnz:,}")
-    print(f"verified against dense reference: {'OK' if ok else 'MISMATCH'}")
+    print(f"backend: {report.backend}, wall time: {result.wall_time_s * 1e3:.1f} ms")
+    print(f"verified against dense reference: {'OK' if result.verified else 'MISMATCH'}")
     print(f"stripes: {report.n_stripes}, intermediate records: {report.intermediate_records:,}")
     print(f"step-1 cycles: {report.step1.cycles:,.0f}, step-2 cycles: {report.step2.cycles:,.0f}")
     print(report.traffic)
-    return 0 if ok else 1
+    return 0 if result.verified else 1
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
@@ -237,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--design-point", default="TS_ASIC")
     run.add_argument("--segment-width", type=int, default=8192)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--backend",
+        choices=["reference", "vectorized"],
+        default=None,
+        help="execution backend for the functional engine "
+        "(default: $REPRO_BACKEND, then vectorized)",
+    )
     run.add_argument(
         "--autotune",
         action="store_true",

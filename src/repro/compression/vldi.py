@@ -95,6 +95,11 @@ class VLDICodec:
         return np.asarray(values, dtype=np.int64)
 
 
+#: Sorted powers of two; searchsorted against it is an exact vectorized
+#: bit_length (float log2 misrounds near power-of-two boundaries >= 2**53).
+_POWERS_OF_TWO = np.int64(1) << np.arange(63, dtype=np.int64)
+
+
 def encoded_bits(deltas: np.ndarray, block_bits: int) -> np.ndarray:
     """Per-delta encoded size in bits (vectorized, no bitstream built)."""
     if block_bits <= 0:
@@ -102,12 +107,36 @@ def encoded_bits(deltas: np.ndarray, block_bits: int) -> np.ndarray:
     deltas = np.asarray(deltas, dtype=np.int64)
     if deltas.size and deltas.min() <= 0:
         raise ValueError("VLDI encodes positive deltas only")
-    # bit_length(v) for v >= 1 equals floor(log2(v)) + 1.
-    widths = np.ones(deltas.shape, dtype=np.int64)
-    positive = deltas > 0
-    widths[positive] = np.floor(np.log2(deltas[positive].astype(np.float64))).astype(np.int64) + 1
+    # bit_length(v) = number of powers of two <= v, exact for all int64.
+    widths = np.searchsorted(_POWERS_OF_TWO, deltas, side="right")
     n_blocks = -(-widths // block_bits)
     return n_blocks * (block_bits + 1)
+
+
+def stream_encoded_bits(deltas: np.ndarray, block_bits: int) -> int:
+    """Record-at-a-time VLDI size accounting (oracle kernel).
+
+    Sizes one delta per step the way the streaming encoder would emit it;
+    bit-identical to ``encoded_bits(...).sum()`` and to the length of
+    :meth:`VLDICodec.encode`.  Used by the ``reference`` execution
+    backend.
+
+    Args:
+        deltas: Positive ``int64`` delta values.
+        block_bits: VLDI payload block width ``w``.
+
+    Returns:
+        Total encoded bits including continuation bits.
+    """
+    if block_bits <= 0:
+        raise ValueError("block_bits must be positive")
+    total = 0
+    for value in np.asarray(deltas, dtype=np.int64).tolist():
+        if value <= 0:
+            raise ValueError("VLDI encodes positive deltas only")
+        n_blocks = max(1, -(-value.bit_length() // block_bits))
+        total += n_blocks * (block_bits + 1)
+    return total
 
 
 def total_encoded_bits(deltas: np.ndarray, block_bits: int) -> int:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import SpMVResult
 from repro.core.config import TwoStepConfig
 from repro.core.design_points import DesignPoint
 from repro.core.its import ITSEngine
@@ -28,9 +29,17 @@ _PRECISION_BY_BYTES = {1: Precision.QUARTER, 2: Precision.HALF, 4: Precision.SIN
 
 
 class Accelerator:
-    """The proposed SpMV accelerator at one design point."""
+    """The proposed SpMV accelerator at one design point.
 
-    def __init__(self, point: DesignPoint, simulation_segment_width: int = None):
+    Satisfies the :class:`repro.api.SpMVEngine` protocol.
+    """
+
+    def __init__(
+        self,
+        point: DesignPoint,
+        simulation_segment_width: int = None,
+        backend: str = None,
+    ):
         """
         Args:
             point: Hardware design point.
@@ -39,6 +48,9 @@ class Accelerator:
                 real segment width, which is usually far larger than scaled
                 test matrices; pass a small value to exercise multi-stripe
                 behaviour on small inputs.
+            backend: Optional execution-backend name for the functional
+                engine (see :mod:`repro.backends`); None follows the
+                ``REPRO_BACKEND`` / package-default resolution.
         """
         self.point = point
         width = simulation_segment_width or point.segment_elements
@@ -49,12 +61,19 @@ class Accelerator:
             precision=_PRECISION_BY_BYTES[point.value_bytes],
             vldi_vector_block_bits=8 if point.vldi else None,
             step1_pipelines=point.step1_pipelines,
+            backend=backend,
         )
         self._engine = TwoStepEngine(self.config)
 
-    def run(self, matrix: COOMatrix, x: np.ndarray, y: np.ndarray = None) -> tuple:
+    def run(
+        self,
+        matrix: COOMatrix,
+        x: np.ndarray,
+        y: np.ndarray = None,
+        verify: bool = False,
+    ) -> SpMVResult:
         """Functional SpMV at simulation scale; see :class:`TwoStepEngine`."""
-        return self._engine.run(matrix, x, y)
+        return self._engine.run(matrix, x, y, verify=verify)
 
     def run_iterative(self, matrix: COOMatrix, x0: np.ndarray, n_iterations: int, transform=None):
         """Iterative SpMV; applies ITS overlap accounting when enabled."""

@@ -32,6 +32,10 @@ class TwoStepConfig:
             DRAM layout.  The hardware uses fixed 32-bit fields (4 bytes)
             for row/column/intermediate indices regardless of the actual
             dimension; VLDI is what removes that slack.
+        backend: Execution-backend name (``"reference"`` or
+            ``"vectorized"``); None defers to the ``REPRO_BACKEND``
+            environment variable, then the package default.  All backends
+            are bit-compatible -- only wall-clock speed differs.
     """
 
     segment_width: int
@@ -44,6 +48,7 @@ class TwoStepConfig:
     hdn: HDNConfig = None
     check_interleave: bool = False
     index_field_bytes: int = 4
+    backend: str = None
 
     def __post_init__(self) -> None:
         if self.segment_width <= 0:
@@ -59,6 +64,14 @@ class TwoStepConfig:
                 raise ValueError("VLDI block width must be in [1, 62]")
         if self.index_field_bytes <= 0:
             raise ValueError("index_field_bytes must be positive")
+        if self.backend is not None:
+            from repro.backends import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; "
+                    f"available: {', '.join(available_backends())}"
+                )
 
     @property
     def n_cores(self) -> int:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends import ExecutionBackend, resolve_backend
 from repro.core.config import TwoStepConfig
 from repro.filters.hdn import HDNDetector
 from repro.formats.blocking import ColumnBlock
@@ -57,7 +58,7 @@ class Step1Stats:
     hdn_false_positive_records: int = 0
     general_records: int = 0
     cycles: float = 0.0
-    per_stripe_nnz: list = field(default_factory=list)
+    per_stripe_nnz: list[int] = field(default_factory=list)
 
 
 class Step1Engine:
@@ -68,9 +69,15 @@ class Step1Engine:
     #: read-modify-write hazard); the tuned HDN accumulator hides it.
     HDN_HAZARD_CYCLES = 3.0
 
-    def __init__(self, config: TwoStepConfig, n_banks: int = 32):
+    def __init__(
+        self,
+        config: TwoStepConfig,
+        n_banks: int = 32,
+        backend: str | ExecutionBackend | None = None,
+    ):
         self.config = config
         self.n_banks = n_banks
+        self.backend = resolve_backend(backend or config.backend)
 
     def run_stripe(
         self,
@@ -97,21 +104,9 @@ class Step1Engine:
             )
         if x_segment.size > self.config.segment_width:
             raise ValueError("segment exceeds configured scratchpad width")
-        products = stripe.vals * x_segment[stripe.cols]
-        rows = stripe.rows
-        if rows.size:
-            # Row-major order makes equal-row products adjacent: compress runs.
-            new_run = np.empty(rows.size, dtype=bool)
-            new_run[0] = True
-            new_run[1:] = rows[1:] != rows[:-1]
-            run_ids = np.cumsum(new_run) - 1
-            sums = np.zeros(int(run_ids[-1]) + 1, dtype=np.float64)
-            np.add.at(sums, run_ids, products)
-            indices = rows[new_run]
-            values = sums
-        else:
-            indices = np.empty(0, dtype=np.int64)
-            values = np.empty(0, dtype=np.float64)
+        indices, values = self.backend.stripe_spmv(
+            stripe.rows, stripe.cols, stripe.vals, x_segment
+        )
 
         if stats is not None:
             stats.gathers += stripe.nnz

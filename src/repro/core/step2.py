@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import ExecutionBackend, resolve_backend
 from repro.core.config import TwoStepConfig
 from repro.merge.prap import prap_merge_dense
 
@@ -30,8 +31,13 @@ class Step2Stats:
 class Step2Engine:
     """Functional + instrumented step-2 executor."""
 
-    def __init__(self, config: TwoStepConfig):
+    def __init__(
+        self,
+        config: TwoStepConfig,
+        backend: str | ExecutionBackend | None = None,
+    ):
         self.config = config
+        self.backend = resolve_backend(backend or config.backend)
 
     def run(
         self,
@@ -54,7 +60,11 @@ class Step2Engine:
         """
         lists = [(iv.indices, iv.values) for iv in intermediates]
         merged = prap_merge_dense(
-            lists, n_out, self.config.q, check_interleave=self.config.check_interleave
+            lists,
+            n_out,
+            self.config.q,
+            check_interleave=self.config.check_interleave,
+            backend=self.backend,
         )
         if y is not None:
             y = np.asarray(y, dtype=np.float64)

@@ -10,21 +10,29 @@ dense reference ``A @ x + y`` (up to float associativity) -- while the
 instrumentation mirrors exactly what the accelerator would move off-chip,
 including per-stripe format selection (CSR vs RM-COO for hypersparse
 stripes) and optional VLDI compression of vector and matrix meta-data.
+
+The inner kernels (stripe accumulation, merge, injection, VLDI size
+accounting) are dispatched through an execution backend
+(:mod:`repro.backends`): ``reference`` replays records one at a time,
+``vectorized`` runs whole-array NumPy kernels.  Both produce bit-identical
+results and byte-identical ledgers; only wall-clock speed differs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.api import SpMVResult
+from repro.backends import ExecutionBackend, resolve_backend
 from repro.compression.delta import delta_encode, stripe_column_deltas
-from repro.compression.vldi import total_encoded_bits
 from repro.core.config import TwoStepConfig
 from repro.core.step1 import IntermediateVector, Step1Engine, Step1Stats
 from repro.core.step2 import Step2Engine, Step2Stats
 from repro.filters.hdn import HDNDetector
-from repro.formats.blocking import column_blocks
+from repro.formats.blocking import ColumnBlock, column_blocks
 from repro.formats.convert import coo_to_csr
 from repro.formats.coo import COOMatrix
 from repro.formats.hypersparse import StripeFormat, choose_stripe_format
@@ -40,36 +48,81 @@ class TwoStepReport:
     step2: Step2Stats
     n_stripes: int = 0
     intermediate_records: int = 0
-    stripe_formats: list = field(default_factory=list)
+    stripe_formats: list[StripeFormat] = field(default_factory=list)
     hdn_filter_bytes: int = 0
+    backend: str = ""
 
     @property
     def total_cycles(self) -> float:
         """Step-1 plus step-2 cycles (sequential phases in plain Two-Step)."""
         return self.step1.cycles + self.step2.cycles
 
+    def to_dict(self) -> dict:
+        """Machine-readable form for benchmark output and logging.
+
+        Enum members become their names and the ledger is flattened to its
+        counters plus derived totals, so the dict round-trips through JSON.
+        """
+        traffic = asdict(self.traffic)
+        traffic["payload_bytes"] = self.traffic.payload_bytes
+        traffic["total_bytes"] = self.traffic.total_bytes
+        return {
+            "backend": self.backend,
+            "n_stripes": self.n_stripes,
+            "intermediate_records": self.intermediate_records,
+            "stripe_formats": [fmt.name for fmt in self.stripe_formats],
+            "hdn_filter_bytes": self.hdn_filter_bytes,
+            "total_cycles": self.total_cycles,
+            "step1": asdict(self.step1),
+            "step2": asdict(self.step2),
+            "traffic": traffic,
+        }
+
 
 class TwoStepEngine:
-    """Functional, instrumented Two-Step SpMV."""
+    """Functional, instrumented Two-Step SpMV.
 
-    def __init__(self, config: TwoStepConfig):
+    Satisfies the :class:`repro.api.SpMVEngine` protocol.
+    """
+
+    def __init__(
+        self,
+        config: TwoStepConfig,
+        backend: str | ExecutionBackend | None = None,
+    ):
+        """
+        Args:
+            config: Engine configuration.
+            backend: Optional execution-backend override; defaults to
+                ``config.backend`` (then ``REPRO_BACKEND``, then the
+                package default).
+        """
         self.config = config
-        self._step1 = Step1Engine(config)
-        self._step2 = Step2Engine(config)
+        self.backend = resolve_backend(backend or config.backend)
+        self._step1 = Step1Engine(config, backend=self.backend)
+        self._step2 = Step2Engine(config, backend=self.backend)
 
     def run(
-        self, matrix: COOMatrix, x: np.ndarray, y: np.ndarray = None
-    ) -> tuple:
+        self,
+        matrix: COOMatrix,
+        x: np.ndarray,
+        y: np.ndarray = None,
+        verify: bool = False,
+    ) -> SpMVResult:
         """Execute ``y = A x + y``.
 
         Args:
             matrix: Sparse matrix in RM-COO.
             x: Dense source vector (length ``n_cols``).
             y: Optional dense accumuland (length ``n_rows``).
+            verify: When True, check the result against the dense
+                reference and record the outcome in the returned
+                :class:`~repro.api.SpMVResult`.
 
         Returns:
-            ``(result, TwoStepReport)``.
+            :class:`~repro.api.SpMVResult`; unpacks as ``(result, report)``.
         """
+        start = time.perf_counter()
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (matrix.n_cols,):
             raise ValueError(f"x must have shape ({matrix.n_cols},)")
@@ -82,8 +135,8 @@ class TwoStepEngine:
         step1_stats = Step1Stats()
         step2_stats = Step2Stats()
         ledger = TrafficLedger()
-        intermediates = []
-        stripe_formats = []
+        intermediates: list[IntermediateVector] = []
+        stripe_formats: list[StripeFormat] = []
 
         for block in blocks:
             segment = x[block.col_lo : block.col_hi]
@@ -111,10 +164,19 @@ class TwoStepEngine:
             intermediate_records=sum(iv.nnz for iv in intermediates),
             stripe_formats=stripe_formats,
             hdn_filter_bytes=detector.filter_bytes if detector is not None else 0,
+            backend=self.backend.name,
         )
-        return result, report
+        verified = None
+        if verify:
+            verified = bool(np.allclose(result, reference_spmv(matrix, x, y)))
+        return SpMVResult(
+            y=result,
+            report=report,
+            verified=verified,
+            wall_time_s=time.perf_counter() - start,
+        )
 
-    def _stripe_bytes(self, block, fmt: StripeFormat, n_rows: int) -> float:
+    def _stripe_bytes(self, block: ColumnBlock, fmt: StripeFormat, n_rows: int) -> float:
         """Off-chip bytes to stream one stripe: meta-data plus values.
 
         DRAM layouts pack absolute indices at byte granularity; only VLDI
@@ -128,7 +190,7 @@ class TwoStepEngine:
             row_bits = (n_rows + 1) * field_bits
         if cfg.vldi_matrix_block_bits is not None and block.nnz:
             csr = coo_to_csr(block.matrix)
-            col_bits = total_encoded_bits(
+            col_bits = self.backend.vldi_stream_bits(
                 stripe_column_deltas(csr.row_ptr, csr.cols), cfg.vldi_matrix_block_bits
             )
         else:
@@ -139,7 +201,7 @@ class TwoStepEngine:
         """Off-chip bytes of one intermediate vector (single direction)."""
         cfg = self.config
         if cfg.vldi_vector_block_bits is not None and iv.nnz:
-            idx_bits = total_encoded_bits(
+            idx_bits = self.backend.vldi_stream_bits(
                 delta_encode(iv.indices), cfg.vldi_vector_block_bits
             )
         else:

@@ -13,8 +13,9 @@ streams into consecutive elements of the dense output vector.
 
 Two granularities are provided:
 
-* :func:`prap_merge_dense` -- vectorized functional model (fast path used
-  by the Two-Step engine), bit-exact output.
+* :func:`prap_merge_dense` -- functional model used by the Two-Step
+  engine; its merge/injection/scatter kernels are supplied by an
+  execution backend (:mod:`repro.backends`), bit-exact output either way.
 * :class:`PRaPMergeNetwork` -- record-level simulation threading every
   record through the bitonic pre-sorter, per-radix buffer slots, per-core
   tournament merge, missing-key injection and the store queue; used by the
@@ -30,7 +31,7 @@ import numpy as np
 from repro.merge.bitonic import stable_radix_sort
 from repro.merge.merge_core import MergeCoreConfig, inject_missing_keys
 from repro.merge.store_queue import StoreQueue
-from repro.merge.tournament import TournamentTree, merge_accumulate
+from repro.merge.tournament import TournamentTree
 
 
 def radix_of(keys: np.ndarray, q: int) -> np.ndarray:
@@ -85,6 +86,7 @@ def prap_merge_dense(
     n_out: int,
     q: int,
     check_interleave: bool = True,
+    backend=None,
 ) -> np.ndarray:
     """Merge sorted sparse vectors into a dense output via the PRaP scheme.
 
@@ -99,35 +101,33 @@ def prap_merge_dense(
         check_interleave: When True, route the final assembly through a
             :class:`StoreQueue` so the dense-position invariant is checked;
             when False, assemble directly (faster).
+        backend: Optional :class:`~repro.backends.ExecutionBackend` (or
+            registry name) providing the merge/injection/scatter kernels;
+            None resolves the package default.
 
     Returns:
         Dense ``float64`` vector of length ``n_out``.
     """
+    from repro.backends import resolve_backend  # deferred: avoids import cycle
+
+    backend = resolve_backend(backend)
     p = 1 << q
-    merged_idx, merged_val = merge_accumulate(lists)
+    merged_idx, merged_val = backend.merge_accumulate(lists)
     if merged_idx.size and (merged_idx.min() < 0 or merged_idx.max() >= n_out):
         raise ValueError("record key outside output vector range")
-    streams = []
-    for radix in range(p):
-        mask = (merged_idx & (p - 1)) == radix
-        keys, vals = inject_missing_keys(
-            merged_idx[mask], merged_val[mask], (0, n_out), stride=p, offset=radix
-        )
-        streams.append((keys, vals))
     if not check_interleave:
-        out = np.zeros(n_out, dtype=np.float64)
-        out[merged_idx] = merged_val
-        return out
+        return backend.scatter_dense(merged_idx, merged_val, n_out)
     # The residue classes have unequal lengths when p does not divide n_out;
     # pad the short streams with records beyond n_out so the store queue can
     # drain in full cycles, then truncate.
     padded = -(-n_out // p) * p
     queue = StoreQueue(p)
-    for radix, (keys, vals) in enumerate(streams):
-        full_keys, full_vals = inject_missing_keys(
-            keys, vals, (0, padded), stride=p, offset=radix
+    for radix in range(p):
+        mask = (merged_idx & (p - 1)) == radix
+        keys, vals = backend.inject_missing_keys(
+            merged_idx[mask], merged_val[mask], (0, padded), stride=p, offset=radix
         )
-        queue.push_stream(radix, full_keys, full_vals)
+        queue.push_stream(radix, keys, vals)
     return queue.drain()[:n_out]
 
 

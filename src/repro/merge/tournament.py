@@ -5,11 +5,17 @@ lists of ``(key, value)`` records -- into the dense result, *accumulating*
 values that share a key (multiple stripes contributing to the same output
 row).  Two implementations are provided:
 
-* :func:`merge_accumulate` -- vectorized numpy merge used by the functional
-  Two-Step engine (fast path; semantically a K-way merge).
+* :func:`merge_accumulate` -- vectorized numpy merge used by the
+  ``vectorized`` execution backend (fast path; semantically a K-way merge).
 * :class:`TournamentTree` -- a true streaming K-way loser-tree merger that
   dequeues one record at a time, mirroring the hardware Merge Core's
-  observable behaviour; used by the cycle models and for cross-validation.
+  observable behaviour; used by the cycle models, the ``reference``
+  execution backend (via :func:`merge_accumulate_streaming`) and for
+  cross-validation.
+
+Both merge paths accumulate equal-key records in list order, one addition
+at a time, so their outputs are bit-identical -- the invariant the
+backend differential tests rely on.
 """
 
 from __future__ import annotations
@@ -42,9 +48,33 @@ def merge_accumulate(lists: list) -> tuple:
     new_run[0] = True
     new_run[1:] = all_idx[1:] != all_idx[:-1]
     run_ids = np.cumsum(new_run) - 1
-    summed = np.zeros(int(run_ids[-1]) + 1, dtype=np.float64)
-    np.add.at(summed, run_ids, all_val)
+    # bincount adds weights sequentially in stream order, matching the
+    # tournament tree's one-record-at-a-time accumulation bit for bit.
+    summed = np.bincount(run_ids, weights=all_val)
     return all_idx[new_run], summed
+
+
+def merge_accumulate_streaming(lists: list) -> tuple:
+    """Record-at-a-time K-way merge with accumulation (oracle kernel).
+
+    Replays every record through a :class:`TournamentTree`, exactly as the
+    hardware merge core dequeues them; equal keys are summed at the root
+    in source order.  Semantically identical to :func:`merge_accumulate`
+    and used as its bit-exact oracle by the ``reference`` backend.
+
+    Args:
+        lists: Sequence of ``(indices, values)`` pairs; each ``indices``
+            array must be strictly increasing.
+
+    Returns:
+        ``(indices, values)`` of the merged sparse vector.
+    """
+    sources = []
+    for idx, val in lists:
+        idx = np.asarray(idx, dtype=np.int64)
+        val = np.asarray(val, dtype=np.float64)
+        sources.append(zip(idx.tolist(), val.tolist()))
+    return TournamentTree(sources).drain_accumulated()
 
 
 class TournamentTree:
