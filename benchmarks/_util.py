@@ -8,6 +8,7 @@ regenerated artifacts on disk.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -19,6 +20,25 @@ def emit(name: str, text: str) -> None:
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Archive a machine-readable benchmark result as ``BENCH_<name>.json``.
+
+    CI jobs and downstream tooling parse these instead of scraping the
+    rendered tables; keep payloads JSON-native (numbers, strings, lists).
+
+    Args:
+        name: Artifact stem; the file is ``results/BENCH_<name>.json``.
+        payload: JSON-serializable result dictionary.
+
+    Returns:
+        The written path.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def span(values) -> str:

@@ -16,7 +16,7 @@ from repro.core.config import TwoStepConfig
 from repro.core.twostep import TwoStepEngine
 from repro.generators.erdos_renyi import erdos_renyi_graph
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 
 N_NODES = 200_000
 AVG_DEGREE = 3.0
@@ -70,9 +70,24 @@ def render(graph, reference, vectorized) -> str:
     )
 
 
+def to_payload(graph, reference, vectorized) -> dict:
+    """Machine-readable record for ``BENCH_backend.json``."""
+    return {
+        "graph": {"n_nodes": graph.n_rows, "avg_degree": AVG_DEGREE, "nnz": graph.nnz},
+        "reference_wall_s": reference.wall_time_s,
+        "vectorized_wall_s": vectorized.wall_time_s,
+        "speedup": reference.wall_time_s / vectorized.wall_time_s,
+        "min_speedup": MIN_SPEEDUP,
+        "bit_identical": bool(np.array_equal(reference.y, vectorized.y)),
+        "ledger_total_bytes": vectorized.report.traffic.total_bytes,
+        "intermediate_records": vectorized.report.intermediate_records,
+    }
+
+
 def test_backend_speedup():
     graph, reference, vectorized = measure()
     emit("backend_speedup", render(graph, reference, vectorized))
+    emit_json("backend", to_payload(graph, reference, vectorized))
     assert np.array_equal(reference.y, vectorized.y)
     ref_t, vec_t = reference.report.traffic, vectorized.report.traffic
     assert ref_t.total_bytes == vec_t.total_bytes
@@ -85,3 +100,5 @@ def test_backend_speedup():
 if __name__ == "__main__":
     graph, reference, vectorized = measure()
     print(render(graph, reference, vectorized))
+    path = emit_json("backend", to_payload(graph, reference, vectorized))
+    print(f"wrote {path}")

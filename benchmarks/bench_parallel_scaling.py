@@ -1,0 +1,224 @@
+"""Parallel-backend scaling and execution-plan amortization.
+
+Two claims ride on this bench:
+
+* **Sharded scaling** -- the ``parallel`` backend (stripes sharded in
+  step 1, PRaP residue classes in step 2) must stay bit-identical to
+  ``vectorized`` at every worker count, and with >= 4 physical cores
+  must beat it by the configured factor at ``n_jobs=4``.  On boxes with
+  fewer cores the speedup assertions *skip* rather than fail -- the
+  bit-identity and ledger checks still run.
+* **Plan reuse** -- a 20-iteration PageRank-shaped loop on one matrix
+  must pay for matrix-side preparation (blocking, run structure, VLDI
+  sizing, HDN tables) exactly once: iterations 2+ have to be at least
+  3x faster than iteration 1.
+
+``--smoke`` shrinks the graph so the bench doubles as a CI gate;
+results land in ``results/BENCH_parallel.json`` either way.
+"""
+
+import argparse
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.backends import ParallelBackend
+from repro.core.config import TwoStepConfig
+from repro.core.twostep import TwoStepEngine
+from repro.filters.hdn import HDNConfig
+from repro.generators.rmat import rmat_graph
+
+from benchmarks._util import emit, emit_json
+
+FULL_SCALE = 17  # 131k nodes
+SMOKE_SCALE = 13  # 8k nodes
+AVG_DEGREE = 8.0
+SEGMENT_WIDTH = 8192
+JOB_COUNTS = (1, 2, 4)
+#: Required parallel(n_jobs=4) over vectorized speedup (needs >= 4 cores).
+MIN_PARALLEL_SPEEDUP = 1.5
+#: Required iteration-2+ over iteration-1 speedup from plan reuse.
+MIN_PLAN_REUSE_SPEEDUP = 3.0
+PAGERANK_ITERATIONS = 20
+
+HAVE_FOUR_CORES = (os.cpu_count() or 1) >= 4
+
+
+def _config(**overrides) -> TwoStepConfig:
+    base = dict(
+        segment_width=SEGMENT_WIDTH,
+        q=4,
+        vldi_vector_block_bits=8,
+        vldi_matrix_block_bits=6,
+        hdn=HDNConfig(degree_threshold=64),
+    )
+    base.update(overrides)
+    return TwoStepConfig(**base)
+
+
+def _graph(smoke: bool):
+    return rmat_graph(SMOKE_SCALE if smoke else FULL_SCALE, AVG_DEGREE, seed=7)
+
+
+def _best_of(engine, graph, x, repeats: int = 3) -> tuple:
+    result = None
+    best = float("inf")
+    for _ in range(repeats):
+        result = engine.run(graph, x)
+        best = min(best, result.wall_time_s)
+    return best, result
+
+
+def measure_scaling(smoke: bool) -> dict:
+    """Wall time per worker count, with bit-identity digests."""
+    graph = _graph(smoke)
+    x = np.random.default_rng(7).uniform(size=graph.n_cols)
+    vec_engine = TwoStepEngine(_config())
+    vec_engine.plan(graph)  # plan once so timings isolate the datapath
+    vec_time, vec_result = _best_of(vec_engine, graph, x)
+    rows = []
+    for n_jobs in JOB_COUNTS:
+        backend = ParallelBackend(n_jobs=n_jobs)
+        engine = TwoStepEngine(_config(), backend=backend)
+        engine.plan(graph)
+        wall, result = _best_of(engine, graph, x)
+        rows.append(
+            {
+                "n_jobs": n_jobs,
+                "wall_s": wall,
+                "speedup_vs_vectorized": vec_time / wall,
+                "bit_identical": bool(np.array_equal(vec_result.y, result.y)),
+                "ledger_identical": result.report.traffic == vec_result.report.traffic,
+            }
+        )
+        backend.close()
+    return {
+        "graph": {"n_nodes": graph.n_rows, "nnz": graph.nnz, "smoke": smoke},
+        "cpu_count": os.cpu_count() or 1,
+        "vectorized_wall_s": vec_time,
+        "scaling": rows,
+    }
+
+
+def measure_plan_reuse(smoke: bool) -> dict:
+    """PageRank-shaped iteration: plan built once, then value-path only."""
+    graph = _graph(smoke)
+    engine = TwoStepEngine(_config())
+    n = graph.n_cols
+    x = np.full(n, 1.0 / n)
+    iteration_s = []
+    for _ in range(PAGERANK_ITERATIONS):
+        start = time.perf_counter()
+        result = engine.run(graph, x)
+        iteration_s.append(time.perf_counter() - start)
+        x = 0.85 * result.y + 0.15 / n
+    first = iteration_s[0]
+    rest = float(np.mean(iteration_s[1:]))
+    return {
+        "iterations": PAGERANK_ITERATIONS,
+        "first_iteration_s": first,
+        "mean_later_iteration_s": rest,
+        "reuse_speedup": first / rest,
+        "plan_cache_hits": engine.plan_cache_stats["hits"],
+        "plan_cache_misses": engine.plan_cache_stats["misses"],
+        "plan_build_s": engine.plan_cache_stats["build_s"],
+    }
+
+
+def render(payload: dict) -> str:
+    rows = [
+        ["vectorized", f"{payload['vectorized_wall_s'] * 1e3:,.1f} ms", "1.0x", "baseline"]
+    ]
+    for entry in payload["scaling"]:
+        rows.append(
+            [
+                f"parallel n_jobs={entry['n_jobs']}",
+                f"{entry['wall_s'] * 1e3:,.1f} ms",
+                f"{entry['speedup_vs_vectorized']:.2f}x",
+                "bit-identical" if entry["bit_identical"] else "DIVERGED",
+            ]
+        )
+    reuse = payload["plan_reuse"]
+    rows.append(
+        [
+            "plan reuse (iter 2+ vs 1)",
+            f"{reuse['mean_later_iteration_s'] * 1e3:,.1f} ms vs "
+            f"{reuse['first_iteration_s'] * 1e3:,.1f} ms",
+            f"{reuse['reuse_speedup']:.1f}x",
+            f">= {MIN_PLAN_REUSE_SPEEDUP:g}x",
+        ]
+    )
+    return format_table(
+        ["configuration", "wall time", "speedup", "check"],
+        rows,
+        title=f"Parallel sharding + plan reuse ({payload['cpu_count']} cores)",
+    )
+
+
+def collect(smoke: bool) -> dict:
+    payload = measure_scaling(smoke)
+    payload["plan_reuse"] = measure_plan_reuse(smoke)
+    payload["min_parallel_speedup"] = MIN_PARALLEL_SPEEDUP
+    payload["min_plan_reuse_speedup"] = MIN_PLAN_REUSE_SPEEDUP
+    return payload
+
+
+def test_parallel_bit_identity_and_plan_reuse():
+    payload = collect(smoke=True)
+    emit("parallel_scaling", render(payload))
+    emit_json("parallel", payload)
+    for entry in payload["scaling"]:
+        assert entry["bit_identical"], entry
+        assert entry["ledger_identical"], entry
+    reuse = payload["plan_reuse"]
+    assert reuse["plan_cache_misses"] == 1
+    assert reuse["plan_cache_hits"] == PAGERANK_ITERATIONS - 1
+    assert reuse["reuse_speedup"] >= MIN_PLAN_REUSE_SPEEDUP
+
+
+@pytest.mark.skipif(
+    not HAVE_FOUR_CORES, reason="parallel speedup check needs >= 4 CPU cores"
+)
+def test_parallel_speedup_at_four_jobs():
+    payload = collect(smoke=True)
+    by_jobs = {entry["n_jobs"]: entry for entry in payload["scaling"]}
+    assert by_jobs[4]["speedup_vs_vectorized"] >= MIN_PARALLEL_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small graph, CI-sized run"
+    )
+    args = parser.parse_args(argv)
+    payload = collect(args.smoke)
+    print(render(payload))
+    path = emit_json("parallel", payload)
+    print(f"wrote {path}")
+    failures = []
+    for entry in payload["scaling"]:
+        if not (entry["bit_identical"] and entry["ledger_identical"]):
+            failures.append(f"n_jobs={entry['n_jobs']} diverged")
+    reuse = payload["plan_reuse"]
+    if reuse["reuse_speedup"] < MIN_PLAN_REUSE_SPEEDUP:
+        failures.append(
+            f"plan reuse {reuse['reuse_speedup']:.1f}x < {MIN_PLAN_REUSE_SPEEDUP:g}x"
+        )
+    if HAVE_FOUR_CORES:
+        by_jobs = {entry["n_jobs"]: entry for entry in payload["scaling"]}
+        if by_jobs[4]["speedup_vs_vectorized"] < MIN_PARALLEL_SPEEDUP:
+            failures.append("parallel n_jobs=4 below required speedup")
+    else:
+        print(f"note: {payload['cpu_count']} cores -- speedup gate skipped")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

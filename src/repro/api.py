@@ -69,5 +69,22 @@ class SpMVEngine(Protocol):
         """Execute one SpMV; see :class:`SpMVResult`."""
         ...
 
+    def run_many(
+        self,
+        matrix: "COOMatrix",
+        X: np.ndarray,
+        Y: np.ndarray | None = None,
+        verify: bool = False,
+    ) -> SpMVResult:
+        """Execute a block of right-hand sides: ``Y = A X + Y``.
+
+        ``X`` has shape ``(n_cols, k)``; the result's ``y`` has shape
+        ``(n_rows, k)`` and column ``j`` is bit-identical to
+        ``run(matrix, X[:, j], y=Y[:, j])``.  Engines share matrix-side
+        work (plans, gather indices, merge permutations) across the
+        batch.
+        """
+        ...
+
 
 __all__ = ["SpMVEngine", "SpMVResult"]

@@ -64,8 +64,14 @@ def conjugate_gradient(
     config: TwoStepConfig = None,
     tol: float = 1e-10,
     max_iterations: int = 1000,
+    backend: str = None,
+    n_jobs: int = None,
 ) -> CGResult:
     """Solve ``A z = b`` for SPD ``A`` by conjugate gradients.
+
+    One persistent engine serves every iteration, so the execution plan
+    for ``matrix`` is built once and the per-iteration cost is the value
+    datapath only.
 
     Args:
         matrix: Symmetric positive-definite system matrix.
@@ -74,6 +80,8 @@ def conjugate_gradient(
             Two-Step engine and its traffic is accumulated.
         tol: Convergence threshold on ``||r|| / ||b||``.
         max_iterations: Iteration cap.
+        backend: Optional execution-backend override (requires ``config``).
+        n_jobs: Worker count for the ``parallel`` backend.
 
     Returns:
         :class:`CGResult`.
@@ -83,6 +91,14 @@ def conjugate_gradient(
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (matrix.n_rows,):
         raise ValueError(f"b must have shape ({matrix.n_rows},)")
+    if config is not None and (backend is not None or n_jobs is not None):
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            backend=backend if backend is not None else config.backend,
+            n_jobs=n_jobs if n_jobs is not None else config.n_jobs,
+        )
     engine = TwoStepEngine(config) if config is not None else None
     traffic = TrafficLedger()
 

@@ -78,8 +78,13 @@ def pagerank(
     tol: float = 1e-8,
     max_iterations: int = 100,
     backend: str = None,
+    n_jobs: int = None,
 ) -> PageRankResult:
     """PageRank through the ITS-overlapped Two-Step engine.
+
+    Every iteration multiplies by the *same* transition matrix, so the
+    engine's execution-plan cache makes iterations 2..N skip all
+    matrix-side preparation (blocking, run structure, VLDI sizing).
 
     Args:
         adjacency: Directed graph adjacency (row = source).
@@ -90,6 +95,7 @@ def pagerank(
         max_iterations: Iteration cap.
         backend: Optional execution-backend override for every iteration's
             SpMV (see :mod:`repro.backends`); None keeps ``config.backend``.
+        n_jobs: Worker count for the ``parallel`` backend.
 
     Returns:
         :class:`PageRankResult` whose ``its_report`` carries the ITS
@@ -97,8 +103,12 @@ def pagerank(
     """
     if not 0.0 < damping < 1.0:
         raise ValueError("damping must be in (0, 1)")
-    if backend is not None:
-        config = replace(config, backend=backend)
+    if backend is not None or n_jobs is not None:
+        config = replace(
+            config,
+            backend=backend if backend is not None else config.backend,
+            n_jobs=n_jobs if n_jobs is not None else config.n_jobs,
+        )
     transition = stochastic_matrix(adjacency)
     n = adjacency.n_rows
     engine = ITSEngine(config)

@@ -8,6 +8,9 @@ accounting) through an :class:`ExecutionBackend`:
   (:class:`ReferenceBackend`).
 * ``vectorized`` -- whole-array NumPy kernels, the fast path and the
   default (:class:`VectorizedBackend`).
+* ``parallel`` -- the vectorized kernels sharded over ``n_jobs``
+  workers: stripes in step 1, PRaP residue classes in step 2
+  (:class:`ParallelBackend`).
 
 Selection precedence: an explicit backend object > the ``backend`` field
 of :class:`~repro.core.config.TwoStepConfig` > the ``REPRO_BACKEND``
@@ -21,6 +24,7 @@ from __future__ import annotations
 import os
 
 from repro.backends.base import ExecutionBackend, SparseVector
+from repro.backends.parallel import ParallelBackend
 from repro.backends.reference import ReferenceBackend
 from repro.backends.vectorized import VectorizedBackend
 
@@ -33,9 +37,10 @@ DEFAULT_BACKEND = "vectorized"
 _REGISTRY: dict[str, type[ExecutionBackend]] = {
     ReferenceBackend.name: ReferenceBackend,
     VectorizedBackend.name: VectorizedBackend,
+    ParallelBackend.name: ParallelBackend,
 }
 
-_INSTANCES: dict[str, ExecutionBackend] = {}
+_INSTANCES: dict[tuple, ExecutionBackend] = {}
 
 
 def available_backends() -> tuple[str, ...]:
@@ -53,25 +58,42 @@ def get_backend(name: str) -> ExecutionBackend:
         raise ValueError(
             f"unknown backend {name!r}; available: {', '.join(available_backends())}"
         )
-    if name not in _INSTANCES:
-        _INSTANCES[name] = _REGISTRY[name]()
-    return _INSTANCES[name]
+    key = (name,)
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _REGISTRY[name]()
+    return _INSTANCES[key]
 
 
-def resolve_backend(selection: str | ExecutionBackend | None = None) -> ExecutionBackend:
+def resolve_backend(
+    selection: str | ExecutionBackend | None = None,
+    n_jobs: int | None = None,
+    pool_kind: str | None = None,
+) -> ExecutionBackend:
     """Resolve a backend selection to an instance.
 
     Args:
         selection: A backend instance (returned as is), a registry name,
             or None -- which falls back to the ``REPRO_BACKEND``
             environment variable, then :data:`DEFAULT_BACKEND`.
+        n_jobs: Worker count for the ``parallel`` backend; ignored by
+            the sequential backends.  None lets ``REPRO_JOBS`` / the
+            CPU count decide.
+        pool_kind: ``"thread"`` or ``"process"`` for the ``parallel``
+            backend; None means thread.
 
     Returns:
-        The selected :class:`ExecutionBackend`.
+        The selected :class:`ExecutionBackend`.  Parameterized
+        ``parallel`` instances are cached per ``(n_jobs, pool_kind)`` so
+        repeated resolution reuses one worker pool.
     """
     if isinstance(selection, ExecutionBackend):
         return selection
     name = selection or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    if name == ParallelBackend.name and (n_jobs is not None or pool_kind is not None):
+        key = (name, n_jobs, pool_kind or "thread")
+        if key not in _INSTANCES:
+            _INSTANCES[key] = ParallelBackend(n_jobs=n_jobs, pool_kind=pool_kind)
+        return _INSTANCES[key]
     return get_backend(name)
 
 
@@ -79,6 +101,7 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "ExecutionBackend",
+    "ParallelBackend",
     "ReferenceBackend",
     "SparseVector",
     "VectorizedBackend",

@@ -130,5 +130,120 @@ class ExecutionBackend(ABC):
             Total bits including continuation bits.
         """
 
+    # ------------------------------------------------------------------
+    # Plan-aware and batched entry points.
+    #
+    # The engine precomputes matrix-side structure (run boundaries,
+    # output indices) into per-stripe plans (:class:`repro.core.plan.
+    # StripePlan`); backends may exploit it.  The defaults below fall
+    # back to the scalar kernels, so every backend is automatically
+    # plan- and batch-capable and automatically bit-compatible -- fast
+    # paths only override where they can keep the same accumulation
+    # order.
+    # ------------------------------------------------------------------
+
+    def stripe_spmv_plan(self, stripe, x_segment: np.ndarray) -> SparseVector:
+        """Step-1 kernel against a precomputed stripe plan.
+
+        Args:
+            stripe: A ``StripePlan`` carrying ``rows``/``cols``/``vals``
+                plus the precomputed run structure.
+            x_segment: Scratchpad-resident source-vector segment.
+
+        Returns:
+            ``(indices, values)`` of the intermediate sparse vector.
+        """
+        return self.stripe_spmv(stripe.rows, stripe.cols, stripe.vals, x_segment)
+
+    def stripe_spmv_plan_batch(self, stripe, segments: np.ndarray) -> SparseVector:
+        """Multi-RHS step-1 kernel: ``V_k = A_k @ X_k`` for one stripe.
+
+        Args:
+            stripe: A ``StripePlan``.
+            segments: Source segments, shape ``(width, k)`` -- one column
+                per right-hand side.
+
+        Returns:
+            ``(indices, values)`` with ``values`` of shape
+            ``(n_runs, k)``; column ``j`` is bit-identical to the
+            single-RHS kernel on ``segments[:, j]``.
+        """
+        k = segments.shape[1]
+        if k == 0:
+            return stripe.out_indices, np.empty((stripe.n_runs, 0), dtype=np.float64)
+        columns = [
+            self.stripe_spmv_plan(stripe, np.ascontiguousarray(segments[:, j]))[1]
+            for j in range(k)
+        ]
+        return stripe.out_indices, np.stack(columns, axis=1)
+
+    def map_stripe_plans(self, stripes: list, segments: list) -> list:
+        """Run step 1 over all stripes; the parallel backend fans out here.
+
+        Args:
+            stripes: ``StripePlan`` objects, one per column block.
+            segments: Matching source-vector segments.
+
+        Returns:
+            Per-stripe ``(indices, values)`` pairs, in stripe order.
+        """
+        return [self.stripe_spmv_plan(sp, seg) for sp, seg in zip(stripes, segments)]
+
+    def map_stripe_plans_batch(self, stripes: list, segments: list) -> list:
+        """Multi-RHS variant of :meth:`map_stripe_plans`."""
+        return [self.stripe_spmv_plan_batch(sp, seg) for sp, seg in zip(stripes, segments)]
+
+    def merge_accumulate_batch(self, lists: list, k: int) -> SparseVector:
+        """Multi-RHS K-way merge: values are ``(n, k)`` matrices.
+
+        The key structure of intermediate vectors is independent of the
+        right-hand side, so one merge serves all ``k`` columns; column
+        ``j`` of the output must be bit-identical to
+        :meth:`merge_accumulate` on the corresponding scalar lists.
+
+        Args:
+            lists: ``(indices, values)`` pairs with 2-D values.
+            k: Batch width (columns of every value matrix).
+
+        Returns:
+            ``(indices, values)`` with ``values`` of shape ``(m, k)``.
+        """
+        if k == 0:
+            idx, _ = self.merge_accumulate(
+                [(i, np.zeros(np.asarray(i).size)) for i, _ in lists]
+            )
+            return idx, np.empty((idx.size, 0), dtype=np.float64)
+        per_col = [
+            self.merge_accumulate([(idx, val[:, j]) for idx, val in lists])
+            for j in range(k)
+        ]
+        merged_idx = per_col[0][0]
+        return merged_idx, np.stack([v for _, v in per_col], axis=1)
+
+    def inject_classes(
+        self, keys: np.ndarray, vals: np.ndarray, hi: int, p: int
+    ) -> list:
+        """Missing-key injection for every PRaP residue class.
+
+        Args:
+            keys: Strictly increasing merged keys.
+            vals: Matching accumulated values.
+            hi: One past the largest (padded) key.
+            p: PRaP core count (power of two).
+
+        Returns:
+            ``p`` dense ``(keys, vals)`` streams, one per radix, in radix
+            order -- ready for the store queue.
+        """
+        out = []
+        for radix in range(p):
+            mask = (keys & (p - 1)) == radix
+            out.append(
+                self.inject_missing_keys(
+                    keys[mask], vals[mask], (0, hi), stride=p, offset=radix
+                )
+            )
+        return out
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"

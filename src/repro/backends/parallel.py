@@ -1,0 +1,173 @@
+"""Sharded multi-worker backend: the software analogue of PRaP scaling.
+
+Step 1 fans out across column stripes (each worker computes one
+stripe's intermediate vector ``v_k``) and step 2 fans out across
+residue classes (each worker merge-accumulates, and later
+dense-injects, one ``key mod s`` class -- exactly the ownership rule
+the paper's radix pre-sorter enforces in hardware, section 4.2).  The
+final assembly is a deterministic strided recombination, so results are
+**bit-identical** to the ``vectorized`` and ``reference`` backends and
+traffic ledgers are byte-identical for every ``n_jobs``.
+
+Workers default to a thread pool: the kernels are whole-array NumPy
+operations whose C loops release the GIL, so threads overlap without
+copying a byte.  An opt-in process pool
+(``TwoStepConfig(parallel_pool="process")`` or
+``ParallelBackend(pool_kind="process")``) sidesteps the interpreter
+entirely for very large inputs; stripe arrays above
+:data:`~repro.parallel.shm.SHM_MIN_BYTES` travel through
+``multiprocessing.shared_memory`` rather than pickle.
+
+Small inputs stay inline -- below :data:`ParallelBackend.MIN_FANOUT_RECORDS`
+records the scheduling overhead would dominate, so the backend silently
+degrades to the (identical-result) vectorized path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import SparseVector
+from repro.backends.vectorized import VectorizedBackend
+from repro.parallel.pool import WorkerPool
+from repro.parallel.sharding import recombine_sorted_shards, shard_lists_by_residue
+from repro.parallel.shm import ArrayExporter
+from repro.parallel.workers import (
+    inject_class_task,
+    merge_shard_task,
+    stripe_values_task,
+)
+
+
+class ParallelBackend(VectorizedBackend):
+    """Vectorized kernels sharded over an ``n_jobs`` worker pool.
+
+    Inherits every scalar kernel from :class:`VectorizedBackend` (hence
+    the bit-compatibility guarantees) and overrides the fan-out points:
+    stripe mapping, merge accumulation and per-class injection.
+    """
+
+    name = "parallel"
+
+    #: Below this many records a kernel runs inline: fan-out overhead
+    #: would exceed the work.
+    MIN_FANOUT_RECORDS = 4096
+
+    def __init__(self, n_jobs: int | None = None, pool_kind: str | None = None):
+        """
+        Args:
+            n_jobs: Worker count; None resolves ``REPRO_JOBS`` then the
+                CPU count.
+            pool_kind: ``"thread"`` (default) or ``"process"``.
+        """
+        self.pool = WorkerPool(n_jobs, kind=pool_kind or "thread")
+
+    @property
+    def n_jobs(self) -> int:
+        """Configured worker count."""
+        return self.pool.n_jobs
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self.pool.close()
+
+    # ------------------------------------------------------------------
+    # Step 1: stripe-level sharding
+    # ------------------------------------------------------------------
+
+    def map_stripe_plans(self, stripes: list, segments: list) -> list:
+        total = sum(sp.vals.size for sp in stripes)
+        if self.pool.inline or len(stripes) <= 1 or total < self.MIN_FANOUT_RECORDS:
+            return super().map_stripe_plans(stripes, segments)
+        if self.pool.uses_processes:
+            return self._map_stripes_processes(stripes, segments)
+        tasks = list(zip(stripes, segments))
+        return self.pool.map(lambda t: self._stripe_task(t[0], t[1]), tasks)
+
+    def _stripe_task(self, stripe, segment) -> SparseVector:
+        return VectorizedBackend.stripe_spmv_plan(self, stripe, segment)
+
+    def _map_stripes_processes(self, stripes: list, segments: list) -> list:
+        with ArrayExporter() as exporter:
+            payloads = [
+                {
+                    "cols": exporter.export(sp.cols),
+                    "vals": exporter.export(sp.vals),
+                    "run_ids": exporter.export(sp.run_ids),
+                    "segment": exporter.export(np.ascontiguousarray(seg)),
+                    "n_runs": sp.n_runs,
+                }
+                for sp, seg in zip(stripes, segments)
+            ]
+            values = self.pool.map(stripe_values_task, payloads)
+        return [(sp.out_indices, val) for sp, val in zip(stripes, values)]
+
+    def map_stripe_plans_batch(self, stripes: list, segments: list) -> list:
+        total = sum(sp.vals.size for sp in stripes)
+        if (
+            self.pool.inline
+            or self.pool.uses_processes  # closures cannot cross processes;
+            or len(stripes) <= 1  # the batch kernel is array-wide already
+            or total < self.MIN_FANOUT_RECORDS
+        ):
+            return super().map_stripe_plans_batch(stripes, segments)
+        tasks = list(zip(stripes, segments))
+        return self.pool.map(
+            lambda t: VectorizedBackend.stripe_spmv_plan_batch(self, t[0], t[1]), tasks
+        )
+
+    # ------------------------------------------------------------------
+    # Step 2: residue-class sharding (PRaP in software)
+    # ------------------------------------------------------------------
+
+    def merge_accumulate(self, lists: list) -> SparseVector:
+        total = sum(np.asarray(idx).size for idx, _ in lists)
+        n_shards = self.pool.n_jobs
+        if self.pool.inline or n_shards <= 1 or total < self.MIN_FANOUT_RECORDS:
+            return super().merge_accumulate(lists)
+        shards = shard_lists_by_residue(lists, n_shards)
+        if self.pool.uses_processes:
+            with ArrayExporter() as exporter:
+                payloads = [
+                    {
+                        "lists": [
+                            (exporter.export(np.asarray(i, dtype=np.int64)),
+                             exporter.export(np.asarray(v, dtype=np.float64)))
+                            for i, v in shard
+                        ]
+                    }
+                    for shard in shards
+                ]
+                outputs = self.pool.map(merge_shard_task, payloads)
+        else:
+            outputs = self.pool.map(lambda shard: super(ParallelBackend, self).merge_accumulate(shard), shards)
+        return recombine_sorted_shards(outputs)
+
+    def inject_classes(
+        self, keys: np.ndarray, vals: np.ndarray, hi: int, p: int
+    ) -> list:
+        if self.pool.inline or p <= 1 or keys.size + hi // max(p, 1) < self.MIN_FANOUT_RECORDS:
+            return super().inject_classes(keys, vals, hi, p)
+        residues = keys & (p - 1)
+        per_class = [
+            (keys[residues == radix], vals[residues == radix], radix)
+            for radix in range(p)
+        ]
+        if self.pool.uses_processes:
+            with ArrayExporter() as exporter:
+                payloads = [
+                    {
+                        "keys": exporter.export(k),
+                        "vals": exporter.export(v),
+                        "lo": 0,
+                        "hi": hi,
+                        "stride": p,
+                        "offset": radix,
+                    }
+                    for k, v, radix in per_class
+                ]
+                return self.pool.map(inject_class_task, payloads)
+        return self.pool.map(
+            lambda t: self.inject_missing_keys(t[0], t[1], (0, hi), stride=p, offset=t[2]),
+            per_class,
+        )

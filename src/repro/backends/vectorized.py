@@ -45,6 +45,56 @@ class VectorizedBackend(ExecutionBackend):
     def merge_accumulate(self, lists: list[SparseVector]) -> SparseVector:
         return merge_accumulate(lists)
 
+    def stripe_spmv_plan(self, stripe, x_segment: np.ndarray) -> SparseVector:
+        # The run structure (boundaries, output rows) is precomputed in the
+        # plan; only the value datapath runs per call.
+        if stripe.vals.size == 0:
+            return stripe.out_indices, np.empty(0, dtype=np.float64)
+        products = stripe.vals * x_segment[stripe.cols]
+        values = np.bincount(stripe.run_ids, weights=products, minlength=stripe.n_runs)
+        return stripe.out_indices, values
+
+    def stripe_spmv_plan_batch(self, stripe, segments: np.ndarray) -> SparseVector:
+        k = segments.shape[1]
+        if stripe.vals.size == 0 or k == 0:
+            return stripe.out_indices, np.zeros((stripe.n_runs, k), dtype=np.float64)
+        # One batched gather serves every right-hand side ...
+        products = stripe.vals[:, None] * segments[stripe.cols, :]
+        values = np.empty((stripe.n_runs, k), dtype=np.float64)
+        # ... but accumulation stays per-column bincount: its sequential
+        # stream-order addition is the bit-compatibility contract (a 2-D
+        # reduction would re-associate the sums).
+        for j in range(k):
+            values[:, j] = np.bincount(
+                stripe.run_ids, weights=products[:, j], minlength=stripe.n_runs
+            )
+        return stripe.out_indices, values
+
+    def merge_accumulate_batch(self, lists: list, k: int) -> SparseVector:
+        pairs = [
+            (np.asarray(i, dtype=np.int64), np.asarray(v, dtype=np.float64))
+            for i, v in lists
+        ]
+        pairs = [(i, v) for i, v in pairs if i.size]
+        if not pairs:
+            return np.empty(0, dtype=np.int64), np.empty((0, k), dtype=np.float64)
+        all_idx = np.concatenate([i for i, _ in pairs])
+        all_val = np.concatenate([v for _, v in pairs], axis=0)
+        # Same stable sort as the scalar merge: the permutation depends only
+        # on keys, so it is shared by every column.
+        order = np.argsort(all_idx, kind="stable")
+        all_idx = all_idx[order]
+        all_val = all_val[order]
+        new_run = np.empty(all_idx.size, dtype=bool)
+        new_run[0] = True
+        new_run[1:] = all_idx[1:] != all_idx[:-1]
+        run_ids = np.cumsum(new_run) - 1
+        n_runs = int(run_ids[-1]) + 1 if run_ids.size else 0
+        summed = np.empty((n_runs, k), dtype=np.float64)
+        for j in range(k):
+            summed[:, j] = np.bincount(run_ids, weights=all_val[:, j], minlength=n_runs)
+        return all_idx[new_run], summed
+
     def inject_missing_keys(
         self,
         keys: np.ndarray,

@@ -9,6 +9,8 @@ Subcommands:
   ledger and cycle statistics.
 * ``repro estimate`` -- paper-scale analytic performance for a named
   dataset across design points.
+* ``repro solve``    -- run an iterative solver (PageRank, BFS, k-core)
+  through the engine, exercising plan reuse and multi-RHS batching.
 * ``repro datasets`` -- list the paper's evaluation graphs.
 """
 
@@ -20,12 +22,37 @@ import sys
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.backends import available_backends
 from repro.core.accelerator import Accelerator
 from repro.core.design_points import ALL_DESIGN_POINTS, get_design_point
 from repro.formats.io import read_binary, read_matrix_market, write_binary, write_matrix_market
 from repro.generators.datasets import CPU_GRAPHS, CUSTOM_HW_GRAPHS, GPU_GRAPHS, get_dataset, instantiate
 from repro.generators.erdos_renyi import erdos_renyi_graph
 from repro.generators.rmat import rmat_graph
+
+
+def add_backend_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--backend`` / ``--jobs`` options to a subcommand.
+
+    Every subcommand that executes the functional engine takes the same
+    pair; centralizing them here keeps choices and help text in sync with
+    the backend registry.
+    """
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="execution backend for the functional engine "
+        "(default: $REPRO_BACKEND, then vectorized)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for --backend parallel "
+        "(default: $REPRO_JOBS, then the CPU count)",
+    )
 
 
 def _load_matrix(path: str):
@@ -58,7 +85,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args.matrix)
     point = get_design_point(args.design_point)
-    x = np.random.default_rng(args.seed).uniform(size=matrix.n_cols)
+    rng = np.random.default_rng(args.seed)
     if args.autotune:
         from dataclasses import replace
 
@@ -71,21 +98,80 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"hdn={'on (threshold %d)' % tuned.config.hdn.degree_threshold if tuned.hdn_enabled else 'off'}, "
             f"stripe={tuned.config.segment_width}"
         )
-        engine = TwoStepEngine(replace(tuned.config, backend=args.backend))
+        engine = TwoStepEngine(
+            replace(tuned.config, backend=args.backend, n_jobs=args.jobs)
+        )
     else:
         engine = Accelerator(
-            point, simulation_segment_width=args.segment_width, backend=args.backend
+            point,
+            simulation_segment_width=args.segment_width,
+            backend=args.backend,
+            n_jobs=args.jobs,
         )
-    result = engine.run(matrix, x, verify=True)
-    y, report = result
+    if args.batch > 1:
+        X = rng.uniform(size=(matrix.n_cols, args.batch))
+        result = engine.run_many(matrix, X, verify=True)
+    else:
+        x = rng.uniform(size=matrix.n_cols)
+        result = engine.run(matrix, x, verify=True)
+    report = result.report
     print(f"design point: {point.name}")
     print(f"matrix: {matrix.n_rows:,} x {matrix.n_cols:,}, nnz {matrix.nnz:,}")
-    print(f"backend: {report.backend}, wall time: {result.wall_time_s * 1e3:.1f} ms")
+    print(
+        f"backend: {report.backend}, batch: {report.batch_size}, "
+        f"wall time: {result.wall_time_s * 1e3:.1f} ms"
+    )
     print(f"verified against dense reference: {'OK' if result.verified else 'MISMATCH'}")
     print(f"stripes: {report.n_stripes}, intermediate records: {report.intermediate_records:,}")
     print(f"step-1 cycles: {report.step1.cycles:,.0f}, step-2 cycles: {report.step2.cycles:,.0f}")
+    print(f"plan build: {report.plan_build_s * 1e3:.1f} ms")
     print(report.traffic)
     return 0 if result.verified else 1
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.config import TwoStepConfig
+    from repro.core.twostep import TwoStepEngine
+
+    matrix = _load_matrix(args.matrix)
+    config = TwoStepConfig(
+        segment_width=args.segment_width, backend=args.backend, n_jobs=args.jobs
+    )
+    engine = TwoStepEngine(config)
+    if args.app == "pagerank":
+        from repro.apps.pagerank import pagerank
+
+        result = pagerank(
+            matrix, config, max_iterations=args.iterations, backend=args.backend,
+            n_jobs=args.jobs,
+        )
+        top = np.argsort(result.ranks)[::-1][:5]
+        print(
+            f"pagerank: {result.iterations} iterations, "
+            f"{'converged' if result.converged else 'not converged'} "
+            f"(residual {result.residuals[-1]:.2e})"
+        )
+        print("top nodes: " + ", ".join(f"{n} ({result.ranks[n]:.4f})" for n in top))
+    elif args.app == "bfs":
+        from repro.apps.bfs import bfs_levels_multi
+
+        sources = list(range(min(args.sources, matrix.n_rows)))
+        levels = bfs_levels_multi(matrix, sources, engine=engine)
+        for s, src in enumerate(sources):
+            reached = int((levels[:, s] >= 0).sum())
+            depth = int(levels[:, s].max())
+            print(f"bfs from {src}: reached {reached:,}/{matrix.n_rows:,}, depth {depth}")
+        stats = engine.plan_cache_stats
+        print(f"plan cache: {stats['hits']} hits / {stats['misses']} misses")
+    else:
+        from repro.apps.kcore import kcore_decomposition
+
+        coreness = kcore_decomposition(matrix, engine=engine)
+        stats = engine.plan_cache_stats
+        print(f"k-core: max coreness {int(coreness.max())}, "
+              f"mean {float(coreness.mean()):.2f}")
+        print(f"plan cache: {stats['hits']} hits / {stats['misses']} misses")
+    return 0
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
@@ -240,12 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--design-point", default="TS_ASIC")
     run.add_argument("--segment-width", type=int, default=8192)
     run.add_argument("--seed", type=int, default=0)
+    add_backend_options(run)
     run.add_argument(
-        "--backend",
-        choices=["reference", "vectorized"],
-        default=None,
-        help="execution backend for the functional engine "
-        "(default: $REPRO_BACKEND, then vectorized)",
+        "--batch",
+        type=int,
+        default=1,
+        metavar="K",
+        help="execute K random right-hand sides in one batched pass",
     )
     run.add_argument(
         "--autotune",
@@ -253,6 +340,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="choose VLDI block / HDN threshold from the input structure",
     )
     run.set_defaults(func=cmd_run)
+
+    solve = sub.add_parser(
+        "solve", help="run an iterative solver through the Two-Step engine"
+    )
+    solve.add_argument("app", choices=["pagerank", "bfs", "kcore"])
+    solve.add_argument("matrix", help=".mtx or packed binary path")
+    solve.add_argument("--segment-width", type=int, default=4096)
+    solve.add_argument("--iterations", type=int, default=50, help="pagerank iteration cap")
+    solve.add_argument(
+        "--sources", type=int, default=4, help="BFS sources expanded in one batch"
+    )
+    add_backend_options(solve)
+    solve.set_defaults(func=cmd_solve)
 
     est = sub.add_parser("estimate", help="paper-scale performance for a dataset")
     est.add_argument("dataset", help="dataset name from 'repro datasets'")

@@ -39,6 +39,7 @@ class Accelerator:
         point: DesignPoint,
         simulation_segment_width: int = None,
         backend: str = None,
+        n_jobs: int = None,
     ):
         """
         Args:
@@ -51,6 +52,8 @@ class Accelerator:
             backend: Optional execution-backend name for the functional
                 engine (see :mod:`repro.backends`); None follows the
                 ``REPRO_BACKEND`` / package-default resolution.
+            n_jobs: Worker count when ``backend="parallel"``; ignored by
+                the sequential backends.
         """
         self.point = point
         width = simulation_segment_width or point.segment_elements
@@ -62,6 +65,7 @@ class Accelerator:
             vldi_vector_block_bits=8 if point.vldi else None,
             step1_pipelines=point.step1_pipelines,
             backend=backend,
+            n_jobs=n_jobs,
         )
         self._engine = TwoStepEngine(self.config)
 
@@ -69,11 +73,25 @@ class Accelerator:
         self,
         matrix: COOMatrix,
         x: np.ndarray,
-        y: np.ndarray = None,
+        y: np.ndarray | None = None,
         verify: bool = False,
     ) -> SpMVResult:
         """Functional SpMV at simulation scale; see :class:`TwoStepEngine`."""
         return self._engine.run(matrix, x, y, verify=verify)
+
+    def run_many(
+        self,
+        matrix: COOMatrix,
+        X: np.ndarray,
+        Y: np.ndarray | None = None,
+        verify: bool = False,
+    ) -> SpMVResult:
+        """Batched multi-RHS SpMV; see :meth:`TwoStepEngine.run_many`."""
+        return self._engine.run_many(matrix, X, Y=Y, verify=verify)
+
+    def plan(self, matrix: COOMatrix):
+        """The functional engine's (cached) execution plan for ``matrix``."""
+        return self._engine.plan(matrix)
 
     def run_iterative(self, matrix: COOMatrix, x0: np.ndarray, n_iterations: int, transform=None):
         """Iterative SpMV; applies ITS overlap accounting when enabled."""

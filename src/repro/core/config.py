@@ -32,10 +32,21 @@ class TwoStepConfig:
             DRAM layout.  The hardware uses fixed 32-bit fields (4 bytes)
             for row/column/intermediate indices regardless of the actual
             dimension; VLDI is what removes that slack.
-        backend: Execution-backend name (``"reference"`` or
-            ``"vectorized"``); None defers to the ``REPRO_BACKEND``
-            environment variable, then the package default.  All backends
-            are bit-compatible -- only wall-clock speed differs.
+        backend: Execution-backend name (``"reference"``,
+            ``"vectorized"`` or ``"parallel"``); None defers to the
+            ``REPRO_BACKEND`` environment variable, then the package
+            default.  All backends are bit-compatible -- only wall-clock
+            speed differs.
+        n_jobs: Worker count for the ``parallel`` backend; None defers
+            to ``REPRO_JOBS``, then the CPU count.  Ignored by the
+            sequential backends.
+        parallel_pool: Worker flavour for the ``parallel`` backend:
+            ``"thread"`` (default; the NumPy kernels release the GIL) or
+            ``"process"`` (opt-in for large inputs; arrays travel via
+            shared memory).
+        plan_cache: Maximum :class:`~repro.core.plan.ExecutionPlan`
+            objects an engine retains (LRU).  0 disables caching, so
+            every ``run()`` rebuilds matrix-side state.
     """
 
     segment_width: int
@@ -49,6 +60,9 @@ class TwoStepConfig:
     check_interleave: bool = False
     index_field_bytes: int = 4
     backend: str = None
+    n_jobs: int = None
+    parallel_pool: str = None
+    plan_cache: int = 8
 
     def __post_init__(self) -> None:
         if self.segment_width <= 0:

@@ -1,0 +1,316 @@
+"""Execution plans: cached matrix-side preparation for Two-Step SpMV.
+
+Everything the engine derives from the *matrix alone* -- column
+blocking, per-stripe run structure (the row boundaries the step-1 adder
+chain collapses), stripe format selection, VLDI bit counts for matrix
+and intermediate-index streams, the HDN degree table and Bloom filter,
+and the complete cycle/record statistics of both steps -- is computed
+once into an :class:`ExecutionPlan` and reused by every subsequent
+``run()`` on the same matrix.  Iterative clients (PageRank, CG, BFS,
+k-core) call SpMV dozens of times on one matrix; with a plan, iteration
+2..N pays only for the value datapath: gather, multiply, accumulate,
+merge, scatter.
+
+This is the software counterpart of what the hardware gets for free:
+the accelerator streams the *same* preprocessed stripe layout from DRAM
+every iteration, it never re-derives it.  SpArch's condensed matrix
+staging and SMASH's compressed-index reuse (see PAPERS.md) make the
+same amortization argument.
+
+Plans are immutable once built and hold only structure-derived state,
+so one plan serves any right-hand side -- including batched multi-RHS
+execution -- and any bit-compatible backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.backends import ExecutionBackend
+from repro.compression.delta import delta_encode, stripe_column_deltas
+from repro.core.config import TwoStepConfig
+from repro.core.step1 import Step1Engine, Step1Stats
+from repro.core.step2 import Step2Stats
+from repro.filters.hdn import HDNDetector
+from repro.formats.blocking import ColumnBlock, column_blocks
+from repro.formats.convert import coo_to_csr
+from repro.formats.coo import COOMatrix
+from repro.formats.hypersparse import StripeFormat, choose_stripe_format
+from repro.memory.traffic import TrafficLedger
+
+
+@dataclass(frozen=True)
+class StripePlan:
+    """Precomputed execution state of one column stripe.
+
+    Attributes:
+        index: Stripe number ``k``.
+        col_lo: First global column (inclusive).
+        col_hi: One past the last global column (exclusive).
+        rows: Stripe row indices (row-major order).
+        cols: Stripe-local column indices.
+        vals: Nonzero values.
+        out_indices: Row index of each accumulated output record --
+            the structure-determined indices of ``v_k``.
+        run_ids: Per-nonzero output-record id (``cumsum`` of row-run
+            boundaries minus one); lets backends skip re-deriving runs.
+        n_runs: Output records (= ``out_indices.size``).
+        fmt: Chosen DRAM stripe format (CSR vs RM-COO).
+        matrix_bytes: Off-chip bytes to stream the stripe (meta + values).
+        iv_index_bits: Encoded bits of the intermediate index stream
+            (VLDI when enabled, fixed fields otherwise).
+    """
+
+    index: int
+    col_lo: int
+    col_hi: int
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    out_indices: np.ndarray
+    run_ids: np.ndarray
+    n_runs: int
+    fmt: StripeFormat
+    matrix_bytes: float
+    iv_index_bits: int
+
+    @property
+    def width(self) -> int:
+        """Stripe width (= length of the matching vector segment)."""
+        return self.col_hi - self.col_lo
+
+    @property
+    def nnz(self) -> int:
+        """Nonzeros in the stripe."""
+        return int(self.rows.size)
+
+
+@dataclass
+class ExecutionPlan:
+    """Reusable matrix-side state for Two-Step execution on one matrix.
+
+    Attributes:
+        matrix: The planned matrix (held strongly: the plan is only
+            valid for exactly this object, and the cache checks
+            identity on lookup).
+        fingerprint: Configuration fingerprint the plan was built under.
+        stripes: Per-stripe plans in stripe order.
+        stripe_formats: Chosen formats, in stripe order.
+        detector: Prebuilt HDN detector (None when HDN is disabled).
+        hdn_filter_bytes: On-chip Bloom filter bytes.
+        intermediate_records: Total records across all ``v_k``.
+        step1_template: Complete step-1 statistics (structure-only, so
+            identical for every run); copied into each report.
+        step2_template: Complete step-2 statistics, ditto.
+        build_s: Wall-clock seconds spent building the plan.
+    """
+
+    matrix: COOMatrix
+    fingerprint: str
+    stripes: list = field(default_factory=list)
+    stripe_formats: list = field(default_factory=list)
+    detector: HDNDetector | None = None
+    hdn_filter_bytes: int = 0
+    intermediate_records: int = 0
+    step1_template: Step1Stats = field(default_factory=Step1Stats)
+    step2_template: Step2Stats = field(default_factory=Step2Stats)
+    build_s: float = 0.0
+
+    @property
+    def n_rows(self) -> int:
+        """Result-vector dimension."""
+        return self.matrix.n_rows
+
+    @property
+    def n_cols(self) -> int:
+        """Source-vector dimension."""
+        return self.matrix.n_cols
+
+    def step1_stats(self) -> Step1Stats:
+        """Fresh per-run copy of the step-1 statistics."""
+        return replace(
+            self.step1_template,
+            per_stripe_nnz=list(self.step1_template.per_stripe_nnz),
+        )
+
+    def step2_stats(self) -> Step2Stats:
+        """Fresh per-run copy of the step-2 statistics."""
+        return replace(self.step2_template)
+
+    def traffic_ledger(self, config: TwoStepConfig, batch: int = 1) -> TrafficLedger:
+        """The run's byte-accurate traffic ledger.
+
+        For ``batch > 1`` (multi-RHS execution) the matrix and the
+        intermediate *index* streams are charged once -- they are shared
+        by every right-hand side -- while dense vectors and intermediate
+        *values* are charged per RHS.  ``batch=1`` reproduces the
+        historical single-vector accounting bit for bit.
+
+        Args:
+            config: Engine configuration (precision, VLDI notes).
+            batch: Number of right-hand sides sharing this pass.
+
+        Returns:
+            A fresh :class:`TrafficLedger`.
+        """
+        ledger = TrafficLedger()
+        for sp in self.stripes:
+            ledger.matrix_bytes += sp.matrix_bytes
+            ledger.intermediate_write_bytes += (
+                sp.iv_index_bits / 8.0 + batch * (sp.n_runs * config.precision.bytes)
+            )
+        ledger.source_vector_bytes = batch * (self.n_cols * config.precision.bytes)
+        ledger.result_vector_bytes = batch * (self.n_rows * config.precision.bytes)
+        ledger.intermediate_read_bytes = ledger.intermediate_write_bytes
+        ledger.notes["vldi_vector"] = config.vldi_vector_block_bits
+        ledger.notes["vldi_matrix"] = config.vldi_matrix_block_bits
+        return ledger
+
+
+def config_fingerprint(config: TwoStepConfig) -> str:
+    """Deterministic fingerprint of every plan-relevant config field.
+
+    The full ``repr`` is used so *any* configuration change -- including
+    backend selection, which controls the kernels a cached plan's VLDI
+    bit counts were computed with -- invalidates cached plans.
+    """
+    return repr(config)
+
+
+def _stripe_structure(rows: np.ndarray) -> tuple:
+    """Row-run structure of a row-major stripe: (out_indices, run_ids, n)."""
+    if rows.size == 0:
+        empty_idx = np.empty(0, dtype=np.int64)
+        return empty_idx, np.empty(0, dtype=np.int64), 0
+    new_run = np.empty(rows.size, dtype=bool)
+    new_run[0] = True
+    new_run[1:] = rows[1:] != rows[:-1]
+    run_ids = np.cumsum(new_run) - 1
+    out_indices = rows[new_run].astype(np.int64, copy=False)
+    return out_indices, run_ids.astype(np.int64, copy=False), int(out_indices.size)
+
+
+def _stripe_matrix_bytes(
+    block: ColumnBlock,
+    fmt: StripeFormat,
+    n_rows: int,
+    config: TwoStepConfig,
+    backend: ExecutionBackend,
+) -> float:
+    """Off-chip bytes to stream one stripe: meta-data plus values.
+
+    DRAM layouts pack absolute indices at byte granularity; only VLDI
+    strings are bit-packed (that is the point of the scheme).
+    """
+    field_bits = 8 * config.index_field_bytes
+    if fmt is StripeFormat.RM_COO:
+        row_bits = block.nnz * field_bits
+    else:
+        row_bits = (n_rows + 1) * field_bits
+    if config.vldi_matrix_block_bits is not None and block.nnz:
+        csr = coo_to_csr(block.matrix)
+        col_bits = backend.vldi_stream_bits(
+            stripe_column_deltas(csr.row_ptr, csr.cols), config.vldi_matrix_block_bits
+        )
+    else:
+        col_bits = block.nnz * field_bits
+    return (row_bits + col_bits) / 8.0 + block.nnz * config.precision.bytes
+
+
+def _iv_index_bits(
+    out_indices: np.ndarray, config: TwoStepConfig, backend: ExecutionBackend
+) -> int:
+    """Encoded bits of one intermediate vector's index stream."""
+    if config.vldi_vector_block_bits is not None and out_indices.size:
+        return backend.vldi_stream_bits(
+            delta_encode(out_indices), config.vldi_vector_block_bits
+        )
+    return out_indices.size * 8 * config.index_field_bytes
+
+
+def build_plan(
+    matrix: COOMatrix,
+    config: TwoStepConfig,
+    backend: ExecutionBackend,
+    n_banks: int = 32,
+) -> ExecutionPlan:
+    """Build the full execution plan for ``matrix`` under ``config``.
+
+    Args:
+        matrix: Sparse matrix in RM-COO.
+        config: Engine configuration.
+        backend: Execution backend (supplies VLDI size accounting; all
+            backends agree bit for bit, so a plan built under one
+            backend is valid for any other).
+        n_banks: Scratchpad banks for the step-1 cycle model.
+
+    Returns:
+        The immutable :class:`ExecutionPlan`.
+    """
+    start = time.perf_counter()
+    detector = None
+    if config.hdn is not None:
+        detector = HDNDetector(matrix.row_degrees(), config.hdn)
+
+    cycle_model = Step1Engine(config, n_banks=n_banks, backend=backend)
+    step1_stats = Step1Stats()
+    stripes: list[StripePlan] = []
+    formats: list[StripeFormat] = []
+    for block in column_blocks(matrix, config.segment_width):
+        stripe = block.matrix
+        out_indices, run_ids, n_runs = _stripe_structure(stripe.rows)
+        fmt = choose_stripe_format(block.nnz, matrix.n_rows)
+        formats.append(fmt)
+        stripes.append(
+            StripePlan(
+                index=block.index,
+                col_lo=block.col_lo,
+                col_hi=block.col_hi,
+                rows=stripe.rows,
+                cols=stripe.cols,
+                vals=stripe.vals,
+                out_indices=out_indices,
+                run_ids=run_ids,
+                n_runs=n_runs,
+                fmt=fmt,
+                matrix_bytes=_stripe_matrix_bytes(
+                    block, fmt, matrix.n_rows, config, backend
+                ),
+                iv_index_bits=_iv_index_bits(out_indices, config, backend),
+            )
+        )
+        # Step-1 statistics are structure-only: accumulate the template
+        # exactly as the per-run loop used to.
+        step1_stats.gathers += stripe.nnz
+        step1_stats.multiplies += stripe.nnz
+        step1_stats.output_records += n_runs
+        step1_stats.per_stripe_nnz.append(n_runs)
+        step1_stats.cycles += cycle_model._stripe_cycles(stripe.rows, detector, step1_stats)
+
+    total_in = sum(sp.n_runs for sp in stripes)
+    distinct = np.zeros(matrix.n_rows, dtype=bool)
+    for sp in stripes:
+        distinct[sp.out_indices] = True
+    step2_stats = Step2Stats(
+        input_records=total_in,
+        output_records=matrix.n_rows,
+        injected_records=matrix.n_rows - int(np.count_nonzero(distinct)),
+        cycles=max(matrix.n_rows, total_in) / config.n_cores,
+        n_lists=len(stripes),
+    )
+
+    return ExecutionPlan(
+        matrix=matrix,
+        fingerprint=config_fingerprint(config),
+        stripes=stripes,
+        stripe_formats=formats,
+        detector=detector,
+        hdn_filter_bytes=detector.filter_bytes if detector is not None else 0,
+        intermediate_records=total_in,
+        step1_template=step1_stats,
+        step2_template=step2_stats,
+        build_s=time.perf_counter() - start,
+    )

@@ -116,6 +116,39 @@ class Step1Engine:
             stats.cycles += self._stripe_cycles(stripe.rows, detector, stats)
         return IntermediateVector(block.index, indices, values)
 
+    def run_planned(self, plan, x: np.ndarray) -> list:
+        """Step 1 over every stripe of a prebuilt execution plan.
+
+        The run structure (boundaries, output rows) lives in the plan, so
+        only the value datapath executes; the backend's
+        ``map_stripe_plans`` hook decides whether stripes run serially or
+        fan out over workers.
+
+        Args:
+            plan: The matrix's :class:`~repro.core.plan.ExecutionPlan`.
+            x: Dense source vector (length ``n_cols``).
+
+        Returns:
+            Per-stripe sorted ``(indices, values)`` pairs, in stripe
+            order -- the intermediate vectors ``v_k``.
+        """
+        segments = [x[sp.col_lo : sp.col_hi] for sp in plan.stripes]
+        return self.backend.map_stripe_plans(plan.stripes, segments)
+
+    def run_planned_batch(self, plan, X: np.ndarray) -> list:
+        """Multi-RHS step 1: one pass over the plan serves all columns.
+
+        Args:
+            plan: The matrix's :class:`~repro.core.plan.ExecutionPlan`.
+            X: Dense source block, shape ``(n_cols, k)``.
+
+        Returns:
+            Per-stripe ``(indices, values)`` pairs with values of shape
+            ``(n_runs, k)``.
+        """
+        segments = [X[sp.col_lo : sp.col_hi, :] for sp in plan.stripes]
+        return self.backend.map_stripe_plans_batch(plan.stripes, segments)
+
     def _stripe_cycles(
         self, rows: np.ndarray, detector: HDNDetector, stats: Step1Stats
     ) -> float:

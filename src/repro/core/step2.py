@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.backends import ExecutionBackend, resolve_backend
 from repro.core.config import TwoStepConfig
-from repro.merge.prap import prap_merge_dense
+from repro.merge.prap import prap_merge_dense, prap_merge_dense_batch
 
 
 @dataclass
@@ -59,6 +59,36 @@ class Step2Engine:
             Dense ``float64`` result of length ``n_out``.
         """
         lists = [(iv.indices, iv.values) for iv in intermediates]
+        merged = self.run_lists(lists, n_out, y=y)
+        if stats is not None:
+            total_in = sum(iv.nnz for iv in intermediates)
+            stats.input_records += total_in
+            stats.output_records += n_out
+            distinct = int(np.count_nonzero(self._distinct_mask(lists, n_out)))
+            stats.injected_records += n_out - distinct
+            stats.n_lists = max(stats.n_lists, len(lists))
+            stats.cycles += self._merge_cycles(total_in, n_out)
+        return merged
+
+    def run_lists(
+        self,
+        lists: list,
+        n_out: int,
+        y: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Merge raw ``(indices, values)`` pairs into the dense result.
+
+        Same datapath as :meth:`run` without the instrumentation -- the
+        planned engine copies precomputed statistics instead.
+
+        Args:
+            lists: Sorted sparse vectors (step-1 output).
+            n_out: Result dimension N.
+            y: Optional dense accumuland.
+
+        Returns:
+            Dense ``float64`` result of length ``n_out``.
+        """
         merged = prap_merge_dense(
             lists,
             n_out,
@@ -71,14 +101,41 @@ class Step2Engine:
             if y.shape != (n_out,):
                 raise ValueError(f"y must have shape ({n_out},)")
             merged = merged + y
-        if stats is not None:
-            total_in = sum(iv.nnz for iv in intermediates)
-            stats.input_records += total_in
-            stats.output_records += n_out
-            distinct = int(np.count_nonzero(self._distinct_mask(lists, n_out)))
-            stats.injected_records += n_out - distinct
-            stats.n_lists = max(stats.n_lists, len(lists))
-            stats.cycles += self._merge_cycles(total_in, n_out)
+        return merged
+
+    def run_batch(
+        self,
+        lists: list,
+        n_out: int,
+        k: int,
+        Y: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Multi-RHS merge: one permutation serves every column.
+
+        Args:
+            lists: ``(indices, values)`` pairs with ``(n, k)`` values.
+            n_out: Result dimension N.
+            k: Batch width.
+            Y: Optional dense accumuland block, shape ``(n_out, k)``.
+
+        Returns:
+            Dense ``float64`` result of shape ``(n_out, k)``; column
+            ``j`` is bit-identical to the single-RHS path on the same
+            inputs.
+        """
+        merged = prap_merge_dense_batch(
+            lists,
+            n_out,
+            self.config.q,
+            k,
+            check_interleave=self.config.check_interleave,
+            backend=self.backend,
+        )
+        if Y is not None:
+            Y = np.asarray(Y, dtype=np.float64)
+            if Y.shape != (n_out, k):
+                raise ValueError(f"Y must have shape ({n_out}, {k})")
+            merged = merged + Y
         return merged
 
     @staticmethod

@@ -11,31 +11,38 @@ instrumentation mirrors exactly what the accelerator would move off-chip,
 including per-stripe format selection (CSR vs RM-COO for hypersparse
 stripes) and optional VLDI compression of vector and matrix meta-data.
 
+Matrix-side preparation (blocking, run structure, format choice, VLDI
+bit counts, HDN tables, both steps' cycle statistics) is captured once
+per matrix in an :class:`~repro.core.plan.ExecutionPlan` and cached, so
+iterative callers pay only for the value datapath after the first run.
+``run_many`` executes a whole block of right-hand sides against one plan,
+sharing every gather-index computation and merge permutation across the
+batch.
+
 The inner kernels (stripe accumulation, merge, injection, VLDI size
 accounting) are dispatched through an execution backend
 (:mod:`repro.backends`): ``reference`` replays records one at a time,
-``vectorized`` runs whole-array NumPy kernels.  Both produce bit-identical
+``vectorized`` runs whole-array NumPy kernels, ``parallel`` shards the
+vectorized kernels over a worker pool.  All produce bit-identical
 results and byte-identical ledgers; only wall-clock speed differs.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.api import SpMVResult
 from repro.backends import ExecutionBackend, resolve_backend
-from repro.compression.delta import delta_encode, stripe_column_deltas
 from repro.core.config import TwoStepConfig
+from repro.core.plan import ExecutionPlan, build_plan, config_fingerprint
 from repro.core.step1 import IntermediateVector, Step1Engine, Step1Stats
 from repro.core.step2 import Step2Engine, Step2Stats
-from repro.filters.hdn import HDNDetector
-from repro.formats.blocking import ColumnBlock, column_blocks
-from repro.formats.convert import coo_to_csr
 from repro.formats.coo import COOMatrix
-from repro.formats.hypersparse import StripeFormat, choose_stripe_format
+from repro.formats.hypersparse import StripeFormat
 from repro.memory.traffic import TrafficLedger
 
 
@@ -51,6 +58,10 @@ class TwoStepReport:
     stripe_formats: list[StripeFormat] = field(default_factory=list)
     hdn_filter_bytes: int = 0
     backend: str = ""
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_build_s: float = 0.0
+    batch_size: int = 1
 
     @property
     def total_cycles(self) -> float:
@@ -73,6 +84,10 @@ class TwoStepReport:
             "stripe_formats": [fmt.name for fmt in self.stripe_formats],
             "hdn_filter_bytes": self.hdn_filter_bytes,
             "total_cycles": self.total_cycles,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_build_s": self.plan_build_s,
+            "batch_size": self.batch_size,
             "step1": asdict(self.step1),
             "step2": asdict(self.step2),
             "traffic": traffic,
@@ -82,7 +97,11 @@ class TwoStepReport:
 class TwoStepEngine:
     """Functional, instrumented Two-Step SpMV.
 
-    Satisfies the :class:`repro.api.SpMVEngine` protocol.
+    Satisfies the :class:`repro.api.SpMVEngine` protocol.  The engine
+    keeps an LRU cache of execution plans (capacity
+    ``config.plan_cache``), so calling ``run`` repeatedly on the same
+    matrix -- the shape of every iterative solver -- re-derives nothing
+    matrix-sided after the first call.
     """
 
     def __init__(
@@ -98,15 +117,67 @@ class TwoStepEngine:
                 package default).
         """
         self.config = config
-        self.backend = resolve_backend(backend or config.backend)
+        self.backend = resolve_backend(
+            backend or config.backend,
+            n_jobs=config.n_jobs,
+            pool_kind=config.parallel_pool,
+        )
         self._step1 = Step1Engine(config, backend=self.backend)
         self._step2 = Step2Engine(config, backend=self.backend)
+        self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._plan_build_s = 0.0
+
+    def plan(self, matrix: COOMatrix) -> ExecutionPlan:
+        """The (cached) execution plan for ``matrix`` under this config.
+
+        Plans are keyed by matrix identity plus the configuration
+        fingerprint; the cached plan holds a strong reference to the
+        matrix and lookup re-checks ``plan.matrix is matrix``, so a
+        recycled ``id`` can never alias a different matrix.
+
+        Args:
+            matrix: Sparse matrix in RM-COO.
+
+        Returns:
+            The matrix's :class:`~repro.core.plan.ExecutionPlan`.
+        """
+        key = (id(matrix), config_fingerprint(self.config))
+        cached = self._plans.get(key)
+        if cached is not None and cached.matrix is matrix:
+            self._plans.move_to_end(key)
+            self._plan_hits += 1
+            return cached
+        self._plan_misses += 1
+        plan = build_plan(matrix, self.config, self.backend)
+        self._plan_build_s += plan.build_s
+        if self.config.plan_cache > 0:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.config.plan_cache:
+                self._plans.popitem(last=False)
+        return plan
+
+    @property
+    def plan_cache_stats(self) -> dict:
+        """Cache counters: hits, misses, currently cached plans, build seconds."""
+        return {
+            "hits": self._plan_hits,
+            "misses": self._plan_misses,
+            "size": len(self._plans),
+            "build_s": self._plan_build_s,
+        }
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        self._plans.clear()
 
     def run(
         self,
         matrix: COOMatrix,
         x: np.ndarray,
-        y: np.ndarray = None,
+        y: np.ndarray | None = None,
         verify: bool = False,
     ) -> SpMVResult:
         """Execute ``y = A x + y``.
@@ -117,7 +188,9 @@ class TwoStepEngine:
             y: Optional dense accumuland (length ``n_rows``).
             verify: When True, check the result against the dense
                 reference and record the outcome in the returned
-                :class:`~repro.api.SpMVResult`.
+                :class:`~repro.api.SpMVResult`.  The dense product is
+                cached per ``(matrix, x)``, so verifying every iteration
+                of a fixed-point solver costs one dense SpMV, not N.
 
         Returns:
             :class:`~repro.api.SpMVResult`; unpacks as ``(result, report)``.
@@ -126,49 +199,15 @@ class TwoStepEngine:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (matrix.n_cols,):
             raise ValueError(f"x must have shape ({matrix.n_cols},)")
-        cfg = self.config
-        detector = None
-        if cfg.hdn is not None:
-            detector = HDNDetector(matrix.row_degrees(), cfg.hdn)
-
-        blocks = column_blocks(matrix, cfg.segment_width)
-        step1_stats = Step1Stats()
-        step2_stats = Step2Stats()
-        ledger = TrafficLedger()
-        intermediates: list[IntermediateVector] = []
-        stripe_formats: list[StripeFormat] = []
-
-        for block in blocks:
-            segment = x[block.col_lo : block.col_hi]
-            iv = self._step1.run_stripe(block, segment, detector, step1_stats)
-            intermediates.append(iv)
-            fmt = choose_stripe_format(block.nnz, matrix.n_rows)
-            stripe_formats.append(fmt)
-            ledger.matrix_bytes += self._stripe_bytes(block, fmt, matrix.n_rows)
-            ledger.intermediate_write_bytes += self._intermediate_bytes(iv, matrix.n_rows)
-
-        # Streaming reads/writes of the dense vectors.
-        ledger.source_vector_bytes = matrix.n_cols * cfg.precision.bytes
-        ledger.result_vector_bytes = matrix.n_rows * cfg.precision.bytes
-        # Step 2 reads back exactly what step 1 wrote.
-        ledger.intermediate_read_bytes = ledger.intermediate_write_bytes
-        ledger.notes["vldi_vector"] = cfg.vldi_vector_block_bits
-        ledger.notes["vldi_matrix"] = cfg.vldi_matrix_block_bits
-
-        result = self._step2.run(intermediates, matrix.n_rows, y=y, stats=step2_stats)
-        report = TwoStepReport(
-            traffic=ledger,
-            step1=step1_stats,
-            step2=step2_stats,
-            n_stripes=len(blocks),
-            intermediate_records=sum(iv.nnz for iv in intermediates),
-            stripe_formats=stripe_formats,
-            hdn_filter_bytes=detector.filter_bytes if detector is not None else 0,
-            backend=self.backend.name,
-        )
+        plan = self.plan(matrix)
+        lists = self._step1.run_planned(plan, x)
+        result = self._step2.run_lists(lists, matrix.n_rows, y=y)
+        report = self._report(plan, batch=1)
         verified = None
         if verify:
-            verified = bool(np.allclose(result, reference_spmv(matrix, x, y)))
+            base = reference_spmv_cached(matrix, x)
+            reference = base if y is None else base + np.asarray(y, dtype=np.float64)
+            verified = bool(np.allclose(result, reference))
         return SpMVResult(
             y=result,
             report=report,
@@ -176,39 +215,124 @@ class TwoStepEngine:
             wall_time_s=time.perf_counter() - start,
         )
 
-    def _stripe_bytes(self, block: ColumnBlock, fmt: StripeFormat, n_rows: int) -> float:
-        """Off-chip bytes to stream one stripe: meta-data plus values.
+    def run_many(
+        self,
+        matrix: COOMatrix,
+        X: np.ndarray,
+        Y: np.ndarray | None = None,
+        verify: bool = False,
+    ) -> SpMVResult:
+        """Execute ``Y = A X + Y`` for a block of right-hand sides.
 
-        DRAM layouts pack absolute indices at byte granularity; only VLDI
-        strings are bit-packed (that is the point of the scheme).
+        One execution plan, one set of gather indices and one merge
+        permutation serve every column; only the value datapath scales
+        with the batch.  Column ``j`` of the result is bit-identical to
+        ``run(matrix, X[:, j], y=Y[:, j])``.
+
+        Args:
+            matrix: Sparse matrix in RM-COO.
+            X: Dense source block, shape ``(n_cols, k)``.
+            Y: Optional dense accumuland block, shape ``(n_rows, k)``.
+            verify: Check every column against the (cached) dense
+                reference.
+
+        Returns:
+            :class:`~repro.api.SpMVResult` whose ``y`` has shape
+            ``(n_rows, k)``; the report's traffic ledger charges the
+            matrix and intermediate-index streams once for the whole
+            batch.
         """
-        cfg = self.config
-        field_bits = 8 * cfg.index_field_bytes
-        if fmt is StripeFormat.RM_COO:
-            row_bits = block.nnz * field_bits
-        else:
-            row_bits = (n_rows + 1) * field_bits
-        if cfg.vldi_matrix_block_bits is not None and block.nnz:
-            csr = coo_to_csr(block.matrix)
-            col_bits = self.backend.vldi_stream_bits(
-                stripe_column_deltas(csr.row_ptr, csr.cols), cfg.vldi_matrix_block_bits
-            )
-        else:
-            col_bits = block.nnz * field_bits
-        return (row_bits + col_bits) / 8.0 + block.nnz * cfg.precision.bytes
+        start = time.perf_counter()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != matrix.n_cols:
+            raise ValueError(f"X must have shape ({matrix.n_cols}, k)")
+        k = X.shape[1]
+        if Y is not None:
+            Y = np.asarray(Y, dtype=np.float64)
+            if Y.shape != (matrix.n_rows, k):
+                raise ValueError(f"Y must have shape ({matrix.n_rows}, {k})")
+        plan = self.plan(matrix)
+        lists = self._step1.run_planned_batch(plan, X)
+        result = self._step2.run_batch(lists, matrix.n_rows, k, Y=Y)
+        report = self._report(plan, batch=max(k, 1))
+        verified = None
+        if verify:
+            verified = True
+            for j in range(k):
+                base = reference_spmv_cached(matrix, X[:, j])
+                reference = base if Y is None else base + Y[:, j]
+                verified = verified and bool(np.allclose(result[:, j], reference))
+        return SpMVResult(
+            y=result,
+            report=report,
+            verified=verified,
+            wall_time_s=time.perf_counter() - start,
+        )
 
-    def _intermediate_bytes(self, iv: IntermediateVector, n_rows: int) -> float:
-        """Off-chip bytes of one intermediate vector (single direction)."""
-        cfg = self.config
-        if cfg.vldi_vector_block_bits is not None and iv.nnz:
-            idx_bits = self.backend.vldi_stream_bits(
-                delta_encode(iv.indices), cfg.vldi_vector_block_bits
-            )
-        else:
-            idx_bits = iv.nnz * 8 * cfg.index_field_bytes
-        return idx_bits / 8.0 + iv.nnz * cfg.precision.bytes
+    def _report(self, plan: ExecutionPlan, batch: int) -> TwoStepReport:
+        """Assemble a report from the plan's precomputed templates."""
+        return TwoStepReport(
+            traffic=plan.traffic_ledger(self.config, batch=batch),
+            step1=plan.step1_stats(),
+            step2=plan.step2_stats(),
+            n_stripes=len(plan.stripes),
+            intermediate_records=plan.intermediate_records,
+            stripe_formats=list(plan.stripe_formats),
+            hdn_filter_bytes=plan.hdn_filter_bytes,
+            backend=self.backend.name,
+            plan_cache_hits=self._plan_hits,
+            plan_cache_misses=self._plan_misses,
+            plan_build_s=self._plan_build_s,
+            batch_size=batch,
+        )
 
 
-def reference_spmv(matrix: COOMatrix, x: np.ndarray, y: np.ndarray = None) -> np.ndarray:
+def reference_spmv(
+    matrix: COOMatrix, x: np.ndarray, y: np.ndarray | None = None
+) -> np.ndarray:
     """Dense ground-truth ``y = A x + y`` for verification."""
     return matrix.spmv(x, y)
+
+
+#: Cached dense references, keyed by matrix identity + source-vector bytes.
+_REFERENCE_CACHE: OrderedDict[tuple, tuple] = OrderedDict()
+_REFERENCE_CACHE_CAPACITY = 16
+
+
+def reference_spmv_cached(matrix: COOMatrix, x: np.ndarray) -> np.ndarray:
+    """Dense ``A @ x``, cached per ``(matrix, x)``.
+
+    ``verify=True`` inside an iterative solver would otherwise recompute
+    the same dense product every iteration.  Entries pin the matrix and
+    a copy of ``x``, and a hit requires both identity of the matrix and
+    equality of the vector, so hash collisions and recycled ids are
+    harmless.  The returned array is marked read-only; add ``y`` with an
+    out-of-place ``+``.
+
+    Args:
+        matrix: Sparse matrix in RM-COO.
+        x: Dense source vector.
+
+    Returns:
+        Read-only dense ``float64`` product ``A @ x``.
+    """
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    key = (id(matrix), hash(x.tobytes()))
+    entry = _REFERENCE_CACHE.get(key)
+    if entry is not None:
+        cached_matrix, cached_x, base = entry
+        if cached_matrix is matrix and np.array_equal(cached_x, x):
+            _REFERENCE_CACHE.move_to_end(key)
+            return base
+    base = matrix.spmv(x)
+    base.flags.writeable = False
+    _REFERENCE_CACHE[key] = (matrix, x.copy(), base)
+    _REFERENCE_CACHE.move_to_end(key)
+    while len(_REFERENCE_CACHE) > _REFERENCE_CACHE_CAPACITY:
+        _REFERENCE_CACHE.popitem(last=False)
+    return base
+
+
+def clear_reference_cache() -> None:
+    """Empty the dense-reference cache (mainly for tests)."""
+    _REFERENCE_CACHE.clear()

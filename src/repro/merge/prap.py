@@ -119,16 +119,66 @@ def prap_merge_dense(
         return backend.scatter_dense(merged_idx, merged_val, n_out)
     # The residue classes have unequal lengths when p does not divide n_out;
     # pad the short streams with records beyond n_out so the store queue can
-    # drain in full cycles, then truncate.
+    # drain in full cycles, then truncate.  inject_classes is the backend's
+    # per-core fan-out point (the parallel backend injects classes on
+    # separate workers).
     padded = -(-n_out // p) * p
     queue = StoreQueue(p)
-    for radix in range(p):
-        mask = (merged_idx & (p - 1)) == radix
-        keys, vals = backend.inject_missing_keys(
-            merged_idx[mask], merged_val[mask], (0, padded), stride=p, offset=radix
-        )
+    for radix, (keys, vals) in enumerate(
+        backend.inject_classes(merged_idx, merged_val, padded, p)
+    ):
         queue.push_stream(radix, keys, vals)
     return queue.drain()[:n_out]
+
+
+def prap_merge_dense_batch(
+    lists: list,
+    n_out: int,
+    q: int,
+    k: int,
+    check_interleave: bool = False,
+    backend=None,
+) -> np.ndarray:
+    """Multi-RHS :func:`prap_merge_dense`: values are ``(n, k)`` blocks.
+
+    The intermediate vectors' key structure does not depend on the
+    right-hand side, so one merge permutation (and one injection pattern)
+    serves all ``k`` columns.  Column ``j`` of the output is bit-identical
+    to :func:`prap_merge_dense` on the matching scalar lists.
+
+    Args:
+        lists: ``(indices, values)`` pairs, indices sorted, values of
+            shape ``(len(indices), k)``.
+        n_out: Dense output length.
+        q: Radix bits (``p = 2**q`` cores).
+        check_interleave: Route each column through the
+            :class:`StoreQueue` invariant checker (slow; per column).
+        backend: Optional execution backend; None resolves the default.
+
+    Returns:
+        Dense ``float64`` array of shape ``(n_out, k)``.
+    """
+    from repro.backends import resolve_backend  # deferred: avoids import cycle
+
+    backend = resolve_backend(backend)
+    p = 1 << q
+    merged_idx, merged_val = backend.merge_accumulate_batch(lists, k)
+    if merged_idx.size and (merged_idx.min() < 0 or merged_idx.max() >= n_out):
+        raise ValueError("record key outside output vector range")
+    if not check_interleave:
+        out = np.zeros((n_out, k), dtype=np.float64)
+        out[merged_idx, :] = merged_val
+        return out
+    padded = -(-n_out // p) * p
+    out = np.empty((n_out, k), dtype=np.float64)
+    for j in range(k):
+        queue = StoreQueue(p)
+        for radix, (keys, vals) in enumerate(
+            backend.inject_classes(merged_idx, merged_val[:, j], padded, p)
+        ):
+            queue.push_stream(radix, keys, vals)
+        out[:, j] = queue.drain()[:n_out]
+    return out
 
 
 class PRaPMergeNetwork:

@@ -1,0 +1,118 @@
+"""Worker-pool façade used by the ``parallel`` execution backend.
+
+One :class:`WorkerPool` wraps either a ``ThreadPoolExecutor`` (default)
+or a ``ProcessPoolExecutor`` and keeps it alive across calls, so the
+per-SpMV cost is task submission, not pool construction.  Threads are
+the right default for this codebase: the hot kernels are whole-array
+NumPy operations whose C loops release the GIL, so ``n_jobs`` threads
+genuinely overlap.  The process pool is an opt-in escape hatch for
+very large inputs where even the NumPy-held portions of the GIL start
+to serialize; its tasks must be top-level functions from
+:mod:`repro.parallel.workers` with picklable payloads.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Recognized pool kinds.
+POOL_KINDS = ("serial", "thread", "process")
+
+
+def default_jobs() -> int:
+    """Worker count when none is configured: ``REPRO_JOBS`` or CPU count."""
+    env = os.environ.get(JOBS_ENV_VAR)
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError as exc:
+            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {env!r}") from exc
+        if jobs <= 0:
+            raise ValueError(f"{JOBS_ENV_VAR} must be positive, got {jobs}")
+        return jobs
+    return max(1, os.cpu_count() or 1)
+
+
+class WorkerPool:
+    """A persistent, lazily started pool of ``n_jobs`` workers.
+
+    Attributes:
+        n_jobs: Worker count (1 degrades to inline execution).
+        kind: ``"serial"``, ``"thread"`` or ``"process"``.
+    """
+
+    def __init__(self, n_jobs: int | None = None, kind: str = "thread"):
+        """
+        Args:
+            n_jobs: Worker count; None resolves via :func:`default_jobs`.
+            kind: Pool flavour from :data:`POOL_KINDS`.
+        """
+        if kind not in POOL_KINDS:
+            raise ValueError(f"unknown pool kind {kind!r}; expected one of {POOL_KINDS}")
+        self.n_jobs = default_jobs() if n_jobs is None else int(n_jobs)
+        if self.n_jobs <= 0:
+            raise ValueError("n_jobs must be positive")
+        self.kind = kind
+        self._executor = None
+
+    @property
+    def uses_processes(self) -> bool:
+        """True when tasks cross a process boundary (payloads must pickle)."""
+        return self.kind == "process" and self.n_jobs > 1
+
+    @property
+    def inline(self) -> bool:
+        """True when map() runs tasks in the calling thread."""
+        return self.kind == "serial" or self.n_jobs == 1
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.kind == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.n_jobs, thread_name_prefix="repro-worker"
+                )
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.n_jobs)
+        return self._executor
+
+    def map(self, fn, tasks: list) -> list:
+        """Apply ``fn`` to every task, preserving task order.
+
+        Args:
+            fn: Callable of one argument.  Must be a picklable top-level
+                function when the pool uses processes.
+            tasks: Materialized task list (ordering defines result order).
+
+        Returns:
+            ``[fn(t) for t in tasks]`` -- computed concurrently, returned
+            in submission order so downstream assembly is deterministic.
+        """
+        if self.inline or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        executor = self._ensure_executor()
+        return list(executor.map(fn, tasks))
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort cleanup; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return f"<WorkerPool kind={self.kind!r} n_jobs={self.n_jobs}>"

@@ -1,0 +1,90 @@
+"""Zero-copy NumPy transport over ``multiprocessing.shared_memory``.
+
+The process-pool path of the ``parallel`` backend must move stripe
+arrays (rows, columns, values, the source-vector segment) into worker
+processes.  Pickling megabyte arrays per task would erase the win, so
+arrays above :data:`SHM_MIN_BYTES` are copied once into a named
+shared-memory block and only the ``(name, shape, dtype)`` descriptor is
+pickled; workers attach read-only views in place.  Small arrays travel
+inline -- a descriptor round-trip costs more than their pickle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Arrays at or above this many bytes ride shared memory; smaller pickle.
+SHM_MIN_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Picklable descriptor of one exported array.
+
+    Exactly one of ``data`` (inline payload) or ``shm_name`` is set.
+    """
+
+    shape: tuple
+    dtype: str
+    data: np.ndarray | None = None
+    shm_name: str | None = None
+
+
+class ArrayExporter:
+    """Exports arrays for a batch of process-pool tasks.
+
+    Owns every shared-memory block it creates; :meth:`close` (or use as
+    a context manager) releases and unlinks them after the batch
+    completes, so the blocks live exactly as long as the in-flight map.
+    """
+
+    def __init__(self, min_bytes: int = SHM_MIN_BYTES):
+        self.min_bytes = min_bytes
+        self._blocks: list[shared_memory.SharedMemory] = []
+
+    def export(self, array: np.ndarray) -> ArraySpec:
+        """Descriptor for ``array``; large arrays are copied into shm once."""
+        array = np.ascontiguousarray(array)
+        if array.nbytes < self.min_bytes:
+            return ArraySpec(shape=array.shape, dtype=array.dtype.str, data=array)
+        block = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        self._blocks.append(block)
+        return ArraySpec(shape=array.shape, dtype=array.dtype.str, shm_name=block.name)
+
+    def close(self) -> None:
+        """Release and unlink every exported block (idempotent)."""
+        for block in self._blocks:
+            try:
+                block.close()
+                block.unlink()
+            except FileNotFoundError:
+                pass
+        self._blocks = []
+
+    def __enter__(self) -> "ArrayExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def import_array(spec: ArraySpec) -> tuple:
+    """Materialize an exported array inside a worker.
+
+    Returns:
+        ``(array, handle)`` -- ``handle`` is the attached
+        ``SharedMemory`` (close it after the array is consumed) or None
+        for inline payloads.  The returned array for a shm-backed spec
+        is a view into the block; copy before the handle closes if it
+        must outlive the task.
+    """
+    if spec.shm_name is None:
+        return np.asarray(spec.data), None
+    handle = shared_memory.SharedMemory(name=spec.shm_name)
+    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=handle.buf)
+    return array, handle

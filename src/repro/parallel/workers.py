@@ -1,0 +1,99 @@
+"""Top-level task functions executed by the process pool.
+
+``ProcessPoolExecutor`` can only run module-level callables, so every
+process-pool task of the ``parallel`` backend lives here.  Payloads are
+plain dicts of :class:`~repro.parallel.shm.ArraySpec` descriptors plus
+scalars; each worker attaches the shared-memory views, runs the same
+vectorized kernel the in-process backends use (bit-identity is the
+contract), copies its -- much smaller -- result out, and releases the
+views before returning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.shm import ArraySpec, import_array
+
+
+def _attach(payload: dict, names: tuple) -> tuple:
+    arrays, handles = [], []
+    for name in names:
+        spec: ArraySpec = payload[name]
+        array, handle = import_array(spec)
+        arrays.append(array)
+        if handle is not None:
+            handles.append(handle)
+    return arrays, handles
+
+
+def _release(handles: list) -> None:
+    for handle in handles:
+        handle.close()
+
+
+def stripe_values_task(payload: dict) -> np.ndarray:
+    """Step-1 stripe kernel: accumulated run values for one stripe.
+
+    The output *indices* are structure-only and already known to the
+    parent from the execution plan, so only the value array crosses the
+    process boundary back.
+
+    Payload keys: ``cols``, ``vals``, ``run_ids``, ``segment``
+    (:class:`ArraySpec` each) and ``n_runs`` (int).
+    """
+    (cols, vals, run_ids, segment), handles = _attach(
+        payload, ("cols", "vals", "run_ids", "segment")
+    )
+    try:
+        if vals.size == 0:
+            return np.empty(0, dtype=np.float64)
+        products = vals * segment[cols]
+        # bincount adds weights sequentially in stream order: bit-identical
+        # to the sequential backends' accumulation.
+        return np.bincount(run_ids, weights=products, minlength=payload["n_runs"])
+    finally:
+        _release(handles)
+
+
+def merge_shard_task(payload: dict) -> tuple:
+    """Step-2 kernel: merge-accumulate one residue class.
+
+    Payload keys: ``lists`` -- a list of ``(idx_spec, val_spec)`` pairs.
+    """
+    from repro.merge.tournament import merge_accumulate
+
+    handles = []
+    lists = []
+    for idx_spec, val_spec in payload["lists"]:
+        idx, idx_handle = import_array(idx_spec)
+        val, val_handle = import_array(val_spec)
+        handles.extend(h for h in (idx_handle, val_handle) if h is not None)
+        lists.append((idx, val))
+    try:
+        merged_idx, merged_val = merge_accumulate(lists)
+        # merge_accumulate outputs fresh arrays, safe to ship back as is.
+        return merged_idx, merged_val
+    finally:
+        _release(handles)
+
+
+def inject_class_task(payload: dict) -> tuple:
+    """Missing-key injection for one residue class.
+
+    Payload keys: ``keys``, ``vals`` (:class:`ArraySpec`), ``lo``,
+    ``hi``, ``stride``, ``offset`` (ints).
+    """
+    from repro.merge.merge_core import inject_missing_keys
+
+    (keys, vals), handles = _attach(payload, ("keys", "vals"))
+    try:
+        return inject_missing_keys(
+            keys,
+            vals,
+            (payload["lo"], payload["hi"]),
+            stride=payload["stride"],
+            offset=payload["offset"],
+        )
+    finally:
+        _release(handles)

@@ -1,0 +1,140 @@
+"""Units for the parallel subsystem: pool, shared memory, sharding."""
+
+import numpy as np
+import pytest
+
+from repro.backends.vectorized import VectorizedBackend
+from repro.parallel.pool import JOBS_ENV_VAR, WorkerPool, default_jobs
+from repro.parallel.sharding import recombine_sorted_shards, shard_lists_by_residue
+from repro.parallel.shm import ArrayExporter, import_array
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool
+# ---------------------------------------------------------------------------
+
+
+def test_default_jobs_env_override(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV_VAR, "3")
+    assert default_jobs() == 3
+    monkeypatch.setenv(JOBS_ENV_VAR, "0")
+    with pytest.raises(ValueError, match="must be positive"):
+        default_jobs()
+    monkeypatch.setenv(JOBS_ENV_VAR, "four")
+    with pytest.raises(ValueError, match="must be an integer"):
+        default_jobs()
+    monkeypatch.delenv(JOBS_ENV_VAR)
+    assert default_jobs() >= 1
+
+
+def test_pool_rejects_bad_arguments():
+    with pytest.raises(ValueError, match="unknown pool kind"):
+        WorkerPool(2, kind="fibers")
+    with pytest.raises(ValueError, match="n_jobs must be positive"):
+        WorkerPool(0)
+
+
+def test_single_worker_pool_is_inline():
+    pool = WorkerPool(1, kind="thread")
+    assert pool.inline and not pool.uses_processes
+    assert pool.map(lambda v: v * 2, [1, 2, 3]) == [2, 4, 6]
+    assert pool._executor is None  # never spawned
+    pool.close()
+
+
+def test_thread_pool_preserves_order():
+    with WorkerPool(4, kind="thread") as pool:
+        assert not pool.inline
+        tasks = list(range(64))
+        assert pool.map(lambda v: v * v, tasks) == [v * v for v in tasks]
+    assert pool._executor is None  # context exit closed it
+    pool.close()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory transport
+# ---------------------------------------------------------------------------
+
+
+def test_small_arrays_travel_inline():
+    array = np.arange(16, dtype=np.float64)
+    with ArrayExporter() as exporter:
+        spec = exporter.export(array)
+        assert spec.shm_name is None
+        out, handle = import_array(spec)
+        assert handle is None
+        assert np.array_equal(out, array)
+
+
+def test_large_arrays_travel_via_shared_memory():
+    array = np.arange(200_000, dtype=np.float64)  # 1.6 MB > SHM_MIN_BYTES
+    with ArrayExporter() as exporter:
+        spec = exporter.export(array)
+        assert spec.shm_name is not None and spec.data is None
+        out, handle = import_array(spec)
+        try:
+            assert np.array_equal(out, array)
+        finally:
+            del out
+            handle.close()
+
+
+def test_exporter_threshold_is_tunable():
+    array = np.arange(32, dtype=np.int64)
+    with ArrayExporter(min_bytes=1) as exporter:
+        spec = exporter.export(array)
+        assert spec.shm_name is not None
+        out, handle = import_array(spec)
+        try:
+            assert np.array_equal(out, array)
+        finally:
+            del out
+            handle.close()
+
+
+# ---------------------------------------------------------------------------
+# Residue-class sharding
+# ---------------------------------------------------------------------------
+
+
+def _random_sorted_lists(rng, n_lists=5, key_space=97):
+    lists = []
+    for _ in range(n_lists):
+        size = int(rng.integers(0, key_space))
+        idx = np.sort(rng.choice(key_space, size=size, replace=False))
+        lists.append((idx.astype(np.int64), rng.uniform(-1, 1, size=size)))
+    return lists
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 7])
+def test_sharded_merge_bitwise_equals_sequential(n_shards):
+    """Shard -> merge per class -> recombine is a pure reordering."""
+    rng = np.random.default_rng(42)
+    backend = VectorizedBackend()
+    lists = _random_sorted_lists(rng)
+    ref_idx, ref_val = backend.merge_accumulate(lists)
+    shards = shard_lists_by_residue(lists, n_shards)
+    outputs = [backend.merge_accumulate(shard) for shard in shards]
+    idx, val = recombine_sorted_shards(outputs)
+    assert np.array_equal(ref_idx, idx)
+    assert np.array_equal(ref_val, val)
+
+
+def test_shard_lists_partitions_by_residue():
+    idx = np.arange(10, dtype=np.int64)
+    val = np.ones(10)
+    shards = shard_lists_by_residue([(idx, val)], 3)
+    assert len(shards) == 3
+    for r, shard in enumerate(shards):
+        (sub_idx, _), = shard
+        assert np.all(sub_idx % 3 == r)
+
+
+def test_shard_rejects_nonpositive_count():
+    with pytest.raises(ValueError, match="n_shards must be positive"):
+        shard_lists_by_residue([], 0)
+
+
+def test_recombine_empty_is_empty():
+    idx, val = recombine_sorted_shards([])
+    assert idx.size == 0 and val.size == 0

@@ -1,0 +1,165 @@
+"""Execution-plan caching: reuse, invalidation, batching, cached verify.
+
+The engine must build a plan exactly once per (matrix, config), serve
+every later run from cache, evict LRU-style at the configured capacity,
+and keep planned / batched execution bit-identical to the historical
+per-run path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TwoStepConfig
+from repro.core.plan import build_plan, config_fingerprint
+from repro.core.twostep import (
+    TwoStepEngine,
+    clear_reference_cache,
+    reference_spmv,
+    reference_spmv_cached,
+)
+from repro.backends import get_backend
+from repro.filters.hdn import HDNConfig
+from repro.generators.erdos_renyi import erdos_renyi_graph
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi_graph(300, 4.0, seed=5)
+
+
+def _engine(**kwargs) -> TwoStepEngine:
+    return TwoStepEngine(TwoStepConfig(segment_width=64, q=2, **kwargs))
+
+
+def test_plan_reused_across_runs(graph):
+    engine = _engine()
+    x = np.random.default_rng(0).uniform(size=graph.n_cols)
+    first = engine.run(graph, x)
+    assert first.report.plan_cache_misses == 1
+    assert first.report.plan_cache_hits == 0
+    assert first.report.plan_build_s > 0.0
+    for i in range(3):
+        again = engine.run(graph, x)
+        assert again.report.plan_cache_misses == 1
+        assert again.report.plan_cache_hits == i + 1
+        assert np.array_equal(first.y, again.y)
+    assert engine.plan(graph) is engine.plan(graph)
+    stats = engine.plan_cache_stats
+    assert stats["misses"] == 1 and stats["size"] == 1
+
+
+def test_distinct_matrices_get_distinct_plans(graph):
+    other = erdos_renyi_graph(300, 4.0, seed=6)
+    engine = _engine()
+    plan_a = engine.plan(graph)
+    plan_b = engine.plan(other)
+    assert plan_a is not plan_b
+    assert engine.plan_cache_stats["misses"] == 2
+    assert engine.plan(graph) is plan_a  # both stay resident
+
+
+def test_config_change_invalidates_fingerprint(graph):
+    plain = TwoStepConfig(segment_width=64, q=2)
+    compressed = TwoStepConfig(segment_width=64, q=2, vldi_vector_block_bits=8)
+    assert config_fingerprint(plain) != config_fingerprint(compressed)
+    backend = get_backend("vectorized")
+    plan_plain = build_plan(graph, plain, backend)
+    plan_vldi = build_plan(graph, compressed, backend)
+    assert plan_plain.fingerprint != plan_vldi.fingerprint
+    # The compressed plan accounts fewer intermediate-index bytes.
+    assert (
+        plan_vldi.traffic_ledger(compressed).intermediate_write_bytes
+        < plan_plain.traffic_ledger(plain).intermediate_write_bytes
+    )
+
+
+def test_plan_cache_lru_eviction():
+    engine = _engine(plan_cache=1)
+    a = erdos_renyi_graph(120, 3.0, seed=1)
+    b = erdos_renyi_graph(120, 3.0, seed=2)
+    plan_a = engine.plan(a)
+    engine.plan(b)  # evicts a
+    assert engine.plan_cache_stats["size"] == 1
+    assert engine.plan(a) is not plan_a
+    assert engine.plan_cache_stats["misses"] == 3
+
+
+def test_plan_cache_disabled(graph):
+    engine = _engine(plan_cache=0)
+    x = np.ones(graph.n_cols)
+    engine.run(graph, x)
+    engine.run(graph, x)
+    stats = engine.plan_cache_stats
+    assert stats["misses"] == 2 and stats["hits"] == 0 and stats["size"] == 0
+
+
+def test_plan_traffic_matches_report(graph):
+    """The plan's ledger is the report's ledger -- same bytes, same notes."""
+    engine = _engine(vldi_vector_block_bits=8, hdn=HDNConfig(degree_threshold=8))
+    x = np.random.default_rng(1).uniform(size=graph.n_cols)
+    result = engine.run(graph, x)
+    ledger = engine.plan(graph).traffic_ledger(engine.config)
+    assert ledger == result.report.traffic
+
+
+def test_run_many_bitwise_matches_single_runs(graph):
+    engine = _engine()
+    rng = np.random.default_rng(2)
+    X = rng.uniform(size=(graph.n_cols, 4))
+    Y = rng.uniform(size=(graph.n_rows, 4))
+    batch = engine.run_many(graph, X, Y=Y, verify=True)
+    assert batch.verified
+    assert batch.y.shape == (graph.n_rows, 4)
+    for j in range(4):
+        single = engine.run(graph, X[:, j], y=Y[:, j])
+        assert np.array_equal(batch.y[:, j], single.y)
+
+
+def test_run_many_amortizes_matrix_traffic(graph):
+    engine = _engine()
+    X = np.random.default_rng(3).uniform(size=(graph.n_cols, 8))
+    single = engine.run(graph, X[:, 0]).report.traffic
+    batch = engine.run_many(graph, X).report.traffic
+    # Matrix bytes are charged once for the whole batch ...
+    assert batch.matrix_bytes == single.matrix_bytes
+    # ... while dense-vector traffic scales with the batch width.
+    assert batch.source_vector_bytes == 8 * single.source_vector_bytes
+    assert batch.result_vector_bytes == 8 * single.result_vector_bytes
+    assert batch.intermediate_write_bytes < 8 * single.intermediate_write_bytes
+
+
+def test_run_many_rejects_bad_shapes(graph):
+    engine = _engine()
+    with pytest.raises(ValueError, match="X must have shape"):
+        engine.run_many(graph, np.ones(graph.n_cols))
+    with pytest.raises(ValueError, match="Y must have shape"):
+        engine.run_many(
+            graph,
+            np.ones((graph.n_cols, 2)),
+            Y=np.ones((graph.n_rows, 3)),
+        )
+
+
+def test_reference_spmv_cached_reuses_dense_product(graph):
+    clear_reference_cache()
+    x = np.random.default_rng(4).uniform(size=graph.n_cols)
+    first = reference_spmv_cached(graph, x)
+    assert reference_spmv_cached(graph, x) is first
+    assert not first.flags.writeable
+    assert np.array_equal(first, reference_spmv(graph, x))
+    # A different vector misses.
+    assert reference_spmv_cached(graph, x + 1.0) is not first
+    clear_reference_cache()
+
+
+def test_verified_iteration_reuses_reference(graph):
+    """verify=True across repeated runs hits the dense-reference cache."""
+    clear_reference_cache()
+    engine = _engine()
+    x = np.random.default_rng(5).uniform(size=graph.n_cols)
+    for _ in range(3):
+        assert engine.run(graph, x, verify=True).verified
+    from repro.core import twostep
+
+    assert len(twostep._REFERENCE_CACHE) == 1
+    clear_reference_cache()
