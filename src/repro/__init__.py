@@ -22,7 +22,8 @@ model), :mod:`repro.backends` (pluggable reference/vectorized execution
 kernels), :mod:`repro.merge` (merge cores, bitonic pre-sorter, PRaP),
 :mod:`repro.formats`, :mod:`repro.generators`, :mod:`repro.memory`,
 :mod:`repro.compression` (VLDI), :mod:`repro.filters` (Bloom/HDN),
-:mod:`repro.baselines`, :mod:`repro.apps`, :mod:`repro.analysis`.
+:mod:`repro.baselines`, :mod:`repro.apps`, :mod:`repro.analysis`,
+:mod:`repro.faults` (typed errors, input hardening, fault injection).
 The public call surface is defined by :mod:`repro.api`: engines satisfy
 the :class:`~repro.api.SpMVEngine` protocol and return
 :class:`~repro.api.SpMVResult` (tuple-unpacking compatible).
@@ -30,6 +31,22 @@ the :class:`~repro.api.SpMVEngine` protocol and return
 
 from repro.api import SpMVEngine, SpMVResult
 from repro.backends import available_backends, get_backend, resolve_backend
+from repro.faults import (
+    ConfigurationError,
+    FaultError,
+    FaultPlan,
+    FaultReport,
+    FaultSpec,
+    InjectedFault,
+    InvalidMatrixError,
+    InvalidVectorError,
+    RetryExhaustedError,
+    ShardFailedError,
+    TaskTimeoutError,
+    WorkerCrashError,
+    inject_faults,
+    validate_inputs,
+)
 from repro.core import (
     Accelerator,
     ALL_DESIGN_POINTS,
@@ -85,5 +102,19 @@ __all__ = [
     "COOMatrix",
     "CSRMatrix",
     "CSCMatrix",
+    "ConfigurationError",
+    "FaultError",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
+    "InjectedFault",
+    "InvalidMatrixError",
+    "InvalidVectorError",
+    "RetryExhaustedError",
+    "ShardFailedError",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+    "inject_faults",
+    "validate_inputs",
     "__version__",
 ]

@@ -20,6 +20,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # avoid an import cycle; core.twostep imports this module
     from repro.core.twostep import TwoStepReport
+    from repro.faults.report import FaultReport
     from repro.formats.coo import COOMatrix
 
 
@@ -34,6 +35,11 @@ class SpMVResult:
         verified: True/False when the engine checked ``y`` against the
             dense reference, None when verification was skipped.
         wall_time_s: Wall-clock seconds spent inside the engine.
+        faults: Supervision accounting
+            (:class:`~repro.faults.report.FaultReport`): retries,
+            timeouts, worker respawns and sequential fallbacks observed
+            while producing ``y``.  ``faults.clean`` is True for an
+            undisturbed run; None for engines without supervision.
 
     Iterating (and indexing) yields ``(y, report)`` so the result keeps
     tuple-unpacking compatibility with pre-protocol callers.
@@ -43,6 +49,7 @@ class SpMVResult:
     report: "TwoStepReport"
     verified: bool | None = None
     wall_time_s: float = 0.0
+    faults: "FaultReport | None" = None
 
     def __iter__(self) -> Iterator:
         yield self.y

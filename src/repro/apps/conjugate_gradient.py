@@ -22,13 +22,25 @@ from repro.memory.traffic import TrafficLedger
 
 @dataclass
 class CGResult:
-    """Solution and convergence statistics."""
+    """Solution and convergence statistics.
+
+    ``fault_reports`` holds one
+    :class:`~repro.faults.report.FaultReport` per engine-backed SpMV, so
+    a long solve can report exactly which iterations needed retries or
+    sequential fallbacks (empty when CG runs without an engine config).
+    """
 
     solution: np.ndarray
     iterations: int
     converged: bool
     residual_norms: list = field(default_factory=list)
     traffic: TrafficLedger = field(default_factory=TrafficLedger)
+    fault_reports: list = field(default_factory=list)
+
+    @property
+    def degraded_iterations(self) -> int:
+        """SpMV calls that needed at least one sequential shard fallback."""
+        return sum(1 for fr in self.fault_reports if fr is not None and fr.degraded)
 
 
 def spd_system(n: int, avg_degree: float = 4.0, seed: int = 0) -> tuple:
@@ -101,14 +113,16 @@ def conjugate_gradient(
         )
     engine = TwoStepEngine(config) if config is not None else None
     traffic = TrafficLedger()
+    fault_reports = []
 
     def apply(v: np.ndarray) -> np.ndarray:
         nonlocal traffic
         if engine is None:
             return matrix.spmv(v)
-        out, report = engine.run(matrix, v)
-        traffic = traffic.add(report.traffic)
-        return out
+        result = engine.run(matrix, v)
+        traffic = traffic.add(result.report.traffic)
+        fault_reports.append(result.faults)
+        return result.y
 
     b_norm = float(np.linalg.norm(b)) or 1.0
     z = np.zeros(matrix.n_rows)
@@ -117,7 +131,7 @@ def conjugate_gradient(
     rr = float(r @ r)
     norms = [float(np.sqrt(rr)) / b_norm]
     if norms[0] < tol:
-        return CGResult(z, 0, True, norms, traffic)
+        return CGResult(z, 0, True, norms, traffic, fault_reports)
     for iteration in range(1, max_iterations + 1):
         ap = apply(p)
         denom = float(p @ ap)
@@ -129,7 +143,7 @@ def conjugate_gradient(
         rr_next = float(r @ r)
         norms.append(float(np.sqrt(rr_next)) / b_norm)
         if norms[-1] < tol:
-            return CGResult(z, iteration, True, norms, traffic)
+            return CGResult(z, iteration, True, norms, traffic, fault_reports)
         p = r + (rr_next / rr) * p
         rr = rr_next
-    return CGResult(z, max_iterations, False, norms, traffic)
+    return CGResult(z, max_iterations, False, norms, traffic, fault_reports)

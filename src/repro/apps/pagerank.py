@@ -41,13 +41,25 @@ def stochastic_matrix(adjacency: COOMatrix) -> COOMatrix:
 
 @dataclass
 class PageRankResult:
-    """Converged ranks plus run statistics."""
+    """Converged ranks plus run statistics.
+
+    ``fault_reports`` holds one
+    :class:`~repro.faults.report.FaultReport` per iteration (from the
+    underlying engine), so callers can see which iterations survived
+    worker failures via retry or sequential fallback.
+    """
 
     ranks: np.ndarray
     iterations: int
     converged: bool
     residuals: list = field(default_factory=list)
     its_report: object = None
+    fault_reports: list = field(default_factory=list)
+
+    @property
+    def degraded_iterations(self) -> int:
+        """Iterations that needed at least one sequential shard fallback."""
+        return sum(1 for fr in self.fault_reports if fr is not None and fr.degraded)
 
 
 def pagerank_reference(
@@ -130,5 +142,10 @@ def pagerank(
         stop_condition=converged,
     )
     return PageRankResult(
-        ranks, report.iterations, residuals[-1] < tol, residuals, report
+        ranks,
+        report.iterations,
+        residuals[-1] < tol,
+        residuals,
+        report,
+        fault_reports=list(report.fault_reports),
     )

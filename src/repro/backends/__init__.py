@@ -68,6 +68,8 @@ def resolve_backend(
     selection: str | ExecutionBackend | None = None,
     n_jobs: int | None = None,
     pool_kind: str | None = None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> ExecutionBackend:
     """Resolve a backend selection to an instance.
 
@@ -80,19 +82,33 @@ def resolve_backend(
             CPU count decide.
         pool_kind: ``"thread"`` or ``"process"`` for the ``parallel``
             backend; None means thread.
+        max_retries: Per-task retry budget for the ``parallel``
+            backend's supervisor; None lets ``REPRO_MAX_RETRIES`` / the
+            pool default decide.
+        task_timeout: Per-task timeout in seconds for the ``parallel``
+            backend; None lets ``REPRO_TASK_TIMEOUT`` decide.
 
     Returns:
         The selected :class:`ExecutionBackend`.  Parameterized
-        ``parallel`` instances are cached per ``(n_jobs, pool_kind)`` so
-        repeated resolution reuses one worker pool.
+        ``parallel`` instances are cached per ``(n_jobs, pool_kind,
+        max_retries, task_timeout)`` so repeated resolution reuses one
+        worker pool.
     """
     if isinstance(selection, ExecutionBackend):
         return selection
     name = selection or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
-    if name == ParallelBackend.name and (n_jobs is not None or pool_kind is not None):
-        key = (name, n_jobs, pool_kind or "thread")
+    parameterized = any(
+        value is not None for value in (n_jobs, pool_kind, max_retries, task_timeout)
+    )
+    if name == ParallelBackend.name and parameterized:
+        key = (name, n_jobs, pool_kind or "thread", max_retries, task_timeout)
         if key not in _INSTANCES:
-            _INSTANCES[key] = ParallelBackend(n_jobs=n_jobs, pool_kind=pool_kind)
+            _INSTANCES[key] = ParallelBackend(
+                n_jobs=n_jobs,
+                pool_kind=pool_kind,
+                max_retries=max_retries,
+                task_timeout=task_timeout,
+            )
         return _INSTANCES[key]
     return get_backend(name)
 

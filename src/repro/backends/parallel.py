@@ -14,13 +14,25 @@ operations whose C loops release the GIL, so threads overlap without
 copying a byte.  An opt-in process pool
 (``TwoStepConfig(parallel_pool="process")`` or
 ``ParallelBackend(pool_kind="process")``) sidesteps the interpreter
-entirely for very large inputs; stripe arrays above
-:data:`~repro.parallel.shm.SHM_MIN_BYTES` travel through
-``multiprocessing.shared_memory`` rather than pickle.
+entirely for very large inputs; stripe arrays above the shared-memory
+threshold travel through ``multiprocessing.shared_memory`` rather than
+pickle.
 
 Small inputs stay inline -- below :data:`ParallelBackend.MIN_FANOUT_RECORDS`
 records the scheduling overhead would dominate, so the backend silently
 degrades to the (identical-result) vectorized path.
+
+**Fault tolerance.**  Every fan-out runs under the pool's supervision
+(per-task timeout, bounded retries, executor respawn after a worker
+death); a shard that still fails is re-executed *sequentially* on the
+inherited :class:`VectorizedBackend` kernels.  Because shard inputs are
+owned by the parent (shared-memory payloads are copies of parent
+arrays), the fallback computes from pristine data and the final result
+stays bit-identical to the sequential backends -- a failure only costs
+wall-clock time.  Each retry/fallback is recorded on the active
+:class:`~repro.faults.report.FaultReport`; only when the sequential
+fallback itself raises does the run abort, with a typed
+:class:`~repro.faults.errors.ShardFailedError`.
 """
 
 from __future__ import annotations
@@ -29,6 +41,8 @@ import numpy as np
 
 from repro.backends.base import SparseVector
 from repro.backends.vectorized import VectorizedBackend
+from repro.faults.errors import ShardFailedError
+from repro.faults.report import record_event
 from repro.parallel.pool import WorkerPool
 from repro.parallel.sharding import recombine_sorted_shards, shard_lists_by_residue
 from repro.parallel.shm import ArrayExporter
@@ -53,14 +67,29 @@ class ParallelBackend(VectorizedBackend):
     #: would exceed the work.
     MIN_FANOUT_RECORDS = 4096
 
-    def __init__(self, n_jobs: int | None = None, pool_kind: str | None = None):
+    def __init__(
+        self,
+        n_jobs: int | None = None,
+        pool_kind: str | None = None,
+        max_retries: int | None = None,
+        task_timeout: float | None = None,
+    ):
         """
         Args:
             n_jobs: Worker count; None resolves ``REPRO_JOBS`` then the
                 CPU count.
             pool_kind: ``"thread"`` (default) or ``"process"``.
+            max_retries: Per-task retry budget; None resolves
+                ``REPRO_MAX_RETRIES`` then the pool default.
+            task_timeout: Per-task wall-clock limit in seconds; None
+                resolves ``REPRO_TASK_TIMEOUT`` then no limit.
         """
-        self.pool = WorkerPool(n_jobs, kind=pool_kind or "thread")
+        self.pool = WorkerPool(
+            n_jobs,
+            kind=pool_kind or "thread",
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+        )
 
     @property
     def n_jobs(self) -> int:
@@ -70,6 +99,48 @@ class ParallelBackend(VectorizedBackend):
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         self.pool.close()
+
+    def _supervised(self, fn, tasks: list, site: str, fallback) -> list:
+        """Pool-map ``tasks`` with per-shard sequential degradation.
+
+        Args:
+            fn: Task callable handed to the pool.
+            tasks: Task list (order defines result order).
+            site: Fault-report / injection site label.
+            fallback: ``index -> result`` sequential recompute for a
+                shard whose retries were exhausted.
+
+        Returns:
+            Per-task results, bit-identical to an unsupervised run.
+
+        Raises:
+            ShardFailedError: A shard failed in the pool *and* in the
+                sequential fallback.
+        """
+        outcomes = self.pool.map_outcomes(fn, tasks, site=site)
+        results = []
+        for index, outcome in enumerate(outcomes):
+            if outcome.ok:
+                results.append(outcome.value)
+                continue
+            record_event(
+                site,
+                index,
+                "fallback",
+                detail=f"sequential re-execution after {outcome.error!r}",
+                attempts=outcome.attempts,
+            )
+            try:
+                results.append(fallback(index))
+            except Exception as exc:
+                raise ShardFailedError(
+                    f"{site} shard {index} failed after {outcome.attempts} pool "
+                    f"attempt(s) ({outcome.error!r}) and the sequential fallback "
+                    f"({exc!r})",
+                    site=site,
+                    index=index,
+                ) from exc
+        return results
 
     # ------------------------------------------------------------------
     # Step 1: stripe-level sharding
@@ -82,7 +153,12 @@ class ParallelBackend(VectorizedBackend):
         if self.pool.uses_processes:
             return self._map_stripes_processes(stripes, segments)
         tasks = list(zip(stripes, segments))
-        return self.pool.map(lambda t: self._stripe_task(t[0], t[1]), tasks)
+        return self._supervised(
+            lambda t: self._stripe_task(t[0], t[1]),
+            tasks,
+            site="stripe",
+            fallback=lambda i: self._stripe_task(stripes[i], segments[i]),
+        )
 
     def _stripe_task(self, stripe, segment) -> SparseVector:
         return VectorizedBackend.stripe_spmv_plan(self, stripe, segment)
@@ -99,7 +175,14 @@ class ParallelBackend(VectorizedBackend):
                 }
                 for sp, seg in zip(stripes, segments)
             ]
-            values = self.pool.map(stripe_values_task, payloads)
+            # Fallback recomputes from the parent's pristine arrays, so a
+            # corrupted shared-memory payload can only cost time.
+            values = self._supervised(
+                stripe_values_task,
+                payloads,
+                site="stripe",
+                fallback=lambda i: self._stripe_task(stripes[i], segments[i])[1],
+            )
         return [(sp.out_indices, val) for sp, val in zip(stripes, values)]
 
     def map_stripe_plans_batch(self, stripes: list, segments: list) -> list:
@@ -112,8 +195,13 @@ class ParallelBackend(VectorizedBackend):
         ):
             return super().map_stripe_plans_batch(stripes, segments)
         tasks = list(zip(stripes, segments))
-        return self.pool.map(
-            lambda t: VectorizedBackend.stripe_spmv_plan_batch(self, t[0], t[1]), tasks
+        return self._supervised(
+            lambda t: VectorizedBackend.stripe_spmv_plan_batch(self, t[0], t[1]),
+            tasks,
+            site="stripe",
+            fallback=lambda i: VectorizedBackend.stripe_spmv_plan_batch(
+                self, stripes[i], segments[i]
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -126,6 +214,7 @@ class ParallelBackend(VectorizedBackend):
         if self.pool.inline or n_shards <= 1 or total < self.MIN_FANOUT_RECORDS:
             return super().merge_accumulate(lists)
         shards = shard_lists_by_residue(lists, n_shards)
+        merge_sequential = super().merge_accumulate
         if self.pool.uses_processes:
             with ArrayExporter() as exporter:
                 payloads = [
@@ -138,9 +227,19 @@ class ParallelBackend(VectorizedBackend):
                     }
                     for shard in shards
                 ]
-                outputs = self.pool.map(merge_shard_task, payloads)
+                outputs = self._supervised(
+                    merge_shard_task,
+                    payloads,
+                    site="merge",
+                    fallback=lambda i: merge_sequential(shards[i]),
+                )
         else:
-            outputs = self.pool.map(lambda shard: super(ParallelBackend, self).merge_accumulate(shard), shards)
+            outputs = self._supervised(
+                lambda shard: merge_sequential(shard),
+                shards,
+                site="merge",
+                fallback=lambda i: merge_sequential(shards[i]),
+            )
         return recombine_sorted_shards(outputs)
 
     def inject_classes(
@@ -153,6 +252,13 @@ class ParallelBackend(VectorizedBackend):
             (keys[residues == radix], vals[residues == radix], radix)
             for radix in range(p)
         ]
+
+        def inject_sequential(i: int) -> SparseVector:
+            k, v, radix = per_class[i]
+            return VectorizedBackend.inject_missing_keys(
+                self, k, v, (0, hi), stride=p, offset=radix
+            )
+
         if self.pool.uses_processes:
             with ArrayExporter() as exporter:
                 payloads = [
@@ -166,8 +272,15 @@ class ParallelBackend(VectorizedBackend):
                     }
                     for k, v, radix in per_class
                 ]
-                return self.pool.map(inject_class_task, payloads)
-        return self.pool.map(
+                return self._supervised(
+                    inject_class_task,
+                    payloads,
+                    site="inject",
+                    fallback=inject_sequential,
+                )
+        return self._supervised(
             lambda t: self.inject_missing_keys(t[0], t[1], (0, hi), stride=p, offset=t[2]),
             per_class,
+            site="inject",
+            fallback=inject_sequential,
         )

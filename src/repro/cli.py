@@ -53,6 +53,31 @@ def add_backend_options(parser: argparse.ArgumentParser) -> None:
         help="worker count for --backend parallel "
         "(default: $REPRO_JOBS, then the CPU count)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="R",
+        help="retries per supervised worker task before falling back to "
+        "sequential execution (default: $REPRO_MAX_RETRIES, then 2)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task timeout for --backend parallel; a hung worker is "
+        "retried instead of stalling the run "
+        "(default: $REPRO_TASK_TIMEOUT, then no limit)",
+    )
+    parser.add_argument(
+        "--strict-validate",
+        action="store_true",
+        default=None,
+        help="full-scan input hardening (NaN/Inf, index range, duplicate "
+        "coordinates) before execution "
+        "(default: $REPRO_STRICT_VALIDATE, then off)",
+    )
 
 
 def _load_matrix(path: str):
@@ -99,7 +124,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"stripe={tuned.config.segment_width}"
         )
         engine = TwoStepEngine(
-            replace(tuned.config, backend=args.backend, n_jobs=args.jobs)
+            replace(
+                tuned.config,
+                backend=args.backend,
+                n_jobs=args.jobs,
+                max_retries=args.max_retries,
+                task_timeout=args.task_timeout,
+                strict_validate=args.strict_validate,
+            )
         )
     else:
         engine = Accelerator(
@@ -107,6 +139,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             simulation_segment_width=args.segment_width,
             backend=args.backend,
             n_jobs=args.jobs,
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            strict_validate=args.strict_validate,
         )
     if args.batch > 1:
         X = rng.uniform(size=(matrix.n_cols, args.batch))
@@ -125,6 +160,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"stripes: {report.n_stripes}, intermediate records: {report.intermediate_records:,}")
     print(f"step-1 cycles: {report.step1.cycles:,.0f}, step-2 cycles: {report.step2.cycles:,.0f}")
     print(f"plan build: {report.plan_build_s * 1e3:.1f} ms")
+    if result.faults is not None and not result.faults.clean:
+        print(f"faults: {result.faults.summary()}")
     print(report.traffic)
     return 0 if result.verified else 1
 
@@ -135,7 +172,12 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
     matrix = _load_matrix(args.matrix)
     config = TwoStepConfig(
-        segment_width=args.segment_width, backend=args.backend, n_jobs=args.jobs
+        segment_width=args.segment_width,
+        backend=args.backend,
+        n_jobs=args.jobs,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        strict_validate=args.strict_validate,
     )
     engine = TwoStepEngine(config)
     if args.app == "pagerank":
@@ -152,6 +194,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
             f"(residual {result.residuals[-1]:.2e})"
         )
         print("top nodes: " + ", ".join(f"{n} ({result.ranks[n]:.4f})" for n in top))
+        if result.degraded_iterations:
+            print(f"degraded iterations (sequential fallback): {result.degraded_iterations}")
     elif args.app == "bfs":
         from repro.apps.bfs import bfs_levels_multi
 

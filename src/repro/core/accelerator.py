@@ -40,6 +40,9 @@ class Accelerator:
         simulation_segment_width: int = None,
         backend: str = None,
         n_jobs: int = None,
+        max_retries: int = None,
+        task_timeout: float = None,
+        strict_validate: bool = None,
     ):
         """
         Args:
@@ -54,6 +57,12 @@ class Accelerator:
                 ``REPRO_BACKEND`` / package-default resolution.
             n_jobs: Worker count when ``backend="parallel"``; ignored by
                 the sequential backends.
+            max_retries: Supervised-task retry budget for the
+                ``parallel`` backend; None defers to ``REPRO_MAX_RETRIES``.
+            task_timeout: Per-task timeout (seconds) for the ``parallel``
+                backend; None defers to ``REPRO_TASK_TIMEOUT``.
+            strict_validate: Enable the full-scan input-hardening tier;
+                None defers to ``REPRO_STRICT_VALIDATE``.
         """
         self.point = point
         width = simulation_segment_width or point.segment_elements
@@ -66,6 +75,9 @@ class Accelerator:
             step1_pipelines=point.step1_pipelines,
             backend=backend,
             n_jobs=n_jobs,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+            strict_validate=strict_validate,
         )
         self._engine = TwoStepEngine(self.config)
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.records import Precision
+from repro.faults.errors import ConfigurationError
 from repro.filters.hdn import HDNConfig
 
 
@@ -47,6 +48,17 @@ class TwoStepConfig:
         plan_cache: Maximum :class:`~repro.core.plan.ExecutionPlan`
             objects an engine retains (LRU).  0 disables caching, so
             every ``run()`` rebuilds matrix-side state.
+        max_retries: Per-task retry budget of the ``parallel`` backend's
+            supervisor; None defers to ``REPRO_MAX_RETRIES``, then the
+            pool default.  Ignored by the sequential backends.
+        task_timeout: Per-task wall-clock limit (seconds) before a
+            ``parallel`` worker task is declared hung and retried; None
+            defers to ``REPRO_TASK_TIMEOUT``, then no limit.
+        strict_validate: Run the full-scan input hardening tier
+            (NaN/Inf, index range, duplicate coordinates, RM-COO
+            sortedness) on every ``run``/``run_many``; None defers to
+            ``REPRO_STRICT_VALIDATE``, then False.  The cheap
+            shape/dtype tier always runs.
     """
 
     segment_width: int
@@ -63,26 +75,33 @@ class TwoStepConfig:
     n_jobs: int = None
     parallel_pool: str = None
     plan_cache: int = 8
+    max_retries: int = None
+    task_timeout: float = None
+    strict_validate: bool = None
 
     def __post_init__(self) -> None:
         if self.segment_width <= 0:
-            raise ValueError("segment_width must be positive")
+            raise ConfigurationError("segment_width must be positive")
         if self.q < 0:
-            raise ValueError("q must be non-negative")
+            raise ConfigurationError("q must be non-negative")
         if self.step1_pipelines <= 0:
-            raise ValueError("step1_pipelines must be positive")
+            raise ConfigurationError("step1_pipelines must be positive")
         if self.dpage_bytes <= 0:
-            raise ValueError("dpage_bytes must be positive")
+            raise ConfigurationError("dpage_bytes must be positive")
         for width in (self.vldi_vector_block_bits, self.vldi_matrix_block_bits):
             if width is not None and not 1 <= width <= 62:
-                raise ValueError("VLDI block width must be in [1, 62]")
+                raise ConfigurationError("VLDI block width must be in [1, 62]")
         if self.index_field_bytes <= 0:
-            raise ValueError("index_field_bytes must be positive")
+            raise ConfigurationError("index_field_bytes must be positive")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigurationError("task_timeout must be positive")
         if self.backend is not None:
             from repro.backends import available_backends
 
             if self.backend not in available_backends():
-                raise ValueError(
+                raise ConfigurationError(
                     f"unknown backend {self.backend!r}; "
                     f"available: {', '.join(available_backends())}"
                 )

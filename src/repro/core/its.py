@@ -30,13 +30,25 @@ from repro.memory.traffic import TrafficLedger
 
 @dataclass
 class ITSRunReport:
-    """Aggregate of an ITS iterative run."""
+    """Aggregate of an ITS iterative run.
+
+    ``fault_reports`` carries one
+    :class:`~repro.faults.report.FaultReport` per executed iteration, in
+    iteration order, so solvers can surface which iterations needed
+    retries or sequential fallbacks.
+    """
 
     iterations: int
     per_iteration: list = field(default_factory=list)
     traffic: TrafficLedger = field(default_factory=TrafficLedger)
     overlapped_cycles: float = 0.0
     sequential_cycles: float = 0.0
+    fault_reports: list = field(default_factory=list)
+
+    @property
+    def faulty_iterations(self) -> int:
+        """Iterations whose fault report recorded at least one event."""
+        return sum(1 for fr in self.fault_reports if fr is not None and not fr.clean)
 
     @property
     def cycle_speedup(self) -> float:
@@ -103,7 +115,9 @@ class ITSEngine:
         x = np.asarray(x0, dtype=np.float64)
         for i in range(n_iterations):
             previous = x
-            x, step_report = self._engine.run(matrix, x)
+            result = self._engine.run(matrix, x)
+            x, step_report = result.y, result.report
+            report.fault_reports.append(result.faults)
             if transform is not None:
                 x = transform(x)
             report.iterations += 1

@@ -41,6 +41,8 @@ from repro.core.config import TwoStepConfig
 from repro.core.plan import ExecutionPlan, build_plan, config_fingerprint
 from repro.core.step1 import IntermediateVector, Step1Engine, Step1Stats
 from repro.core.step2 import Step2Engine, Step2Stats
+from repro.faults.report import FaultReport, collect_faults
+from repro.faults.validation import resolve_strict_validate, validate_inputs
 from repro.formats.coo import COOMatrix
 from repro.formats.hypersparse import StripeFormat
 from repro.memory.traffic import TrafficLedger
@@ -121,6 +123,8 @@ class TwoStepEngine:
             backend or config.backend,
             n_jobs=config.n_jobs,
             pool_kind=config.parallel_pool,
+            max_retries=config.max_retries,
+            task_timeout=config.task_timeout,
         )
         self._step1 = Step1Engine(config, backend=self.backend)
         self._step2 = Step2Engine(config, backend=self.backend)
@@ -194,25 +198,36 @@ class TwoStepEngine:
 
         Returns:
             :class:`~repro.api.SpMVResult`; unpacks as ``(result, report)``.
+            ``result.faults`` records any retries, worker respawns or
+            sequential fallbacks the supervised backends performed.
+
+        Raises:
+            InvalidMatrixError: The matrix violates the input contract.
+            InvalidVectorError: ``x`` or ``y`` violates the contract.
+            ShardFailedError: A parallel shard failed even after the
+                sequential fallback (the run cannot be completed).
         """
         start = time.perf_counter()
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != (matrix.n_cols,):
-            raise ValueError(f"x must have shape ({matrix.n_cols},)")
-        plan = self.plan(matrix)
-        lists = self._step1.run_planned(plan, x)
-        result = self._step2.run_lists(lists, matrix.n_rows, y=y)
+        strict = resolve_strict_validate(self.config.strict_validate)
+        x, y = validate_inputs(matrix, x, y=y, strict=strict)
+        faults = FaultReport(validated=True, strict_validate=strict)
+        with collect_faults(faults):
+            plan = self.plan(matrix)
+            lists = self._step1.run_planned(plan, x)
+            result = self._step2.run_lists(lists, matrix.n_rows, y=y)
         report = self._report(plan, batch=1)
         verified = None
         if verify:
             base = reference_spmv_cached(matrix, x)
             reference = base if y is None else base + np.asarray(y, dtype=np.float64)
             verified = bool(np.allclose(result, reference))
+        faults.elapsed_s = time.perf_counter() - start
         return SpMVResult(
             y=result,
             report=report,
             verified=verified,
             wall_time_s=time.perf_counter() - start,
+            faults=faults,
         )
 
     def run_many(
@@ -243,17 +258,14 @@ class TwoStepEngine:
             batch.
         """
         start = time.perf_counter()
-        X = np.asarray(X, dtype=np.float64)
-        if X.ndim != 2 or X.shape[0] != matrix.n_cols:
-            raise ValueError(f"X must have shape ({matrix.n_cols}, k)")
+        strict = resolve_strict_validate(self.config.strict_validate)
+        X, Y = validate_inputs(matrix, X, y=Y, strict=strict, batch=True)
         k = X.shape[1]
-        if Y is not None:
-            Y = np.asarray(Y, dtype=np.float64)
-            if Y.shape != (matrix.n_rows, k):
-                raise ValueError(f"Y must have shape ({matrix.n_rows}, {k})")
-        plan = self.plan(matrix)
-        lists = self._step1.run_planned_batch(plan, X)
-        result = self._step2.run_batch(lists, matrix.n_rows, k, Y=Y)
+        faults = FaultReport(validated=True, strict_validate=strict)
+        with collect_faults(faults):
+            plan = self.plan(matrix)
+            lists = self._step1.run_planned_batch(plan, X)
+            result = self._step2.run_batch(lists, matrix.n_rows, k, Y=Y)
         report = self._report(plan, batch=max(k, 1))
         verified = None
         if verify:
@@ -262,11 +274,13 @@ class TwoStepEngine:
                 base = reference_spmv_cached(matrix, X[:, j])
                 reference = base if Y is None else base + Y[:, j]
                 verified = verified and bool(np.allclose(result[:, j], reference))
+        faults.elapsed_s = time.perf_counter() - start
         return SpMVResult(
             y=result,
             report=report,
             verified=verified,
             wall_time_s=time.perf_counter() - start,
+            faults=faults,
         )
 
     def _report(self, plan: ExecutionPlan, batch: int) -> TwoStepReport:

@@ -1,0 +1,90 @@
+"""Fault tolerance: typed errors, fault reports, injection, validation.
+
+The supervision layer spans three modules:
+
+* :mod:`repro.faults.errors` -- the typed exception hierarchy
+  (:class:`InvalidMatrixError`, :class:`RetryExhaustedError`,
+  :class:`ShardFailedError`, ...).
+* :mod:`repro.faults.report` -- :class:`FaultReport` accounting attached
+  to every :class:`~repro.api.SpMVResult`, populated through the
+  :func:`collect_faults` scope the engine opens around each execution.
+* :mod:`repro.faults.injection` -- the deterministic
+  :class:`FaultPlan` / :func:`inject_faults` harness that makes worker
+  kills, hangs, crashes and payload corruption reproducible in tests.
+* :mod:`repro.faults.validation` -- input hardening
+  (:func:`validate_inputs`) at the engine boundary.
+
+The runtime counterparts live next to the code they supervise: task
+retry/timeout/respawn in :class:`repro.parallel.pool.WorkerPool`, the
+shared-memory segment registry in :mod:`repro.parallel.shm`, and the
+sequential-fallback ladder in
+:class:`repro.backends.parallel.ParallelBackend`.
+"""
+
+from repro.faults.errors import (
+    ConfigurationError,
+    CorruptPayloadError,
+    FaultError,
+    InjectedFault,
+    InvalidInputError,
+    InvalidMatrixError,
+    InvalidVectorError,
+    RetryExhaustedError,
+    ShardFailedError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.faults.injection import (
+    ANY_INDEX,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    inject_faults,
+    match_fault,
+)
+from repro.faults.report import (
+    FaultEvent,
+    FaultReport,
+    collect_faults,
+    current_report,
+    record_event,
+)
+from repro.faults.validation import (
+    STRICT_VALIDATE_ENV_VAR,
+    resolve_strict_validate,
+    validate_inputs,
+    validate_matrix,
+    validate_vector,
+)
+
+__all__ = [
+    "ANY_INDEX",
+    "ConfigurationError",
+    "FAULT_KINDS",
+    "CorruptPayloadError",
+    "FaultError",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
+    "InjectedFault",
+    "InvalidInputError",
+    "InvalidMatrixError",
+    "InvalidVectorError",
+    "RetryExhaustedError",
+    "STRICT_VALIDATE_ENV_VAR",
+    "ShardFailedError",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+    "active_plan",
+    "collect_faults",
+    "current_report",
+    "inject_faults",
+    "match_fault",
+    "record_event",
+    "resolve_strict_validate",
+    "validate_inputs",
+    "validate_matrix",
+    "validate_vector",
+]

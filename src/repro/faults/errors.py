@@ -1,0 +1,99 @@
+"""Typed exception hierarchy for fault-tolerant execution.
+
+Every failure the engine can diagnose maps to one class here, so
+callers can distinguish "your input is poisoned" (:class:`InvalidMatrixError`,
+:class:`InvalidVectorError`) from "a worker died and recovery failed"
+(:class:`RetryExhaustedError`, :class:`ShardFailedError`) without string
+matching.  Input- and configuration-shaped errors subclass
+:class:`ValueError` and timeout errors subclass :class:`TimeoutError`,
+so pre-existing ``except ValueError`` / ``except TimeoutError`` call
+sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class of every fault-tolerance exception in the package."""
+
+
+class ConfigurationError(FaultError, ValueError):
+    """A configuration value (argument or environment variable) is invalid."""
+
+
+class InvalidInputError(FaultError, ValueError):
+    """Base class for input-hardening rejections at the engine boundary."""
+
+
+class InvalidMatrixError(InvalidInputError):
+    """The sparse matrix violates the engine's input contract.
+
+    Raised by :func:`repro.faults.validation.validate_matrix` for
+    out-of-range or duplicate indices, non-finite values, unsorted
+    RM-COO streams and shape/dtype mismatches.
+    """
+
+
+class InvalidVectorError(InvalidInputError):
+    """A dense vector operand violates the engine's input contract."""
+
+
+class WorkerCrashError(FaultError):
+    """A pool worker died (or was simulated dead) while running a task."""
+
+
+class TaskTimeoutError(FaultError, TimeoutError):
+    """A supervised task exceeded the pool's per-task timeout."""
+
+
+class CorruptPayloadError(FaultError):
+    """A shared-memory payload failed its checksum on import."""
+
+
+class InjectedFault(FaultError):
+    """Deterministic failure raised by the fault-injection harness."""
+
+
+class RetryExhaustedError(FaultError):
+    """A supervised task kept failing after every allowed retry.
+
+    Attributes:
+        site: Fan-out site label (``"stripe"``, ``"merge"``, ...).
+        index: Task index within the fan-out.
+        attempts: Total attempts made (first try plus retries).
+    """
+
+    def __init__(self, message: str, site: str = "", index: int = -1, attempts: int = 0):
+        super().__init__(message)
+        self.site = site
+        self.index = index
+        self.attempts = attempts
+
+
+class ShardFailedError(FaultError):
+    """A shard failed in the pool *and* in the sequential fallback.
+
+    This is terminal: the fallback ladder (retry with backoff, worker
+    respawn, sequential re-execution) has been exhausted and the result
+    cannot be produced.
+    """
+
+    def __init__(self, message: str, site: str = "", index: int = -1):
+        super().__init__(message)
+        self.site = site
+        self.index = index
+
+
+__all__ = [
+    "ConfigurationError",
+    "CorruptPayloadError",
+    "FaultError",
+    "InjectedFault",
+    "InvalidInputError",
+    "InvalidMatrixError",
+    "InvalidVectorError",
+    "RetryExhaustedError",
+    "ShardFailedError",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+]

@@ -1,0 +1,210 @@
+"""Deterministic fault-injection harness.
+
+Testing a supervision layer requires failures on demand: a worker that
+dies exactly at shard ``k``, a task that hangs long enough to trip the
+timeout, a shared-memory payload whose bytes arrive scrambled.  A
+:class:`FaultPlan` scripts those failures against named *sites* -- the
+fan-out points instrumented by :class:`~repro.parallel.pool.WorkerPool`
+(``"stripe"``, ``"merge"``, ``"inject"``, generic ``"task"``) and the
+shared-memory exporter (``"shm"``) -- and :func:`inject_faults` arms the
+plan for the duration of a ``with`` block.  Matching is by (site, task
+index) with an explicit shot count, so every scenario replays exactly,
+independent of scheduling order.
+
+Sites consult the plan at *submission* time in the supervising thread;
+for process pools the armed behaviour is shipped to the worker as a
+picklable shim, so a ``"kill"`` fault genuinely terminates the worker
+process (``os._exit``) and exercises the real
+``BrokenProcessPool`` -> respawn path rather than an emulation.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.faults.errors import CorruptPayloadError, InjectedFault, WorkerCrashError
+
+#: Recognized fault kinds.
+FAULT_KINDS = ("raise", "kill", "delay", "corrupt")
+
+#: Matches any task index at a site.
+ANY_INDEX = -1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted failure.
+
+    Attributes:
+        site: Instrumented site the fault targets.
+        kind: ``"raise"`` (task raises :class:`InjectedFault`), ``"kill"``
+            (worker process exits hard; thread/inline pools degrade to a
+            :class:`WorkerCrashError`), ``"delay"`` (task sleeps
+            ``delay_s`` before running -- pair with a per-task timeout),
+            ``"corrupt"`` (shared-memory payload is scrambled after its
+            checksum is taken; only meaningful at site ``"shm"``).
+        index: Task index that triggers the fault; :data:`ANY_INDEX`
+            matches every index.
+        times: How many matches fire before the spec is spent; -1 fires
+            forever (use to force retries to exhaust and the fallback
+            ladder to engage).
+        delay_s: Sleep duration for ``"delay"`` faults.
+        message: Text carried by the raised exception.
+    """
+
+    site: str
+    kind: str = "raise"
+    index: int = 0
+    times: int = 1
+    delay_s: float = 0.05
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.times == 0:
+            raise ValueError("times must be positive or -1 (unlimited)")
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` with per-spec shot counts.
+
+    Matching consumes shots, so a spec with ``times=1`` hits the first
+    qualifying submission and lets every retry through -- the recovery
+    path is what ends up under test.  The plan keeps a ``fired`` log of
+    ``(site, index, kind)`` triples for assertions.
+    """
+
+    def __init__(self, *specs: FaultSpec):
+        self.specs = list(specs)
+        self._remaining = [spec.times for spec in specs]
+        self.fired: list[tuple] = []
+        self._lock = threading.Lock()
+
+    def match(self, site: str, index: int) -> FaultSpec | None:
+        """Consume and return the first armed spec matching ``(site, index)``."""
+        with self._lock:
+            for slot, spec in enumerate(self.specs):
+                if spec.site != site or self._remaining[slot] == 0:
+                    continue
+                if spec.index != ANY_INDEX and spec.index != index:
+                    continue
+                if self._remaining[slot] > 0:
+                    self._remaining[slot] -= 1
+                self.fired.append((site, index, spec.kind))
+                return spec
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once no spec can fire again (unlimited specs never exhaust)."""
+        return all(r == 0 for r in self._remaining)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan specs={len(self.specs)} fired={len(self.fired)}>"
+
+
+_ACTIVE_PLAN: FaultPlan | None = None
+_PLAN_LOCK = threading.Lock()
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently armed plan, or None outside :func:`inject_faults`."""
+    return _ACTIVE_PLAN
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan):
+    """Arm ``plan`` for the dynamic extent of the block (process-global)."""
+    global _ACTIVE_PLAN
+    with _PLAN_LOCK:
+        if _ACTIVE_PLAN is not None:
+            raise RuntimeError("a FaultPlan is already armed")
+        _ACTIVE_PLAN = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN = None
+
+
+def match_fault(site: str, index: int) -> FaultSpec | None:
+    """Convenience: match against the armed plan (None when unarmed)."""
+    plan = _ACTIVE_PLAN
+    if plan is None:
+        return None
+    return plan.match(site, index)
+
+
+def wrap_task(fn, site: str, index: int, uses_processes: bool):
+    """Return ``fn`` or, if the armed plan matches, a fault-carrying shim.
+
+    Called by the pool supervisor at every submission (including
+    retries), so ``times`` counts submissions, not map() calls.
+    """
+    spec = match_fault(site, index)
+    if spec is None:
+        return fn
+    if uses_processes:
+        return functools.partial(
+            _process_fault_task, spec.kind, spec.delay_s, spec.message, fn
+        )
+    return functools.partial(
+        _inline_fault_task, spec.kind, spec.delay_s, spec.message, fn
+    )
+
+
+def _inline_fault_task(kind: str, delay_s: float, message: str, fn, task):
+    """Fault shim for thread-pool and inline execution."""
+    if kind == "delay":
+        time.sleep(delay_s)
+        return fn(task)
+    if kind == "kill":
+        # Threads cannot be killed from outside; model the observable
+        # effect (the task never produces a value) as a crash error.
+        raise WorkerCrashError(message)
+    if kind == "corrupt":
+        raise CorruptPayloadError(message)
+    raise InjectedFault(message)
+
+
+def _process_fault_task(kind: str, delay_s: float, message: str, fn, task):
+    """Fault shim executed *inside* a pool worker process (picklable)."""
+    if kind == "delay":
+        time.sleep(delay_s)
+        return fn(task)
+    if kind == "kill":
+        os._exit(17)
+    if kind == "corrupt":
+        raise CorruptPayloadError(message)
+    raise InjectedFault(message)
+
+
+def corrupt_buffer(view) -> None:
+    """Scramble the leading bytes of a writable buffer in place.
+
+    Used by the shared-memory exporter to model bit rot after the
+    checksum is taken: the importing worker's verification must catch it.
+    """
+    import numpy as np
+
+    raw = np.frombuffer(view, dtype=np.uint8, count=min(8, len(view)))
+    scrambled = raw ^ np.uint8(0xFF)
+    view[: scrambled.size] = scrambled.tobytes()
+
+
+__all__ = [
+    "ANY_INDEX",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "corrupt_buffer",
+    "inject_faults",
+    "match_fault",
+    "wrap_task",
+]

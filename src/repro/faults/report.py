@@ -1,0 +1,176 @@
+"""Structured fault accounting for one engine execution.
+
+The engine opens a :func:`collect_faults` scope around every ``run`` /
+``run_many``; the worker-pool supervisor and the parallel backend's
+fallback ladder record what happened through :func:`record_event`, and
+the finished :class:`FaultReport` rides out on
+:class:`~repro.api.SpMVResult.faults`.  Recording is a no-op when no
+scope is active, so the hot path pays nothing in the common case.
+
+The active report is held in a :class:`contextvars.ContextVar`; all
+supervision bookkeeping happens in the engine's calling thread (workers
+only compute), so the scope is visible everywhere events originate.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultEvent:
+    """One supervision event.
+
+    Attributes:
+        site: Fan-out site label (``"stripe"``, ``"merge"``, ``"inject"``,
+            ``"shm"``, ``"task"``).
+        index: Task index within the fan-out; -1 for pool-wide events.
+        action: ``"error"``, ``"timeout"``, ``"crash"``, ``"retry"``,
+            ``"respawn"``, ``"fallback"``, ``"injected"`` or
+            ``"validation"``.
+        detail: Human-readable diagnosis (exception summary, fault kind).
+        attempts: Attempts made on the task when the event fired.
+    """
+
+    site: str
+    index: int
+    action: str
+    detail: str = ""
+    attempts: int = 0
+
+
+@dataclass
+class FaultReport:
+    """Everything the supervision layer observed during one execution.
+
+    Attributes:
+        retries: Tasks re-submitted after a failure.
+        timeouts: Tasks that exceeded the per-task timeout.
+        crashes: Worker deaths observed (real or injected).
+        respawns: Executor teardown/rebuild cycles.
+        fallbacks: Shards re-executed on the sequential backend.
+        injected: Faults fired by the injection harness.
+        validated: True when input hardening ran for this execution.
+        strict_validate: True when the deep (full-scan) checks ran.
+        events: Ordered :class:`FaultEvent` log.
+        elapsed_s: Wall-clock seconds of the supervised execution.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    respawns: int = 0
+    fallbacks: int = 0
+    injected: int = 0
+    validated: bool = False
+    strict_validate: bool = False
+    events: list[FaultEvent] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    _COUNTERS = {
+        "retry": "retries",
+        "timeout": "timeouts",
+        "crash": "crashes",
+        "respawn": "respawns",
+        "fallback": "fallbacks",
+        "injected": "injected",
+    }
+
+    @property
+    def clean(self) -> bool:
+        """True when the execution saw no fault of any kind."""
+        return not self.events
+
+    @property
+    def degraded(self) -> bool:
+        """True when any shard had to fall back to the sequential backend."""
+        return self.fallbacks > 0
+
+    def record(
+        self,
+        site: str,
+        index: int,
+        action: str,
+        detail: str = "",
+        attempts: int = 0,
+    ) -> FaultEvent:
+        """Append one event and bump its aggregate counter."""
+        event = FaultEvent(site=site, index=index, action=action, detail=detail, attempts=attempts)
+        self.events.append(event)
+        counter = self._COUNTERS.get(action)
+        if counter is not None:
+            setattr(self, counter, getattr(self, counter) + 1)
+        return event
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for logging and benchmark output."""
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+            "fallbacks": self.fallbacks,
+            "injected": self.injected,
+            "validated": self.validated,
+            "strict_validate": self.strict_validate,
+            "elapsed_s": self.elapsed_s,
+            "events": [
+                {
+                    "site": e.site,
+                    "index": e.index,
+                    "action": e.action,
+                    "detail": e.detail,
+                    "attempts": e.attempts,
+                }
+                for e in self.events
+            ],
+        }
+
+    def summary(self) -> str:
+        """One-line human summary (used by the CLI and solver logs)."""
+        if self.clean:
+            return "clean"
+        return (
+            f"{self.retries} retries, {self.timeouts} timeouts, "
+            f"{self.crashes} crashes, {self.respawns} respawns, "
+            f"{self.fallbacks} fallbacks"
+        )
+
+
+_ACTIVE: ContextVar[FaultReport | None] = ContextVar("repro_fault_report", default=None)
+
+
+def current_report() -> FaultReport | None:
+    """The report collecting events in this context, or None."""
+    return _ACTIVE.get()
+
+
+def record_event(
+    site: str, index: int, action: str, detail: str = "", attempts: int = 0
+) -> None:
+    """Record an event on the active report; silently a no-op without one."""
+    report = _ACTIVE.get()
+    if report is not None:
+        report.record(site, index, action, detail=detail, attempts=attempts)
+
+
+@contextmanager
+def collect_faults(report: FaultReport | None = None):
+    """Scope within which supervision events accumulate on ``report``."""
+    report = report if report is not None else FaultReport()
+    token = _ACTIVE.set(report)
+    try:
+        yield report
+    finally:
+        _ACTIVE.reset(token)
+
+
+__all__ = [
+    "FaultEvent",
+    "FaultReport",
+    "collect_faults",
+    "current_report",
+    "record_event",
+]

@@ -1,4 +1,4 @@
-"""Worker-pool façade used by the ``parallel`` execution backend.
+"""Supervised worker-pool façade used by the ``parallel`` execution backend.
 
 One :class:`WorkerPool` wraps either a ``ThreadPoolExecutor`` (default)
 or a ``ProcessPoolExecutor`` and keeps it alive across calls, so the
@@ -9,15 +9,56 @@ genuinely overlap.  The process pool is an opt-in escape hatch for
 very large inputs where even the NumPy-held portions of the GIL start
 to serialize; its tasks must be top-level functions from
 :mod:`repro.parallel.workers` with picklable payloads.
+
+The pool *supervises* every task it runs:
+
+* a per-task timeout (``task_timeout`` / ``REPRO_TASK_TIMEOUT``) turns a
+  hung worker into a :class:`~repro.faults.errors.TaskTimeoutError`
+  instead of stalling the caller forever;
+* failed tasks are retried up to ``max_retries`` times
+  (``REPRO_MAX_RETRIES``) with exponential backoff;
+* a dead worker process (``BrokenProcessPool``, e.g. an OOM kill or an
+  injected ``"kill"`` fault) tears the executor down, respawns it and
+  resubmits the unfinished tasks;
+* every submission consults the armed
+  :class:`~repro.faults.injection.FaultPlan`, which is how the
+  fault-injection test harness reaches real pool workers.
+
+:meth:`map` keeps the historical list-in/list-out contract and raises
+:class:`~repro.faults.errors.RetryExhaustedError` when a task keeps
+failing; :meth:`map_outcomes` exposes the per-task
+:class:`TaskOutcome` so callers (the parallel backend) can degrade
+failed shards to a sequential fallback instead of failing the run.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+
+from repro.faults.errors import (
+    ConfigurationError,
+    RetryExhaustedError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.faults.injection import wrap_task
+from repro.faults.report import record_event
 
 #: Environment variable overriding the default worker count.
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Environment variable overriding the default retry budget.
+RETRIES_ENV_VAR = "REPRO_MAX_RETRIES"
+
+#: Environment variable overriding the default per-task timeout (seconds).
+TIMEOUT_ENV_VAR = "REPRO_TASK_TIMEOUT"
+
+#: Retries per task when neither the pool nor the environment says otherwise.
+DEFAULT_MAX_RETRIES = 2
 
 #: Recognized pool kinds.
 POOL_KINDS = ("serial", "thread", "process")
@@ -30,33 +71,120 @@ def default_jobs() -> int:
         try:
             jobs = int(env)
         except ValueError as exc:
-            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {env!r}") from exc
+            raise ConfigurationError(
+                f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
+            ) from exc
         if jobs <= 0:
-            raise ValueError(f"{JOBS_ENV_VAR} must be positive, got {jobs}")
+            raise ConfigurationError(f"{JOBS_ENV_VAR} must be positive, got {jobs}")
         return jobs
     return max(1, os.cpu_count() or 1)
 
 
+def default_max_retries() -> int:
+    """Retry budget: ``REPRO_MAX_RETRIES`` or :data:`DEFAULT_MAX_RETRIES`."""
+    env = os.environ.get(RETRIES_ENV_VAR)
+    if env:
+        try:
+            retries = int(env)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{RETRIES_ENV_VAR} must be an integer, got {env!r}"
+            ) from exc
+        if retries < 0:
+            raise ConfigurationError(
+                f"{RETRIES_ENV_VAR} must be non-negative, got {retries}"
+            )
+        return retries
+    return DEFAULT_MAX_RETRIES
+
+
+def default_task_timeout() -> float | None:
+    """Per-task timeout: ``REPRO_TASK_TIMEOUT`` seconds, or None (no limit)."""
+    env = os.environ.get(TIMEOUT_ENV_VAR)
+    if not env:
+        return None
+    try:
+        timeout = float(env)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{TIMEOUT_ENV_VAR} must be a number of seconds, got {env!r}"
+        ) from exc
+    if timeout <= 0:
+        raise ConfigurationError(f"{TIMEOUT_ENV_VAR} must be positive, got {timeout}")
+    return timeout
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one supervised task.
+
+    Attributes:
+        value: The task's result when it (eventually) succeeded.
+        error: The last exception when every attempt failed, else None.
+        attempts: Executions tried (first run plus retries).
+        timed_out: True when at least one attempt hit the task timeout.
+    """
+
+    value: object = None
+    error: Exception | None = None
+    attempts: int = 0
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced a value."""
+        return self.error is None
+
+
 class WorkerPool:
-    """A persistent, lazily started pool of ``n_jobs`` workers.
+    """A persistent, lazily started, supervised pool of ``n_jobs`` workers.
 
     Attributes:
         n_jobs: Worker count (1 degrades to inline execution).
         kind: ``"serial"``, ``"thread"`` or ``"process"``.
+        max_retries: Re-submissions allowed per task after a failure.
+        task_timeout: Per-task wall-clock limit in seconds (None = none).
     """
 
-    def __init__(self, n_jobs: int | None = None, kind: str = "thread"):
+    def __init__(
+        self,
+        n_jobs: int | None = None,
+        kind: str = "thread",
+        max_retries: int | None = None,
+        task_timeout: float | None = None,
+        retry_backoff_s: float = 0.05,
+    ):
         """
         Args:
             n_jobs: Worker count; None resolves via :func:`default_jobs`.
             kind: Pool flavour from :data:`POOL_KINDS`.
+            max_retries: Retry budget per task; None resolves
+                ``REPRO_MAX_RETRIES`` then :data:`DEFAULT_MAX_RETRIES`.
+            task_timeout: Seconds a task may run before it is declared
+                hung; None resolves ``REPRO_TASK_TIMEOUT`` then no limit.
+                Timeouts are enforced on pooled execution only (inline
+                tasks run in the calling thread and cannot be preempted).
+            retry_backoff_s: Base of the exponential backoff between
+                retry rounds (``base * 2**round``).
         """
         if kind not in POOL_KINDS:
-            raise ValueError(f"unknown pool kind {kind!r}; expected one of {POOL_KINDS}")
+            raise ConfigurationError(
+                f"unknown pool kind {kind!r}; expected one of {POOL_KINDS}"
+            )
         self.n_jobs = default_jobs() if n_jobs is None else int(n_jobs)
         if self.n_jobs <= 0:
-            raise ValueError("n_jobs must be positive")
+            raise ConfigurationError("n_jobs must be positive")
+        self.max_retries = default_max_retries() if max_retries is None else int(max_retries)
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        self.task_timeout = default_task_timeout() if task_timeout is None else task_timeout
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigurationError("task_timeout must be positive")
+        if retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s must be non-negative")
+        self.retry_backoff_s = retry_backoff_s
         self.kind = kind
+        self.respawns = 0
         self._executor = None
 
     @property
@@ -79,22 +207,159 @@ class WorkerPool:
                 self._executor = ProcessPoolExecutor(max_workers=self.n_jobs)
         return self._executor
 
-    def map(self, fn, tasks: list) -> list:
+    def _respawn_executor(self, site: str) -> None:
+        """Tear the executor down after a crash/hang and start fresh."""
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        if self.kind == "process":
+            # Runaway workers (hung on a task) survive a non-waiting
+            # shutdown; reclaim them so the respawned pool is not
+            # competing with zombies for cores.  _processes is private
+            # but stable across supported CPythons; best-effort only.
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        self.respawns += 1
+        record_event(site, -1, "respawn", detail=f"executor respawn #{self.respawns}")
+
+    # ------------------------------------------------------------------
+    # Supervised execution
+    # ------------------------------------------------------------------
+
+    def map(self, fn, tasks: list, site: str = "task") -> list:
         """Apply ``fn`` to every task, preserving task order.
 
         Args:
             fn: Callable of one argument.  Must be a picklable top-level
                 function when the pool uses processes.
             tasks: Materialized task list (ordering defines result order).
+            site: Fault-injection / reporting label for this fan-out.
 
         Returns:
             ``[fn(t) for t in tasks]`` -- computed concurrently, returned
             in submission order so downstream assembly is deterministic.
+
+        Raises:
+            RetryExhaustedError: A task failed every allowed attempt.
         """
-        if self.inline or len(tasks) <= 1:
-            return [fn(task) for task in tasks]
+        outcomes = self.map_outcomes(fn, tasks, site=site)
+        for index, outcome in enumerate(outcomes):
+            if not outcome.ok:
+                raise RetryExhaustedError(
+                    f"{site} task {index} failed after {outcome.attempts} attempt(s): "
+                    f"{outcome.error!r}",
+                    site=site,
+                    index=index,
+                    attempts=outcome.attempts,
+                ) from outcome.error
+        return [outcome.value for outcome in outcomes]
+
+    def map_outcomes(self, fn, tasks: list, site: str = "task") -> list[TaskOutcome]:
+        """Supervised map returning per-task :class:`TaskOutcome`.
+
+        Never raises for task failures: a task that failed its first run
+        plus ``max_retries`` retries is reported with ``error`` set, so
+        the caller can degrade that shard instead of losing the batch.
+        """
+        outcomes = [TaskOutcome() for _ in tasks]
+        pending = list(range(len(tasks)))
+        for round_index in range(self.max_retries + 1):
+            if not pending:
+                break
+            if round_index:
+                for index in pending:
+                    record_event(
+                        site,
+                        index,
+                        "retry",
+                        detail=f"{outcomes[index].error!r}",
+                        attempts=outcomes[index].attempts,
+                    )
+                time.sleep(self.retry_backoff_s * (2 ** (round_index - 1)))
+            # Single tasks skip the executor (submission overhead would
+            # dominate) unless a timeout must be enforced, which only the
+            # pooled path can do.
+            if self.inline or (len(pending) <= 1 and self.task_timeout is None):
+                pending = self._run_round_inline(fn, tasks, pending, outcomes, site)
+            else:
+                pending = self._run_round_pooled(fn, tasks, pending, outcomes, site)
+        return outcomes
+
+    def _run_round_inline(self, fn, tasks, pending, outcomes, site) -> list[int]:
+        """One attempt per pending task in the calling thread."""
+        still_failed = []
+        for index in pending:
+            outcome = outcomes[index]
+            outcome.attempts += 1
+            task_fn = wrap_task(fn, site, index, uses_processes=False)
+            try:
+                outcome.value = task_fn(tasks[index])
+                outcome.error = None
+            except Exception as exc:
+                outcome.error = exc
+                still_failed.append(index)
+                action = "crash" if isinstance(exc, WorkerCrashError) else "error"
+                record_event(site, index, action, detail=repr(exc), attempts=outcome.attempts)
+        return still_failed
+
+    def _run_round_pooled(self, fn, tasks, pending, outcomes, site) -> list[int]:
+        """One concurrent attempt per pending task, with timeout/crash care."""
         executor = self._ensure_executor()
-        return list(executor.map(fn, tasks))
+        futures = {}
+        broken = False
+        for index in pending:
+            outcomes[index].attempts += 1
+            task_fn = wrap_task(fn, site, index, self.uses_processes)
+            try:
+                futures[index] = executor.submit(task_fn, tasks[index])
+            except (BrokenExecutor, RuntimeError) as exc:
+                outcomes[index].error = WorkerCrashError(f"submit failed: {exc!r}")
+                broken = True
+        still_failed = []
+        for index in pending:
+            outcome = outcomes[index]
+            future = futures.get(index)
+            if future is None:
+                still_failed.append(index)
+                continue
+            try:
+                outcome.value = future.result(timeout=self.task_timeout)
+                outcome.error = None
+                continue
+            except FuturesTimeoutError:
+                outcome.error = TaskTimeoutError(
+                    f"{site} task {index} exceeded the {self.task_timeout}s task timeout"
+                )
+                outcome.timed_out = True
+                record_event(site, index, "timeout", attempts=outcome.attempts)
+                future.cancel()
+                if self.uses_processes:
+                    # The worker owning this task may be hung; rebuilding
+                    # the pool is the only way to reclaim it.
+                    broken = True
+            except BrokenExecutor as exc:
+                outcome.error = WorkerCrashError(
+                    f"worker died while running {site} task {index}: {exc!r}"
+                )
+                record_event(site, index, "crash", detail=repr(exc), attempts=outcome.attempts)
+                broken = True
+            except Exception as exc:
+                outcome.error = exc
+                action = "crash" if isinstance(exc, WorkerCrashError) else "error"
+                record_event(site, index, action, detail=repr(exc), attempts=outcome.attempts)
+            still_failed.append(index)
+        if broken:
+            self._respawn_executor(site)
+        return still_failed
 
     def close(self) -> None:
         """Shut the executor down (idempotent)."""
@@ -115,4 +380,7 @@ class WorkerPool:
             pass
 
     def __repr__(self) -> str:
-        return f"<WorkerPool kind={self.kind!r} n_jobs={self.n_jobs}>"
+        return (
+            f"<WorkerPool kind={self.kind!r} n_jobs={self.n_jobs} "
+            f"max_retries={self.max_retries} task_timeout={self.task_timeout}>"
+        )

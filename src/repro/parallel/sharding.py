@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.errors import ConfigurationError
+
 
 def shard_lists_by_residue(lists: list, n_shards: int) -> list:
     """Partition sorted ``(indices, values)`` lists into residue classes.
@@ -30,7 +32,7 @@ def shard_lists_by_residue(lists: list, n_shards: int) -> list:
         original list order (which preserves accumulation order).
     """
     if n_shards <= 0:
-        raise ValueError("n_shards must be positive")
+        raise ConfigurationError("n_shards must be positive")
     shards = [[] for _ in range(n_shards)]
     for idx, val in lists:
         idx = np.asarray(idx, dtype=np.int64)

@@ -3,34 +3,134 @@
 The process-pool path of the ``parallel`` backend must move stripe
 arrays (rows, columns, values, the source-vector segment) into worker
 processes.  Pickling megabyte arrays per task would erase the win, so
-arrays above :data:`SHM_MIN_BYTES` are copied once into a named
+arrays above :func:`default_min_bytes` are copied once into a named
 shared-memory block and only the ``(name, shape, dtype)`` descriptor is
 pickled; workers attach read-only views in place.  Small arrays travel
 inline -- a descriptor round-trip costs more than their pickle.
+
+Robustness guarantees layered on top of the raw transport:
+
+* **Segment registry.**  Every block an exporter creates is registered
+  process-wide; :func:`sweep_segments` (installed as an ``atexit``
+  hook) unlinks anything still registered, so a crashed worker, a
+  raising map() or an aborted interpreter can never leak ``/dev/shm``
+  segments.  Tests scan :func:`active_segments` after every scenario.
+* **Checksummed payloads.**  Each shm-backed :class:`ArraySpec` carries
+  a CRC-32 of the exported bytes; :func:`import_array` verifies it on
+  attach and raises :class:`~repro.faults.errors.CorruptPayloadError`
+  on mismatch, turning silent bit rot (or an injected ``"corrupt"``
+  fault) into a retryable task failure.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import threading
+import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
-#: Arrays at or above this many bytes ride shared memory; smaller pickle.
+from repro.faults.errors import CorruptPayloadError
+from repro.faults.injection import corrupt_buffer, match_fault
+
+#: Default byte threshold above which arrays ride shared memory.
 SHM_MIN_BYTES = 1 << 20
+
+#: Environment variable overriding :data:`SHM_MIN_BYTES`.
+SHM_MIN_BYTES_ENV_VAR = "REPRO_SHM_MIN_BYTES"
+
+
+def default_min_bytes() -> int:
+    """Shared-memory threshold: ``REPRO_SHM_MIN_BYTES`` or 1 MiB."""
+    env = os.environ.get(SHM_MIN_BYTES_ENV_VAR)
+    if env:
+        from repro.faults.errors import ConfigurationError
+
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{SHM_MIN_BYTES_ENV_VAR} must be an integer, got {env!r}"
+            ) from exc
+        if value < 0:
+            raise ConfigurationError(
+                f"{SHM_MIN_BYTES_ENV_VAR} must be non-negative, got {value}"
+            )
+        return value
+    return SHM_MIN_BYTES
+
+
+# ---------------------------------------------------------------------------
+# Process-wide segment registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: set[str] = set()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_segment(name: str) -> None:
+    """Track a shared-memory block this process is responsible for."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.add(name)
+
+
+def unregister_segment(name: str) -> None:
+    """Stop tracking a block (after a clean unlink)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.discard(name)
+
+
+def active_segments() -> tuple[str, ...]:
+    """Names of blocks currently registered (leak scan for tests)."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def sweep_segments() -> list[str]:
+    """Unlink every registered block; returns the names swept.
+
+    Idempotent and safe against already-unlinked names; registered as an
+    ``atexit`` hook so no exit path of the parent process leaks
+    segments, whatever happened to the workers.
+    """
+    with _REGISTRY_LOCK:
+        names = list(_REGISTRY)
+        _REGISTRY.clear()
+    swept = []
+    for name in names:
+        try:
+            block = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        try:
+            block.close()
+            block.unlink()
+        except FileNotFoundError:
+            pass
+        swept.append(name)
+    return swept
+
+
+atexit.register(sweep_segments)
 
 
 @dataclass(frozen=True)
 class ArraySpec:
     """Picklable descriptor of one exported array.
 
-    Exactly one of ``data`` (inline payload) or ``shm_name`` is set.
+    Exactly one of ``data`` (inline payload) or ``shm_name`` is set;
+    shm-backed specs also carry the CRC-32 ``checksum`` of the exported
+    bytes (None disables verification).
     """
 
     shape: tuple
     dtype: str
     data: np.ndarray | None = None
     shm_name: str | None = None
+    checksum: int | None = None
 
 
 class ArrayExporter:
@@ -39,11 +139,22 @@ class ArrayExporter:
     Owns every shared-memory block it creates; :meth:`close` (or use as
     a context manager) releases and unlinks them after the batch
     completes, so the blocks live exactly as long as the in-flight map.
+    Blocks are additionally tracked in the process-wide registry, which
+    the ``atexit`` sweep drains on any exit path that skips ``close``.
     """
 
-    def __init__(self, min_bytes: int = SHM_MIN_BYTES):
-        self.min_bytes = min_bytes
+    def __init__(self, min_bytes: int | None = None, checksum: bool = True):
+        """
+        Args:
+            min_bytes: Shared-memory threshold; None resolves
+                ``REPRO_SHM_MIN_BYTES`` then :data:`SHM_MIN_BYTES`.
+            checksum: Attach a CRC-32 to every shm payload so importers
+                can detect corruption (cheap next to the copy itself).
+        """
+        self.min_bytes = default_min_bytes() if min_bytes is None else min_bytes
+        self.checksum = checksum
         self._blocks: list[shared_memory.SharedMemory] = []
+        self._exports = 0
 
     def export(self, array: np.ndarray) -> ArraySpec:
         """Descriptor for ``array``; large arrays are copied into shm once."""
@@ -51,10 +162,23 @@ class ArrayExporter:
         if array.nbytes < self.min_bytes:
             return ArraySpec(shape=array.shape, dtype=array.dtype.str, data=array)
         block = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        register_segment(block.name)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
         view[...] = array
+        digest = zlib.crc32(view) if self.checksum else None
+        index = self._exports
+        self._exports += 1
+        if array.nbytes and match_fault("shm", index) is not None:
+            # Injected bit rot: scramble after the checksum is taken so
+            # the importer's verification is what catches it.
+            corrupt_buffer(block.buf)
         self._blocks.append(block)
-        return ArraySpec(shape=array.shape, dtype=array.dtype.str, shm_name=block.name)
+        return ArraySpec(
+            shape=array.shape,
+            dtype=array.dtype.str,
+            shm_name=block.name,
+            checksum=digest,
+        )
 
     def close(self) -> None:
         """Release and unlink every exported block (idempotent)."""
@@ -64,6 +188,7 @@ class ArrayExporter:
                 block.unlink()
             except FileNotFoundError:
                 pass
+            unregister_segment(block.name)
         self._blocks = []
 
     def __enter__(self) -> "ArrayExporter":
@@ -82,9 +207,21 @@ def import_array(spec: ArraySpec) -> tuple:
         for inline payloads.  The returned array for a shm-backed spec
         is a view into the block; copy before the handle closes if it
         must outlive the task.
+
+    Raises:
+        CorruptPayloadError: The block's bytes no longer match the
+            checksum taken at export time.
     """
     if spec.shm_name is None:
         return np.asarray(spec.data), None
     handle = shared_memory.SharedMemory(name=spec.shm_name)
     array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=handle.buf)
+    if spec.checksum is not None:
+        digest = zlib.crc32(array)
+        if digest != spec.checksum:
+            handle.close()
+            raise CorruptPayloadError(
+                f"shared-memory payload {spec.shm_name} failed checksum "
+                f"(expected {spec.checksum:#010x}, got {digest:#010x})"
+            )
     return array, handle

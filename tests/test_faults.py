@@ -1,0 +1,616 @@
+"""Fault-tolerance tests: supervision, retry/fallback, input hardening.
+
+Every scenario injects a deterministic fault through
+:mod:`repro.faults.injection` and asserts the contract from DESIGN.md
+section 8: the run either returns a bit-identical result with a
+populated :class:`~repro.faults.report.FaultReport`, or raises a typed
+exception -- it never hangs and never leaks a shared-memory segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TwoStepConfig
+from repro.core.twostep import TwoStepEngine
+from repro.faults import (
+    ANY_INDEX,
+    ConfigurationError,
+    FaultError,
+    FaultPlan,
+    FaultReport,
+    FaultSpec,
+    InjectedFault,
+    InvalidMatrixError,
+    InvalidVectorError,
+    RetryExhaustedError,
+    TaskTimeoutError,
+    WorkerCrashError,
+    active_plan,
+    collect_faults,
+    inject_faults,
+    match_fault,
+    validate_inputs,
+    validate_matrix,
+    validate_vector,
+)
+from repro.formats.coo import COOMatrix
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import (
+    ArrayExporter,
+    active_segments,
+    import_array,
+    register_segment,
+    sweep_segments,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must leave the shared-memory registry empty."""
+    yield
+    leaked = active_segments()
+    sweep_segments()
+    assert leaked == (), f"leaked shared-memory segments: {leaked}"
+
+
+def _double(task):
+    return task * 2
+
+
+# ---------------------------------------------------------------------------
+# Typed error hierarchy (satellite: consolidated ValueError raises)
+# ---------------------------------------------------------------------------
+
+
+class TestErrorHierarchy:
+    def test_input_errors_are_value_errors(self):
+        assert issubclass(InvalidMatrixError, ValueError)
+        assert issubclass(InvalidVectorError, ValueError)
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_timeout_is_builtin_timeout(self):
+        assert issubclass(TaskTimeoutError, TimeoutError)
+
+    def test_all_share_fault_base(self):
+        for cls in (
+            InvalidMatrixError,
+            ConfigurationError,
+            RetryExhaustedError,
+            TaskTimeoutError,
+            WorkerCrashError,
+            InjectedFault,
+        ):
+            assert issubclass(cls, FaultError)
+
+    def test_retry_exhausted_carries_context(self):
+        err = RetryExhaustedError("boom", site="stripe", index=3, attempts=4)
+        assert (err.site, err.index, err.attempts) == ("stripe", 3, 4)
+
+    def test_legacy_config_raises_stay_catchable(self):
+        with pytest.raises(ValueError, match="n_jobs must be positive"):
+            WorkerPool(n_jobs=0)
+        with pytest.raises(ValueError, match="unknown pool kind"):
+            WorkerPool(n_jobs=2, kind="fiber")
+
+    def test_config_validates_supervision_fields(self):
+        with pytest.raises(ConfigurationError):
+            TwoStepConfig(segment_width=256, max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            TwoStepConfig(segment_width=256, task_timeout=0)
+
+
+# ---------------------------------------------------------------------------
+# Input hardening
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_vector_shape_mismatch_is_typed(self):
+        with pytest.raises(InvalidVectorError, match=r"x must have shape \(4,\)"):
+            validate_vector(np.zeros(3), 4)
+
+    def test_vector_nan_rejected_only_in_strict(self):
+        bad = np.array([1.0, np.nan, 3.0])
+        validate_vector(bad, 3)  # cheap tier passes
+        with pytest.raises(InvalidVectorError, match="non-finite"):
+            validate_vector(bad, 3, strict=True)
+
+    def test_matrix_out_of_range_column(self, tiny_matrix):
+        tampered = COOMatrix(
+            tiny_matrix.n_rows,
+            tiny_matrix.n_cols,
+            tiny_matrix.rows.copy(),
+            tiny_matrix.cols.copy(),
+            tiny_matrix.vals.copy(),
+        )
+        tampered.cols[0] = tiny_matrix.n_cols + 5
+        with pytest.raises(InvalidMatrixError, match="column index out of range"):
+            validate_matrix(tampered, strict=True)
+
+    def test_matrix_duplicate_coordinates(self):
+        m = COOMatrix(2, 2, np.array([0, 0]), np.array([1, 1]), np.array([1.0, 2.0]))
+        with pytest.raises(InvalidMatrixError, match="duplicate"):
+            validate_matrix(m, strict=True)
+
+    def test_matrix_unsorted_stream(self):
+        m = COOMatrix(2, 2, np.array([1, 0]), np.array([0, 0]), np.array([1.0, 2.0]))
+        with pytest.raises(InvalidMatrixError, match="not sorted row-major"):
+            validate_matrix(m, strict=True)
+
+    def test_matrix_nonfinite_values(self, tiny_matrix):
+        vals = tiny_matrix.vals.copy()
+        vals[0] = np.inf
+        m = COOMatrix(
+            tiny_matrix.n_rows, tiny_matrix.n_cols,
+            tiny_matrix.rows, tiny_matrix.cols, vals,
+        )
+        with pytest.raises(InvalidMatrixError, match="non-finite"):
+            validate_matrix(m, strict=True)
+
+    def test_ragged_triples_rejected_cheaply(self):
+        # COOMatrix itself refuses ragged triples, so harden against a
+        # duck-typed operand that slipped past construction.
+        class Ragged:
+            n_rows = n_cols = 2
+            rows = np.array([0, 1])
+            cols = np.array([0])
+            vals = np.array([1.0])
+
+        with pytest.raises(InvalidMatrixError, match="equal length"):
+            validate_matrix(Ragged())
+
+    def test_batch_accumuland_width_mismatch(self, tiny_matrix):
+        X = np.zeros((tiny_matrix.n_cols, 3))
+        Y = np.zeros((tiny_matrix.n_rows, 2))
+        with pytest.raises(InvalidVectorError, match="Y must have shape"):
+            validate_inputs(tiny_matrix, X, y=Y, batch=True)
+
+    def test_engine_strict_rejects_nan_vector(self, small_er_graph):
+        engine = TwoStepEngine(TwoStepConfig(segment_width=256, strict_validate=True))
+        x = np.ones(small_er_graph.n_cols)
+        x[7] = np.nan
+        with pytest.raises(InvalidVectorError):
+            engine.run(small_er_graph, x)
+
+    def test_engine_strict_via_environment(self, small_er_graph, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_VALIDATE", "1")
+        engine = TwoStepEngine(TwoStepConfig(segment_width=256))
+        x = np.ones(small_er_graph.n_cols)
+        x[0] = np.inf
+        with pytest.raises(InvalidVectorError):
+            engine.run(small_er_graph, x)
+
+    def test_report_records_validation_tier(self, small_er_graph):
+        x = np.ones(small_er_graph.n_cols)
+        result = TwoStepEngine(
+            TwoStepConfig(segment_width=256, strict_validate=True)
+        ).run(small_er_graph, x)
+        assert result.faults.validated
+        assert result.faults.strict_validate
+        assert result.faults.clean
+
+
+# ---------------------------------------------------------------------------
+# Injection harness
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_spec_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(site="stripe", kind="gremlin")
+
+    def test_spec_rejects_zero_times(self):
+        with pytest.raises(ValueError, match="times must be positive"):
+            FaultSpec(site="stripe", times=0)
+
+    def test_match_consumes_shots(self):
+        plan = FaultPlan(FaultSpec(site="stripe", index=2, times=1))
+        assert plan.match("stripe", 1) is None
+        assert plan.match("stripe", 2) is not None
+        assert plan.match("stripe", 2) is None  # spent
+        assert plan.exhausted
+        assert plan.fired == [("stripe", 2, "raise")]
+
+    def test_any_index_and_unlimited(self):
+        plan = FaultPlan(FaultSpec(site="merge", index=ANY_INDEX, times=-1))
+        for i in range(5):
+            assert plan.match("merge", i) is not None
+        assert not plan.exhausted
+
+    def test_site_isolation(self):
+        plan = FaultPlan(FaultSpec(site="stripe"))
+        assert plan.match("merge", 0) is None
+
+    def test_arming_is_exclusive(self):
+        with inject_faults(FaultPlan(FaultSpec(site="stripe"))):
+            assert active_plan() is not None
+            with pytest.raises(RuntimeError, match="already armed"):
+                with inject_faults(FaultPlan(FaultSpec(site="merge"))):
+                    pass
+        assert active_plan() is None
+
+    def test_match_fault_noop_when_unarmed(self):
+        assert match_fault("stripe", 0) is None
+
+
+class TestFaultReport:
+    def test_counters_follow_actions(self):
+        report = FaultReport()
+        report.record("stripe", 0, "retry", attempts=2)
+        report.record("stripe", 0, "timeout")
+        report.record("merge", 1, "fallback")
+        assert (report.retries, report.timeouts, report.fallbacks) == (1, 1, 1)
+        assert not report.clean
+        assert report.degraded
+
+    def test_to_dict_round_trips_events(self):
+        report = FaultReport()
+        report.record("shm", 3, "crash", detail="boom")
+        data = report.to_dict()
+        assert data["crashes"] == 1
+        assert data["events"][0]["site"] == "shm"
+
+    def test_summary_clean(self):
+        assert FaultReport().summary() == "clean"
+
+    def test_record_event_noop_outside_scope(self):
+        from repro.faults.report import current_report, record_event
+
+        record_event("stripe", 0, "retry")  # must not raise
+        assert current_report() is None
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool supervision
+# ---------------------------------------------------------------------------
+
+
+class TestPoolSupervision:
+    def test_retry_recovers_from_single_shot_fault(self):
+        pool = WorkerPool(n_jobs=2, kind="thread")
+        report = FaultReport()
+        try:
+            with collect_faults(report):
+                with inject_faults(FaultPlan(FaultSpec(site="task", index=1, times=1))):
+                    results = pool.map(_double, [1, 2, 3], site="task")
+        finally:
+            pool.close()
+        assert results == [2, 4, 6]
+        assert report.retries == 1
+
+    def test_unlimited_fault_exhausts_retries(self):
+        pool = WorkerPool(n_jobs=2, kind="thread", max_retries=1)
+        try:
+            with inject_faults(FaultPlan(FaultSpec(site="task", index=0, times=-1))):
+                with pytest.raises(RetryExhaustedError) as excinfo:
+                    pool.map(_double, [1, 2], site="task")
+        finally:
+            pool.close()
+        assert excinfo.value.site == "task"
+        assert excinfo.value.index == 0
+        assert excinfo.value.attempts == 2  # first try + one retry
+
+    def test_timeout_trips_and_recovers(self):
+        pool = WorkerPool(n_jobs=2, kind="thread", task_timeout=0.2)
+        report = FaultReport()
+        try:
+            with collect_faults(report):
+                with inject_faults(
+                    FaultPlan(FaultSpec(site="task", index=0, kind="delay", delay_s=1.0))
+                ):
+                    outcomes = pool.map_outcomes(_double, [1, 2], site="task")
+        finally:
+            pool.close()
+        assert [o.value for o in outcomes] == [2, 4]
+        assert outcomes[0].timed_out
+        assert report.timeouts == 1
+
+    def test_single_task_still_supervised_under_timeout(self):
+        # A one-task map must not take the inline shortcut when a timeout
+        # needs enforcing.
+        pool = WorkerPool(n_jobs=2, kind="thread", task_timeout=0.2)
+        report = FaultReport()
+        try:
+            with collect_faults(report):
+                with inject_faults(
+                    FaultPlan(FaultSpec(site="task", index=0, kind="delay", delay_s=1.0))
+                ):
+                    results = pool.map(_double, [21], site="task")
+        finally:
+            pool.close()
+        assert results == [42]
+        assert report.timeouts == 1
+
+    def test_thread_kill_degrades_to_crash_error(self):
+        pool = WorkerPool(n_jobs=2, kind="thread")
+        report = FaultReport()
+        try:
+            with collect_faults(report):
+                with inject_faults(
+                    FaultPlan(FaultSpec(site="task", index=0, kind="kill", times=1))
+                ):
+                    results = pool.map(_double, [5, 6], site="task")
+        finally:
+            pool.close()
+        assert results == [10, 12]
+        assert report.crashes == 1
+
+    def test_process_kill_triggers_respawn(self):
+        pool = WorkerPool(n_jobs=2, kind="process", max_retries=2)
+        report = FaultReport()
+        try:
+            with collect_faults(report):
+                with inject_faults(
+                    FaultPlan(FaultSpec(site="task", index=0, kind="kill", times=1))
+                ):
+                    results = pool.map(_double, [1, 2, 3], site="task")
+        finally:
+            pool.close()
+        assert results == [2, 4, 6]
+        assert report.crashes >= 1
+        assert report.respawns >= 1
+
+    def test_inline_pool_recovers_too(self):
+        pool = WorkerPool(n_jobs=1)
+        report = FaultReport()
+        with collect_faults(report):
+            with inject_faults(FaultPlan(FaultSpec(site="task", index=0, times=1))):
+                assert pool.map(_double, [7], site="task") == [14]
+        assert report.retries == 1
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory transport hardening
+# ---------------------------------------------------------------------------
+
+
+class TestSharedMemory:
+    def test_checksum_catches_corruption(self):
+        array = np.arange(64, dtype=np.float64)
+        with ArrayExporter(min_bytes=0) as exporter:
+            with inject_faults(FaultPlan(FaultSpec(site="shm", index=0, kind="corrupt"))):
+                spec = exporter.export(array)
+            from repro.faults.errors import CorruptPayloadError
+
+            with pytest.raises(CorruptPayloadError, match="failed checksum"):
+                import_array(spec)
+
+    def test_clean_round_trip(self):
+        array = np.arange(64, dtype=np.float64)
+        with ArrayExporter(min_bytes=0) as exporter:
+            spec = exporter.export(array)
+            out, handle = import_array(spec)
+            np.testing.assert_array_equal(out, array)
+            handle.close()
+        assert active_segments() == ()
+
+    def test_exporter_releases_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with ArrayExporter(min_bytes=0) as exporter:
+                exporter.export(np.arange(32, dtype=np.float64))
+                assert len(active_segments()) == 1
+                raise RuntimeError("task fan-out blew up")
+        assert active_segments() == ()
+
+    def test_sweep_unlinks_registered_blocks(self):
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(create=True, size=128)
+        register_segment(block.name)
+        block.close()
+        assert block.name in sweep_segments()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=block.name)
+
+    def test_sweep_tolerates_already_unlinked(self):
+        register_segment("psm_repro_never_existed")
+        assert sweep_segments() == []
+
+    def test_min_bytes_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "nope")
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            ArrayExporter()
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "4")
+        exporter = ArrayExporter()
+        assert exporter.min_bytes == 4
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: engine under injected faults stays bit-identical
+# ---------------------------------------------------------------------------
+
+
+def _reference_y(graph):
+    x = np.random.default_rng(0).uniform(size=graph.n_cols)
+    engine = TwoStepEngine(TwoStepConfig(segment_width=256, backend="vectorized"))
+    return x, engine.run(graph, x).y
+
+
+class TestEngineDegradation:
+    @pytest.fixture(autouse=True)
+    def engage_all_fanouts(self, monkeypatch):
+        """Drop the inline-degradation floor so every site fans out."""
+        from repro.backends.parallel import ParallelBackend
+
+        monkeypatch.setattr(ParallelBackend, "MIN_FANOUT_RECORDS", 1)
+
+    @staticmethod
+    def _config(site, **kw):
+        # The inject fan-out only runs under the store-queue assembly.
+        return TwoStepConfig(
+            segment_width=256, backend="parallel",
+            check_interleave=(site == "inject"), **kw,
+        )
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    @pytest.mark.parametrize("site", ["stripe", "merge", "inject"])
+    def test_single_fault_recovers_by_retry(self, small_er_graph, n_jobs, site):
+        x, expected = _reference_y(small_er_graph)
+        engine = TwoStepEngine(self._config(site, n_jobs=n_jobs))
+        with inject_faults(FaultPlan(FaultSpec(site=site, index=0, times=1))) as plan:
+            result = engine.run(small_er_graph, x)
+        assert np.array_equal(result.y, expected)
+        assert result.faults is not None
+        if n_jobs > 1:  # n_jobs=1 degrades inline, so nothing fans out
+            assert plan.fired
+
+    @pytest.mark.parametrize("site", ["stripe", "merge", "inject"])
+    def test_persistent_fault_falls_back_sequential(self, small_er_graph, site):
+        x, expected = _reference_y(small_er_graph)
+        engine = TwoStepEngine(self._config(site, n_jobs=4))
+        with inject_faults(
+            FaultPlan(FaultSpec(site=site, index=0, times=-1))
+        ) as plan:
+            result = engine.run(small_er_graph, x)
+        assert np.array_equal(result.y, expected)
+        assert plan.fired  # the fault actually engaged
+        assert result.faults.degraded
+        assert result.faults.fallbacks >= 1
+        assert result.faults.retries >= 1
+
+    def test_every_shard_failing_still_recovers(self, small_er_graph):
+        x, expected = _reference_y(small_er_graph)
+        engine = TwoStepEngine(
+            TwoStepConfig(segment_width=256, backend="parallel", n_jobs=2)
+        )
+        with inject_faults(
+            FaultPlan(FaultSpec(site="stripe", index=ANY_INDEX, times=-1))
+        ):
+            result = engine.run(small_er_graph, x)
+        assert np.array_equal(result.y, expected)
+        assert result.faults.degraded
+
+    def test_batch_run_many_recovers(self, small_er_graph):
+        X = np.random.default_rng(3).uniform(size=(small_er_graph.n_cols, 3))
+        ref = TwoStepEngine(
+            TwoStepConfig(segment_width=256, backend="vectorized")
+        ).run_many(small_er_graph, X)
+        engine = TwoStepEngine(
+            TwoStepConfig(segment_width=256, backend="parallel", n_jobs=2)
+        )
+        with inject_faults(FaultPlan(FaultSpec(site="stripe", index=0, times=-1))):
+            result = engine.run_many(small_er_graph, X)
+        assert np.array_equal(result.y, ref.y)
+
+    def test_timeout_config_flows_to_pool(self, small_er_graph):
+        x, expected = _reference_y(small_er_graph)
+        engine = TwoStepEngine(
+            TwoStepConfig(
+                segment_width=256, backend="parallel", n_jobs=2, task_timeout=0.25
+            )
+        )
+        with inject_faults(
+            FaultPlan(FaultSpec(site="stripe", index=0, kind="delay", delay_s=2.0, times=1))
+        ):
+            result = engine.run(small_er_graph, x)
+        assert np.array_equal(result.y, expected)
+        assert result.faults.timeouts == 1
+
+    def test_clean_run_reports_clean(self, small_er_graph):
+        x, expected = _reference_y(small_er_graph)
+        engine = TwoStepEngine(
+            TwoStepConfig(segment_width=256, backend="parallel", n_jobs=2)
+        )
+        result = engine.run(small_er_graph, x)
+        assert np.array_equal(result.y, expected)
+        assert result.faults.clean
+        assert result.faults.elapsed_s > 0
+
+
+class TestProcessPoolDegradation:
+    def test_worker_kill_respawns_and_matches(self, small_er_graph, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "1")
+        x, expected = _reference_y(small_er_graph)
+        engine = TwoStepEngine(
+            TwoStepConfig(
+                segment_width=256, backend="parallel", n_jobs=2,
+                parallel_pool="process",
+            )
+        )
+        with inject_faults(
+            FaultPlan(FaultSpec(site="stripe", index=0, kind="kill", times=1))
+        ):
+            result = engine.run(small_er_graph, x)
+        assert np.array_equal(result.y, expected)
+        assert result.faults.crashes >= 1
+        assert result.faults.respawns >= 1
+        assert active_segments() == ()
+
+    def test_corrupt_shm_payload_falls_back(self, small_er_graph, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "1")
+        x, expected = _reference_y(small_er_graph)
+        engine = TwoStepEngine(
+            TwoStepConfig(
+                segment_width=256, backend="parallel", n_jobs=2,
+                parallel_pool="process",
+            )
+        )
+        with inject_faults(
+            FaultPlan(FaultSpec(site="shm", index=0, kind="corrupt", times=-1))
+        ):
+            result = engine.run(small_er_graph, x)
+        assert np.array_equal(result.y, expected)
+        assert result.faults.degraded
+        assert active_segments() == ()
+
+
+# ---------------------------------------------------------------------------
+# Solvers surface fault reports
+# ---------------------------------------------------------------------------
+
+
+class TestSolverFaultReports:
+    def test_pagerank_collects_per_iteration_reports(self, small_er_graph):
+        from repro.apps.pagerank import pagerank
+
+        config = TwoStepConfig(segment_width=256, backend="parallel", n_jobs=2)
+        result = pagerank(small_er_graph, config, max_iterations=3, tol=0.0)
+        assert len(result.fault_reports) == result.iterations
+        assert result.degraded_iterations == 0
+
+    def test_cg_reports_degraded_iterations(self):
+        from repro.apps.conjugate_gradient import conjugate_gradient, spd_system
+
+        matrix, b = spd_system(2000, avg_degree=4.0, seed=5)
+        config = TwoStepConfig(segment_width=256, backend="parallel", n_jobs=2)
+        with inject_faults(
+            FaultPlan(FaultSpec(site="merge", index=ANY_INDEX, times=-1))
+        ):
+            result = conjugate_gradient(
+                matrix, b, config=config, max_iterations=3, tol=0.0
+            )
+        assert len(result.fault_reports) == 3
+        assert result.degraded_iterations >= 1
+        plain = conjugate_gradient(matrix, b, max_iterations=3, tol=0.0)
+        np.testing.assert_allclose(result.solution, plain.solution)
+
+
+# ---------------------------------------------------------------------------
+# CLI flags
+# ---------------------------------------------------------------------------
+
+
+class TestCLIFlags:
+    def test_run_parser_accepts_supervision_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "run", "m.mtx", "--backend", "parallel",
+                "--max-retries", "3", "--task-timeout", "1.5", "--strict-validate",
+            ]
+        )
+        assert args.max_retries == 3
+        assert args.task_timeout == 1.5
+        assert args.strict_validate is True
+
+    def test_solve_parser_defaults_defer_to_environment(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["solve", "pagerank", "m.mtx"])
+        assert args.max_retries is None
+        assert args.task_timeout is None
+        assert args.strict_validate is None
