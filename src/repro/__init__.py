@@ -23,7 +23,8 @@ kernels), :mod:`repro.merge` (merge cores, bitonic pre-sorter, PRaP),
 :mod:`repro.formats`, :mod:`repro.generators`, :mod:`repro.memory`,
 :mod:`repro.compression` (VLDI), :mod:`repro.filters` (Bloom/HDN),
 :mod:`repro.baselines`, :mod:`repro.apps`, :mod:`repro.analysis`,
-:mod:`repro.faults` (typed errors, input hardening, fault injection).
+:mod:`repro.faults` (typed errors, input hardening, fault injection),
+:mod:`repro.telemetry` (tracing spans, metrics registry, profiling hooks).
 The public call surface is defined by :mod:`repro.api`: engines satisfy
 the :class:`~repro.api.SpMVEngine` protocol and return
 :class:`~repro.api.SpMVResult` (tuple-unpacking compatible).
@@ -70,6 +71,16 @@ from repro.core import (
     reference_spmv,
 )
 from repro.formats import COOMatrix, CSRMatrix, CSCMatrix
+from repro.telemetry import (
+    CallbackHook,
+    MetricsRegistry,
+    TelemetryReport,
+    Tracer,
+    add_global_hook,
+    combine_reports,
+    remove_global_hook,
+    telemetry_session,
+)
 
 __version__ = "1.0.0"
 
@@ -116,5 +127,13 @@ __all__ = [
     "WorkerCrashError",
     "inject_faults",
     "validate_inputs",
+    "CallbackHook",
+    "MetricsRegistry",
+    "TelemetryReport",
+    "Tracer",
+    "add_global_hook",
+    "combine_reports",
+    "remove_global_hook",
+    "telemetry_session",
     "__version__",
 ]

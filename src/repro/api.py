@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # avoid an import cycle; core.twostep imports this module
     from repro.core.twostep import TwoStepReport
     from repro.faults.report import FaultReport
     from repro.formats.coo import COOMatrix
+    from repro.telemetry import TelemetryReport
 
 
 @dataclass
@@ -40,6 +41,11 @@ class SpMVResult:
             timeouts, worker respawns and sequential fallbacks observed
             while producing ``y``.  ``faults.clean`` is True for an
             undisturbed run; None for engines without supervision.
+        telemetry: Structured observability for this execution
+            (:class:`~repro.telemetry.TelemetryReport`): the run's trace
+            spans and metrics snapshot.  None when telemetry was
+            disabled (``config.telemetry=False`` or ``REPRO_TELEMETRY``
+            falsy); never affects ``y`` or ``report``.
 
     Iterating (and indexing) yields ``(y, report)`` so the result keeps
     tuple-unpacking compatibility with pre-protocol callers.
@@ -50,6 +56,7 @@ class SpMVResult:
     verified: bool | None = None
     wall_time_s: float = 0.0
     faults: "FaultReport | None" = None
+    telemetry: "TelemetryReport | None" = None
 
     def __iter__(self) -> Iterator:
         yield self.y

@@ -28,6 +28,8 @@ class CGResult:
     :class:`~repro.faults.report.FaultReport` per engine-backed SpMV, so
     a long solve can report exactly which iterations needed retries or
     sequential fallbacks (empty when CG runs without an engine config).
+    ``telemetry_reports`` holds the matching per-SpMV
+    :class:`~repro.telemetry.TelemetryReport` objects.
     """
 
     solution: np.ndarray
@@ -36,11 +38,18 @@ class CGResult:
     residual_norms: list = field(default_factory=list)
     traffic: TrafficLedger = field(default_factory=TrafficLedger)
     fault_reports: list = field(default_factory=list)
+    telemetry_reports: list = field(default_factory=list)
 
     @property
     def degraded_iterations(self) -> int:
         """SpMV calls that needed at least one sequential shard fallback."""
         return sum(1 for fr in self.fault_reports if fr is not None and fr.degraded)
+
+    def telemetry(self):
+        """All SpMV calls' telemetry merged into one roll-up report."""
+        from repro.telemetry import combine_reports
+
+        return combine_reports(self.telemetry_reports)
 
 
 def spd_system(n: int, avg_degree: float = 4.0, seed: int = 0) -> tuple:
@@ -114,6 +123,7 @@ def conjugate_gradient(
     engine = TwoStepEngine(config) if config is not None else None
     traffic = TrafficLedger()
     fault_reports = []
+    telemetry_reports = []
 
     def apply(v: np.ndarray) -> np.ndarray:
         nonlocal traffic
@@ -122,6 +132,7 @@ def conjugate_gradient(
         result = engine.run(matrix, v)
         traffic = traffic.add(result.report.traffic)
         fault_reports.append(result.faults)
+        telemetry_reports.append(result.telemetry)
         return result.y
 
     b_norm = float(np.linalg.norm(b)) or 1.0
@@ -131,7 +142,7 @@ def conjugate_gradient(
     rr = float(r @ r)
     norms = [float(np.sqrt(rr)) / b_norm]
     if norms[0] < tol:
-        return CGResult(z, 0, True, norms, traffic, fault_reports)
+        return CGResult(z, 0, True, norms, traffic, fault_reports, telemetry_reports)
     for iteration in range(1, max_iterations + 1):
         ap = apply(p)
         denom = float(p @ ap)
@@ -143,7 +154,7 @@ def conjugate_gradient(
         rr_next = float(r @ r)
         norms.append(float(np.sqrt(rr_next)) / b_norm)
         if norms[-1] < tol:
-            return CGResult(z, iteration, True, norms, traffic, fault_reports)
+            return CGResult(z, iteration, True, norms, traffic, fault_reports, telemetry_reports)
         p = r + (rr_next / rr) * p
         rr = rr_next
-    return CGResult(z, max_iterations, False, norms, traffic, fault_reports)
+    return CGResult(z, max_iterations, False, norms, traffic, fault_reports, telemetry_reports)

@@ -47,6 +47,8 @@ class PageRankResult:
     :class:`~repro.faults.report.FaultReport` per iteration (from the
     underlying engine), so callers can see which iterations survived
     worker failures via retry or sequential fallback.
+    ``telemetry_reports`` holds the matching per-iteration
+    :class:`~repro.telemetry.TelemetryReport` objects.
     """
 
     ranks: np.ndarray
@@ -55,11 +57,18 @@ class PageRankResult:
     residuals: list = field(default_factory=list)
     its_report: object = None
     fault_reports: list = field(default_factory=list)
+    telemetry_reports: list = field(default_factory=list)
 
     @property
     def degraded_iterations(self) -> int:
         """Iterations that needed at least one sequential shard fallback."""
         return sum(1 for fr in self.fault_reports if fr is not None and fr.degraded)
+
+    def telemetry(self):
+        """All iterations' telemetry merged (see ``ITSRunReport.telemetry``)."""
+        from repro.telemetry import combine_reports
+
+        return combine_reports(self.telemetry_reports)
 
 
 def pagerank_reference(
@@ -148,4 +157,5 @@ def pagerank(
         residuals,
         report,
         fault_reports=list(report.fault_reports),
+        telemetry_reports=list(report.telemetry_reports),
     )

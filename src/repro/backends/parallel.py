@@ -44,6 +44,7 @@ from repro.backends.vectorized import VectorizedBackend
 from repro.faults.errors import ShardFailedError
 from repro.faults.report import record_event
 from repro.parallel.pool import WorkerPool
+from repro.telemetry.session import metric_inc
 from repro.parallel.sharding import recombine_sorted_shards, shard_lists_by_residue
 from repro.parallel.shm import ArrayExporter
 from repro.parallel.workers import (
@@ -100,6 +101,13 @@ class ParallelBackend(VectorizedBackend):
         """Shut the worker pool down (idempotent)."""
         self.pool.close()
 
+    #: Fan-out site -> telemetry span-name prefix (task i -> "prefix[i]").
+    SPAN_PREFIXES = {
+        "stripe": "step1.stripe",
+        "merge": "step2.merge.class",
+        "inject": "inject.class",
+    }
+
     def _supervised(self, fn, tasks: list, site: str, fallback) -> list:
         """Pool-map ``tasks`` with per-shard sequential degradation.
 
@@ -117,7 +125,9 @@ class ParallelBackend(VectorizedBackend):
             ShardFailedError: A shard failed in the pool *and* in the
                 sequential fallback.
         """
-        outcomes = self.pool.map_outcomes(fn, tasks, site=site)
+        outcomes = self.pool.map_outcomes(
+            fn, tasks, site=site, span_prefix=self.SPAN_PREFIXES.get(site)
+        )
         results = []
         for index, outcome in enumerate(outcomes):
             if outcome.ok:
@@ -239,6 +249,17 @@ class ParallelBackend(VectorizedBackend):
                 shards,
                 site="merge",
                 fallback=lambda i: merge_sequential(shards[i]),
+            )
+        # Shard accounting happens supervisor-side on the *final* outputs
+        # (post-retry, post-fallback), so each shard counts exactly once
+        # and the per-shard counters sum to the global merged-record count
+        # even when workers were killed and tasks re-executed.
+        for shard_index, (idx, _val) in enumerate(outputs):
+            metric_inc(
+                "spmv_merge_shard_records_total",
+                int(np.asarray(idx).size),
+                labels={"shard": str(shard_index)},
+                help="Merged records per residue-class shard",
             )
         return recombine_sorted_shards(outputs)
 

@@ -78,6 +78,55 @@ def add_backend_options(parser: argparse.ArgumentParser) -> None:
         "coordinates) before execution "
         "(default: $REPRO_STRICT_VALIDATE, then off)",
     )
+    parser.add_argument(
+        "--no-telemetry",
+        dest="telemetry",
+        action="store_false",
+        default=None,
+        help="disable tracing spans and metrics collection "
+        "(default: $REPRO_TELEMETRY, then on; never changes results)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's spans as a Chrome trace_event JSON file "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics in Prometheus text format",
+    )
+
+
+def _emit_telemetry(args: argparse.Namespace, report=None, metrics=None) -> None:
+    """Write the ``--trace-out`` / ``--metrics-out`` artifacts if requested.
+
+    Args:
+        args: Parsed CLI options (``trace_out`` / ``metrics_out``).
+        report: A :class:`~repro.telemetry.TelemetryReport` (or None).
+        metrics: Metrics registry overriding ``report.metrics`` (used by
+            solvers that aggregate on the engine instead of per run).
+    """
+    from repro.telemetry import write_chrome_trace, write_prometheus
+
+    if args.trace_out:
+        if report is not None and report.spans:
+            write_chrome_trace(report.spans, args.trace_out)
+            print(f"wrote trace to {args.trace_out}")
+        else:
+            print("telemetry disabled or no spans; --trace-out skipped", file=sys.stderr)
+    if args.metrics_out:
+        registry = metrics if metrics is not None else (
+            report.metrics if report is not None else None
+        )
+        if registry is not None:
+            write_prometheus(registry, args.metrics_out)
+            print(f"wrote metrics to {args.metrics_out}")
+        else:
+            print("telemetry disabled; --metrics-out skipped", file=sys.stderr)
 
 
 def _load_matrix(path: str):
@@ -131,6 +180,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 max_retries=args.max_retries,
                 task_timeout=args.task_timeout,
                 strict_validate=args.strict_validate,
+                telemetry=args.telemetry,
             )
         )
     else:
@@ -142,6 +192,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             task_timeout=args.task_timeout,
             strict_validate=args.strict_validate,
+            telemetry=args.telemetry,
         )
     if args.batch > 1:
         X = rng.uniform(size=(matrix.n_cols, args.batch))
@@ -163,6 +214,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if result.faults is not None and not result.faults.clean:
         print(f"faults: {result.faults.summary()}")
     print(report.traffic)
+    _emit_telemetry(args, result.telemetry)
     return 0 if result.verified else 1
 
 
@@ -178,6 +230,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         task_timeout=args.task_timeout,
         strict_validate=args.strict_validate,
+        telemetry=args.telemetry,
     )
     engine = TwoStepEngine(config)
     if args.app == "pagerank":
@@ -196,6 +249,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         print("top nodes: " + ", ".join(f"{n} ({result.ranks[n]:.4f})" for n in top))
         if result.degraded_iterations:
             print(f"degraded iterations (sequential fallback): {result.degraded_iterations}")
+        _emit_telemetry(args, result.telemetry())
     elif args.app == "bfs":
         from repro.apps.bfs import bfs_levels_multi
 
@@ -207,6 +261,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
             print(f"bfs from {src}: reached {reached:,}/{matrix.n_rows:,}, depth {depth}")
         stats = engine.plan_cache_stats
         print(f"plan cache: {stats['hits']} hits / {stats['misses']} misses")
+        _emit_telemetry(args, None, engine.metrics())
     else:
         from repro.apps.kcore import kcore_decomposition
 
@@ -215,6 +270,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         print(f"k-core: max coreness {int(coreness.max())}, "
               f"mean {float(coreness.mean()):.2f}")
         print(f"plan cache: {stats['hits']} hits / {stats['misses']} misses")
+        _emit_telemetry(args, None, engine.metrics())
     return 0
 
 

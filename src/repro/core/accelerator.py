@@ -43,6 +43,7 @@ class Accelerator:
         max_retries: int = None,
         task_timeout: float = None,
         strict_validate: bool = None,
+        telemetry: bool = None,
     ):
         """
         Args:
@@ -63,6 +64,8 @@ class Accelerator:
                 backend; None defers to ``REPRO_TASK_TIMEOUT``.
             strict_validate: Enable the full-scan input-hardening tier;
                 None defers to ``REPRO_STRICT_VALIDATE``.
+            telemetry: Collect tracing spans and metrics per run; None
+                defers to ``REPRO_TELEMETRY``, then True.
         """
         self.point = point
         width = simulation_segment_width or point.segment_elements
@@ -78,8 +81,13 @@ class Accelerator:
             max_retries=max_retries,
             task_timeout=task_timeout,
             strict_validate=strict_validate,
+            telemetry=telemetry,
         )
         self._engine = TwoStepEngine(self.config)
+
+    def metrics(self):
+        """Engine-lifetime telemetry metrics (see ``TwoStepEngine.metrics``)."""
+        return self._engine.metrics()
 
     def run(
         self,

@@ -59,6 +59,11 @@ class TwoStepConfig:
             sortedness) on every ``run``/``run_many``; None defers to
             ``REPRO_STRICT_VALIDATE``, then False.  The cheap
             shape/dtype tier always runs.
+        telemetry: Collect tracing spans and metrics for every
+            ``run``/``run_many`` (surfaced on ``SpMVResult.telemetry``
+            and ``engine.metrics()``); None defers to
+            ``REPRO_TELEMETRY``, then True.  Telemetry never changes
+            results -- outputs are bit-identical either way.
     """
 
     segment_width: int
@@ -78,6 +83,7 @@ class TwoStepConfig:
     max_retries: int = None
     task_timeout: float = None
     strict_validate: bool = None
+    telemetry: bool = None
 
     def __post_init__(self) -> None:
         if self.segment_width <= 0:

@@ -35,7 +35,10 @@ class ITSRunReport:
     ``fault_reports`` carries one
     :class:`~repro.faults.report.FaultReport` per executed iteration, in
     iteration order, so solvers can surface which iterations needed
-    retries or sequential fallbacks.
+    retries or sequential fallbacks.  ``telemetry_reports`` carries the
+    matching per-iteration
+    :class:`~repro.telemetry.TelemetryReport` objects (None entries when
+    telemetry is disabled); :meth:`telemetry` rolls them up.
     """
 
     iterations: int
@@ -44,6 +47,7 @@ class ITSRunReport:
     overlapped_cycles: float = 0.0
     sequential_cycles: float = 0.0
     fault_reports: list = field(default_factory=list)
+    telemetry_reports: list = field(default_factory=list)
 
     @property
     def faulty_iterations(self) -> int:
@@ -54,6 +58,19 @@ class ITSRunReport:
     def cycle_speedup(self) -> float:
         """Sequential (plain TS) cycles over overlapped (ITS) cycles."""
         return self.sequential_cycles / self.overlapped_cycles if self.overlapped_cycles else 1.0
+
+    def telemetry(self):
+        """All iterations' telemetry merged into one roll-up report.
+
+        Returns:
+            A :class:`~repro.telemetry.TelemetryReport` whose spans
+            concatenate every iteration's trace (one ``spmv.run`` root
+            per iteration) and whose counters sum across iterations.
+            Empty when telemetry was disabled throughout.
+        """
+        from repro.telemetry import combine_reports
+
+        return combine_reports(self.telemetry_reports)
 
 
 class ITSEngine:
@@ -118,6 +135,7 @@ class ITSEngine:
             result = self._engine.run(matrix, x)
             x, step_report = result.y, result.report
             report.fault_reports.append(result.faults)
+            report.telemetry_reports.append(result.telemetry)
             if transform is not None:
                 x = transform(x)
             report.iterations += 1

@@ -29,6 +29,7 @@ results and byte-identical ledgers; only wall-clock speed differs.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
@@ -46,6 +47,15 @@ from repro.faults.validation import resolve_strict_validate, validate_inputs
 from repro.formats.coo import COOMatrix
 from repro.formats.hypersparse import StripeFormat
 from repro.memory.traffic import TrafficLedger
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetryReport,
+    metric_inc,
+    resolve_telemetry,
+    span,
+    telemetry_scope,
+    telemetry_session,
+)
 
 
 @dataclass
@@ -129,9 +139,14 @@ class TwoStepEngine:
         self._step1 = Step1Engine(config, backend=self.backend)
         self._step2 = Step2Engine(config, backend=self.backend)
         self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+        # One lock guards the plan cache AND its counters: engines are
+        # shared across solver threads, and a torn hits/misses pair (or a
+        # cache trimmed past capacity) is exactly the race the lock kills.
+        self._plan_lock = threading.Lock()
         self._plan_hits = 0
         self._plan_misses = 0
         self._plan_build_s = 0.0
+        self._lifetime_metrics = MetricsRegistry()
 
     def plan(self, matrix: COOMatrix) -> ExecutionPlan:
         """The (cached) execution plan for ``matrix`` under this config.
@@ -148,34 +163,48 @@ class TwoStepEngine:
             The matrix's :class:`~repro.core.plan.ExecutionPlan`.
         """
         key = (id(matrix), config_fingerprint(self.config))
-        cached = self._plans.get(key)
-        if cached is not None and cached.matrix is matrix:
-            self._plans.move_to_end(key)
-            self._plan_hits += 1
-            return cached
-        self._plan_misses += 1
-        plan = build_plan(matrix, self.config, self.backend)
-        self._plan_build_s += plan.build_s
-        if self.config.plan_cache > 0:
-            self._plans[key] = plan
-            self._plans.move_to_end(key)
-            while len(self._plans) > self.config.plan_cache:
-                self._plans.popitem(last=False)
-        return plan
+        with self._plan_lock:
+            cached = self._plans.get(key)
+            if cached is not None and cached.matrix is matrix:
+                self._plans.move_to_end(key)
+                self._plan_hits += 1
+                metric_inc(
+                    "spmv_plan_cache_events_total",
+                    labels={"outcome": "hit"},
+                    help="Plan-cache lookups by outcome",
+                )
+                return cached
+            self._plan_misses += 1
+            metric_inc(
+                "spmv_plan_cache_events_total",
+                labels={"outcome": "miss"},
+                help="Plan-cache lookups by outcome",
+            )
+            with span("plan.build", matrix_id=id(matrix)):
+                plan = build_plan(matrix, self.config, self.backend)
+            self._plan_build_s += plan.build_s
+            if self.config.plan_cache > 0:
+                self._plans[key] = plan
+                self._plans.move_to_end(key)
+                while len(self._plans) > self.config.plan_cache:
+                    self._plans.popitem(last=False)
+            return plan
 
     @property
     def plan_cache_stats(self) -> dict:
         """Cache counters: hits, misses, currently cached plans, build seconds."""
-        return {
-            "hits": self._plan_hits,
-            "misses": self._plan_misses,
-            "size": len(self._plans),
-            "build_s": self._plan_build_s,
-        }
+        with self._plan_lock:
+            return {
+                "hits": self._plan_hits,
+                "misses": self._plan_misses,
+                "size": len(self._plans),
+                "build_s": self._plan_build_s,
+            }
 
     def clear_plan_cache(self) -> None:
         """Drop every cached plan (counters are kept)."""
-        self._plans.clear()
+        with self._plan_lock:
+            self._plans.clear()
 
     def run(
         self,
@@ -211,10 +240,15 @@ class TwoStepEngine:
         strict = resolve_strict_validate(self.config.strict_validate)
         x, y = validate_inputs(matrix, x, y=y, strict=strict)
         faults = FaultReport(validated=True, strict_validate=strict)
-        with collect_faults(faults):
-            plan = self.plan(matrix)
-            lists = self._step1.run_planned(plan, x)
-            result = self._step2.run_lists(lists, matrix.n_rows, y=y)
+        session = self._open_session()
+        with telemetry_scope(session):
+            with span("spmv.run", backend=self.backend.name, batch=1):
+                with collect_faults(faults):
+                    plan = self.plan(matrix)
+                    with span("step1", n_stripes=len(plan.stripes)):
+                        lists = self._step1.run_planned(plan, x)
+                    with span("step2", n_lists=len(lists)):
+                        result = self._step2.run_lists(lists, matrix.n_rows, y=y)
         report = self._report(plan, batch=1)
         verified = None
         if verify:
@@ -222,12 +256,14 @@ class TwoStepEngine:
             reference = base if y is None else base + np.asarray(y, dtype=np.float64)
             verified = bool(np.allclose(result, reference))
         faults.elapsed_s = time.perf_counter() - start
+        wall = time.perf_counter() - start
         return SpMVResult(
             y=result,
             report=report,
             verified=verified,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=wall,
             faults=faults,
+            telemetry=self._publish_telemetry(session, plan, report, wall),
         )
 
     def run_many(
@@ -262,10 +298,15 @@ class TwoStepEngine:
         X, Y = validate_inputs(matrix, X, y=Y, strict=strict, batch=True)
         k = X.shape[1]
         faults = FaultReport(validated=True, strict_validate=strict)
-        with collect_faults(faults):
-            plan = self.plan(matrix)
-            lists = self._step1.run_planned_batch(plan, X)
-            result = self._step2.run_batch(lists, matrix.n_rows, k, Y=Y)
+        session = self._open_session()
+        with telemetry_scope(session):
+            with span("spmv.run", backend=self.backend.name, batch=k):
+                with collect_faults(faults):
+                    plan = self.plan(matrix)
+                    with span("step1", n_stripes=len(plan.stripes)):
+                        lists = self._step1.run_planned_batch(plan, X)
+                    with span("step2", n_lists=len(lists)):
+                        result = self._step2.run_batch(lists, matrix.n_rows, k, Y=Y)
         report = self._report(plan, batch=max(k, 1))
         verified = None
         if verify:
@@ -275,16 +316,19 @@ class TwoStepEngine:
                 reference = base if Y is None else base + Y[:, j]
                 verified = verified and bool(np.allclose(result[:, j], reference))
         faults.elapsed_s = time.perf_counter() - start
+        wall = time.perf_counter() - start
         return SpMVResult(
             y=result,
             report=report,
             verified=verified,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=wall,
             faults=faults,
+            telemetry=self._publish_telemetry(session, plan, report, wall),
         )
 
     def _report(self, plan: ExecutionPlan, batch: int) -> TwoStepReport:
         """Assemble a report from the plan's precomputed templates."""
+        cache = self.plan_cache_stats
         return TwoStepReport(
             traffic=plan.traffic_ledger(self.config, batch=batch),
             step1=plan.step1_stats(),
@@ -294,11 +338,64 @@ class TwoStepEngine:
             stripe_formats=list(plan.stripe_formats),
             hdn_filter_bytes=plan.hdn_filter_bytes,
             backend=self.backend.name,
-            plan_cache_hits=self._plan_hits,
-            plan_cache_misses=self._plan_misses,
-            plan_build_s=self._plan_build_s,
+            plan_cache_hits=cache["hits"],
+            plan_cache_misses=cache["misses"],
+            plan_build_s=cache["build_s"],
             batch_size=batch,
         )
+
+    def _open_session(self):
+        """A fresh telemetry session, or None when telemetry is off."""
+        if not resolve_telemetry(self.config.telemetry):
+            return None
+        return telemetry_session()
+
+    def _publish_telemetry(
+        self, session, plan: ExecutionPlan, report: TwoStepReport, wall_s: float
+    ) -> TelemetryReport | None:
+        """Snapshot one run's telemetry and fold it into the lifetime registry.
+
+        Derived metrics (per-stream bytes, shard imbalance, VLDI density)
+        come from the already-final report/plan, so publishing them can
+        never perturb the measured execution.
+        """
+        if session is None:
+            return None
+        metrics = session.metrics
+        for stream, nbytes in report.traffic.breakdown().items():
+            metrics.inc(
+                "spmv_stream_bytes_total",
+                nbytes,
+                labels={"stream": stream},
+                help="Off-chip bytes moved, by traffic stream",
+            )
+        per_stripe = report.step1.per_stripe_nnz
+        if per_stripe:
+            mean = sum(per_stripe) / len(per_stripe)
+            metrics.set(
+                "spmv_shard_imbalance_ratio",
+                (max(per_stripe) / mean) if mean else 0.0,
+                help="Max/mean intermediate records across stripes",
+            )
+        if plan.intermediate_records:
+            total_bits = sum(sp.iv_index_bits for sp in plan.stripes)
+            metrics.set(
+                "spmv_vldi_bits_per_index",
+                total_bits / plan.intermediate_records,
+                help="Encoded bits per intermediate index (VLDI or fixed)",
+            )
+        metrics.observe(
+            "spmv_run_seconds", wall_s, help="Wall-clock seconds per engine run"
+        )
+        telemetry = TelemetryReport(
+            spans=session.tracer.finished(), metrics=metrics
+        )
+        self._lifetime_metrics.merge(metrics)
+        return telemetry
+
+    def metrics(self) -> MetricsRegistry:
+        """Engine-lifetime metrics: every telemetry-enabled run merged."""
+        return self._lifetime_metrics
 
 
 def reference_spmv(

@@ -18,6 +18,8 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
+from repro.telemetry.session import annotate_span, metric_inc
+
 
 @dataclass
 class FaultEvent:
@@ -128,6 +130,22 @@ class FaultReport:
             ],
         }
 
+    def by_site(self) -> dict:
+        """Events grouped by ``(site, index)``, order preserved twice over.
+
+        Group keys appear in first-occurrence order and each group's
+        events keep their recording order, so two faults sharing a
+        ``(site, index)`` key -- a retry followed by a fallback on the
+        same shard -- are never collapsed or reordered.
+
+        Returns:
+            ``{(site, index): [FaultEvent, ...]}``.
+        """
+        grouped: dict = {}
+        for event in self.events:
+            grouped.setdefault((event.site, event.index), []).append(event)
+        return grouped
+
     def summary(self) -> str:
         """One-line human summary (used by the CLI and solver logs)."""
         if self.clean:
@@ -150,10 +168,22 @@ def current_report() -> FaultReport | None:
 def record_event(
     site: str, index: int, action: str, detail: str = "", attempts: int = 0
 ) -> None:
-    """Record an event on the active report; silently a no-op without one."""
+    """Record an event on the active report; silently a no-op without one.
+
+    When a telemetry session is also active, the event is mirrored there:
+    the innermost open span gains a ``fault.<action>`` annotation and the
+    ``spmv_fault_events_total`` counter ticks, so traces and metrics show
+    supervision activity without consulting the fault report.
+    """
     report = _ACTIVE.get()
     if report is not None:
         report.record(site, index, action, detail=detail, attempts=attempts)
+    annotate_span(f"fault.{action}", f"{site}[{index}] {detail}".strip())
+    metric_inc(
+        "spmv_fault_events_total",
+        labels={"site": site, "action": action},
+        help="Supervision events, by site and action",
+    )
 
 
 @contextmanager

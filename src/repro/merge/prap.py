@@ -32,6 +32,7 @@ from repro.merge.bitonic import stable_radix_sort
 from repro.merge.merge_core import MergeCoreConfig, inject_missing_keys
 from repro.merge.store_queue import StoreQueue
 from repro.merge.tournament import TournamentTree
+from repro.telemetry.session import metric_inc, span
 
 
 def radix_of(keys: np.ndarray, q: int) -> np.ndarray:
@@ -112,7 +113,13 @@ def prap_merge_dense(
 
     backend = resolve_backend(backend)
     p = 1 << q
-    merged_idx, merged_val = backend.merge_accumulate(lists)
+    with span("step2.merge", n_lists=len(lists)):
+        merged_idx, merged_val = backend.merge_accumulate(lists)
+    metric_inc(
+        "spmv_records_merged_total",
+        int(merged_idx.size),
+        help="Records emitted by the K-way merge",
+    )
     if merged_idx.size and (merged_idx.min() < 0 or merged_idx.max() >= n_out):
         raise ValueError("record key outside output vector range")
     if not check_interleave:
@@ -124,10 +131,16 @@ def prap_merge_dense(
     # separate workers).
     padded = -(-n_out // p) * p
     queue = StoreQueue(p)
-    for radix, (keys, vals) in enumerate(
-        backend.inject_classes(merged_idx, merged_val, padded, p)
-    ):
-        queue.push_stream(radix, keys, vals)
+    with span("inject", p=p):
+        for radix, (keys, vals) in enumerate(
+            backend.inject_classes(merged_idx, merged_val, padded, p)
+        ):
+            queue.push_stream(radix, keys, vals)
+    metric_inc(
+        "spmv_keys_injected_total",
+        int(padded - merged_idx.size),
+        help="Zero-value records injected for missing keys",
+    )
     return queue.drain()[:n_out]
 
 
@@ -162,7 +175,13 @@ def prap_merge_dense_batch(
 
     backend = resolve_backend(backend)
     p = 1 << q
-    merged_idx, merged_val = backend.merge_accumulate_batch(lists, k)
+    with span("step2.merge", n_lists=len(lists), batch=k):
+        merged_idx, merged_val = backend.merge_accumulate_batch(lists, k)
+    metric_inc(
+        "spmv_records_merged_total",
+        int(merged_idx.size),
+        help="Records emitted by the K-way merge",
+    )
     if merged_idx.size and (merged_idx.min() < 0 or merged_idx.max() >= n_out):
         raise ValueError("record key outside output vector range")
     if not check_interleave:
@@ -171,13 +190,19 @@ def prap_merge_dense_batch(
         return out
     padded = -(-n_out // p) * p
     out = np.empty((n_out, k), dtype=np.float64)
-    for j in range(k):
-        queue = StoreQueue(p)
-        for radix, (keys, vals) in enumerate(
-            backend.inject_classes(merged_idx, merged_val[:, j], padded, p)
-        ):
-            queue.push_stream(radix, keys, vals)
-        out[:, j] = queue.drain()[:n_out]
+    with span("inject", p=p, batch=k):
+        for j in range(k):
+            queue = StoreQueue(p)
+            for radix, (keys, vals) in enumerate(
+                backend.inject_classes(merged_idx, merged_val[:, j], padded, p)
+            ):
+                queue.push_stream(radix, keys, vals)
+            out[:, j] = queue.drain()[:n_out]
+    metric_inc(
+        "spmv_keys_injected_total",
+        int(k * (padded - merged_idx.size)),
+        help="Zero-value records injected for missing keys",
+    )
     return out
 
 

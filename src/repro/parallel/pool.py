@@ -38,6 +38,7 @@ import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
+from functools import partial
 
 from repro.faults.errors import (
     ConfigurationError,
@@ -47,6 +48,8 @@ from repro.faults.errors import (
 )
 from repro.faults.injection import wrap_task
 from repro.faults.report import record_event
+from repro.telemetry.session import current_session, metric_inc
+from repro.telemetry.spans import record_local_span
 
 #: Environment variable overriding the default worker count.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -235,7 +238,9 @@ class WorkerPool:
     # Supervised execution
     # ------------------------------------------------------------------
 
-    def map(self, fn, tasks: list, site: str = "task") -> list:
+    def map(
+        self, fn, tasks: list, site: str = "task", span_prefix: str | None = None
+    ) -> list:
         """Apply ``fn`` to every task, preserving task order.
 
         Args:
@@ -243,6 +248,8 @@ class WorkerPool:
                 function when the pool uses processes.
             tasks: Materialized task list (ordering defines result order).
             site: Fault-injection / reporting label for this fan-out.
+            span_prefix: Telemetry span name prefix; task ``i`` is traced
+                as ``"{span_prefix}[i]"`` (``"pool.task"`` when None).
 
         Returns:
             ``[fn(t) for t in tasks]`` -- computed concurrently, returned
@@ -251,7 +258,7 @@ class WorkerPool:
         Raises:
             RetryExhaustedError: A task failed every allowed attempt.
         """
-        outcomes = self.map_outcomes(fn, tasks, site=site)
+        outcomes = self.map_outcomes(fn, tasks, site=site, span_prefix=span_prefix)
         for index, outcome in enumerate(outcomes):
             if not outcome.ok:
                 raise RetryExhaustedError(
@@ -263,12 +270,20 @@ class WorkerPool:
                 ) from outcome.error
         return [outcome.value for outcome in outcomes]
 
-    def map_outcomes(self, fn, tasks: list, site: str = "task") -> list[TaskOutcome]:
+    def map_outcomes(
+        self, fn, tasks: list, site: str = "task", span_prefix: str | None = None
+    ) -> list[TaskOutcome]:
         """Supervised map returning per-task :class:`TaskOutcome`.
 
         Never raises for task failures: a task that failed its first run
         plus ``max_retries`` retries is reported with ``error`` set, so
         the caller can degrade that shard instead of losing the batch.
+
+        When a telemetry session is active, each attempt is timed on the
+        worker (the worker cannot see the supervisor's ContextVars, so
+        spans ship back piggybacked on the task result) and grafted into
+        the supervisor's trace; only the succeeding attempt produces a
+        span, so traced work is counted exactly once per task.
         """
         outcomes = [TaskOutcome() for _ in tasks]
         pending = list(range(len(tasks)))
@@ -276,6 +291,12 @@ class WorkerPool:
             if not pending:
                 break
             if round_index:
+                metric_inc(
+                    "spmv_pool_retries_total",
+                    len(pending),
+                    labels={"site": site},
+                    help="Pool task retry submissions, by fan-out site",
+                )
                 for index in pending:
                     record_event(
                         site,
@@ -289,20 +310,43 @@ class WorkerPool:
             # dominate) unless a timeout must be enforced, which only the
             # pooled path can do.
             if self.inline or (len(pending) <= 1 and self.task_timeout is None):
-                pending = self._run_round_inline(fn, tasks, pending, outcomes, site)
+                pending = self._run_round_inline(
+                    fn, tasks, pending, outcomes, site, span_prefix
+                )
             else:
-                pending = self._run_round_pooled(fn, tasks, pending, outcomes, site)
+                pending = self._run_round_pooled(
+                    fn, tasks, pending, outcomes, site, span_prefix
+                )
         return outcomes
 
-    def _run_round_inline(self, fn, tasks, pending, outcomes, site) -> list[int]:
+    @staticmethod
+    def _span_name(span_prefix: str | None, index: int) -> str:
+        return f"{span_prefix}[{index}]" if span_prefix else "pool.task"
+
+    def _run_round_inline(
+        self, fn, tasks, pending, outcomes, site, span_prefix=None
+    ) -> list[int]:
         """One attempt per pending task in the calling thread."""
+        session = current_session()
         still_failed = []
         for index in pending:
             outcome = outcomes[index]
             outcome.attempts += 1
             task_fn = wrap_task(fn, site, index, uses_processes=False)
+            if session is not None:
+                task_fn = partial(
+                    record_local_span,
+                    self._span_name(span_prefix, index),
+                    task_fn,
+                    site=site,
+                    index=index,
+                )
             try:
-                outcome.value = task_fn(tasks[index])
+                value = task_fn(tasks[index])
+                if session is not None:
+                    value, span_record = value
+                    session.tracer.attach_remote([span_record])
+                outcome.value = value
                 outcome.error = None
             except Exception as exc:
                 outcome.error = exc
@@ -311,14 +355,27 @@ class WorkerPool:
                 record_event(site, index, action, detail=repr(exc), attempts=outcome.attempts)
         return still_failed
 
-    def _run_round_pooled(self, fn, tasks, pending, outcomes, site) -> list[int]:
+    def _run_round_pooled(
+        self, fn, tasks, pending, outcomes, site, span_prefix=None
+    ) -> list[int]:
         """One concurrent attempt per pending task, with timeout/crash care."""
+        session = current_session()
         executor = self._ensure_executor()
         futures = {}
         broken = False
         for index in pending:
             outcomes[index].attempts += 1
             task_fn = wrap_task(fn, site, index, self.uses_processes)
+            if session is not None:
+                # partial of a top-level function: still picklable for
+                # the process pool as long as task_fn itself is.
+                task_fn = partial(
+                    record_local_span,
+                    self._span_name(span_prefix, index),
+                    task_fn,
+                    site=site,
+                    index=index,
+                )
             try:
                 futures[index] = executor.submit(task_fn, tasks[index])
             except (BrokenExecutor, RuntimeError) as exc:
@@ -332,7 +389,11 @@ class WorkerPool:
                 still_failed.append(index)
                 continue
             try:
-                outcome.value = future.result(timeout=self.task_timeout)
+                value = future.result(timeout=self.task_timeout)
+                if session is not None:
+                    value, span_record = value
+                    session.tracer.attach_remote([span_record])
+                outcome.value = value
                 outcome.error = None
                 continue
             except FuturesTimeoutError:

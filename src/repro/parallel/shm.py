@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.faults.errors import CorruptPayloadError
 from repro.faults.injection import corrupt_buffer, match_fault
+from repro.telemetry.session import metric_inc
 
 #: Default byte threshold above which arrays ride shared memory.
 SHM_MIN_BYTES = 1 << 20
@@ -160,7 +161,19 @@ class ArrayExporter:
         """Descriptor for ``array``; large arrays are copied into shm once."""
         array = np.ascontiguousarray(array)
         if array.nbytes < self.min_bytes:
+            metric_inc(
+                "spmv_shm_bytes_total",
+                array.nbytes,
+                labels={"transport": "inline"},
+                help="Bytes exported to process-pool workers, by transport",
+            )
             return ArraySpec(shape=array.shape, dtype=array.dtype.str, data=array)
+        metric_inc(
+            "spmv_shm_bytes_total",
+            array.nbytes,
+            labels={"transport": "shm"},
+            help="Bytes exported to process-pool workers, by transport",
+        )
         block = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
         register_segment(block.name)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)

@@ -1,0 +1,74 @@
+"""Profiling-hook protocol: attach external collectors without patching.
+
+Benchmarks, dashboards and tests can observe every span and metric of an
+execution by passing hook objects to :func:`~repro.telemetry.session.
+telemetry_session`.  Hooks fire synchronously in the recording thread,
+so implementations must be cheap and must not raise (a raising hook
+would distort the measured run); :class:`CallbackHook` wraps plain
+callables and swallows nothing -- keep the callables trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TelemetryHook(Protocol):
+    """Anything that wants to watch spans and metrics as they happen."""
+
+    def on_span_start(self, span) -> None:
+        """A span was opened (``span.t_end`` is still 0.0)."""
+        ...
+
+    def on_span_end(self, span) -> None:
+        """A span finished; its timing and annotations are final."""
+        ...
+
+    def on_metric(self, name: str, kind: str, value: float, labels: dict) -> None:
+        """One metric sample was recorded."""
+        ...
+
+
+class CallbackHook:
+    """Adapter building a hook from up to three plain callables.
+
+    Args:
+        on_span_start: Called with the opened :class:`~repro.telemetry.
+            spans.Span`; None skips the event.
+        on_span_end: Called with the finished span; None skips.
+        on_metric: Called as ``(name, kind, value, labels)``; None skips.
+    """
+
+    def __init__(self, on_span_start=None, on_span_end=None, on_metric=None):
+        self._start = on_span_start
+        self._end = on_span_end
+        self._metric = on_metric
+
+    def on_span_start(self, span) -> None:
+        if self._start is not None:
+            self._start(span)
+
+    def on_span_end(self, span) -> None:
+        if self._end is not None:
+            self._end(span)
+
+    def on_metric(self, name: str, kind: str, value: float, labels: dict) -> None:
+        if self._metric is not None:
+            self._metric(name, kind, value, labels)
+
+
+class NullHook:
+    """A hook that ignores everything (useful as a base class)."""
+
+    def on_span_start(self, span) -> None:
+        pass
+
+    def on_span_end(self, span) -> None:
+        pass
+
+    def on_metric(self, name: str, kind: str, value: float, labels: dict) -> None:
+        pass
+
+
+__all__ = ["CallbackHook", "NullHook", "TelemetryHook"]

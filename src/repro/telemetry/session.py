@@ -1,0 +1,189 @@
+"""ContextVar-scoped telemetry sessions and no-op-cheap record helpers.
+
+One :class:`TelemetrySession` bundles the tracer, the metrics registry
+and the attached hooks for one engine execution.  The engine opens a
+:func:`telemetry_scope` around ``run`` / ``run_many`` (mirroring
+:func:`repro.faults.report.collect_faults`); instrumented code anywhere
+below records through the module helpers :func:`span`,
+:func:`metric_inc`, :func:`metric_set`, :func:`metric_observe` and
+:func:`annotate_span`, all of which collapse to a single ContextVar read
+plus an ``is None`` test when telemetry is disabled -- the hot path pays
+essentially nothing.
+
+External collectors attach process-wide with :func:`add_global_hook`;
+engines include the global hooks in every session they create, so
+benchmarks can observe spans and metrics without patching any engine
+internals.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Span, Tracer
+
+#: Environment variable overriding the default telemetry setting.
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+
+_FALSY = {"0", "false", "no", "off", ""}
+
+#: Process-wide hooks included in every session engines create.
+_GLOBAL_HOOKS: list = []
+
+
+def resolve_telemetry(flag: bool | None = None) -> bool:
+    """Resolve the telemetry on/off setting.
+
+    Args:
+        flag: Explicit setting; None defers to
+            :data:`TELEMETRY_ENV_VAR`, then True (telemetry is on by
+            default -- the instrumented path is the measured <3%-overhead
+            path, and disabling it is an explicit opt-out).
+    """
+    if flag is not None:
+        return bool(flag)
+    env = os.environ.get(TELEMETRY_ENV_VAR)
+    if env is None:
+        return True
+    return env.strip().lower() not in _FALSY
+
+
+def add_global_hook(hook) -> None:
+    """Attach ``hook`` to every future session (process-wide)."""
+    _GLOBAL_HOOKS.append(hook)
+
+
+def remove_global_hook(hook) -> None:
+    """Detach a previously added global hook (no-op when absent)."""
+    try:
+        _GLOBAL_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def global_hooks() -> tuple:
+    """The currently attached process-wide hooks."""
+    return tuple(_GLOBAL_HOOKS)
+
+
+@dataclass
+class TelemetrySession:
+    """Tracer + metrics registry + hooks for one scoped execution."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+    hooks: tuple = ()
+
+
+def telemetry_session(hooks: tuple = ()) -> TelemetrySession:
+    """Build a fresh session wired to ``hooks`` plus the global hooks."""
+    all_hooks = tuple(hooks) + global_hooks()
+    return TelemetrySession(
+        tracer=Tracer(hooks=all_hooks),
+        metrics=MetricsRegistry(hooks=all_hooks),
+        hooks=all_hooks,
+    )
+
+
+_ACTIVE: ContextVar[TelemetrySession | None] = ContextVar(
+    "repro_telemetry_session", default=None
+)
+
+
+def current_session() -> TelemetrySession | None:
+    """The session collecting telemetry in this context, or None."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def telemetry_scope(session: TelemetrySession | None):
+    """Scope within which the record helpers target ``session``.
+
+    Passing None explicitly deactivates telemetry for the block (an
+    inner engine call inherits nothing from an outer scope), which is
+    what makes the disabled fast path deterministic.
+    """
+    token = _ACTIVE.set(session)
+    try:
+        yield session
+    finally:
+        _ACTIVE.reset(token)
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attrs):
+    """Open a span on the active session's tracer; no-op when inactive."""
+    session = _ACTIVE.get()
+    if session is None:
+        return _NOOP
+    return session.tracer.span(name, **attrs)
+
+
+def annotate_span(label: str, detail: str = "") -> None:
+    """Annotate the innermost open span; no-op when inactive."""
+    session = _ACTIVE.get()
+    if session is not None:
+        session.tracer.annotate(label, detail)
+
+
+def metric_inc(
+    name: str, amount: float = 1.0, labels: dict | None = None, help: str = ""
+) -> None:
+    """Bump a counter on the active session; no-op when inactive."""
+    session = _ACTIVE.get()
+    if session is not None:
+        session.metrics.inc(name, amount, labels=labels, help=help)
+
+
+def metric_set(
+    name: str, value: float, labels: dict | None = None, help: str = ""
+) -> None:
+    """Set a gauge on the active session; no-op when inactive."""
+    session = _ACTIVE.get()
+    if session is not None:
+        session.metrics.set(name, value, labels=labels, help=help)
+
+
+def metric_observe(
+    name: str, value: float, labels: dict | None = None, help: str = ""
+) -> None:
+    """Record a histogram observation; no-op when inactive."""
+    session = _ACTIVE.get()
+    if session is not None:
+        session.metrics.observe(name, value, labels=labels, help=help)
+
+
+__all__ = [
+    "TELEMETRY_ENV_VAR",
+    "TelemetrySession",
+    "add_global_hook",
+    "annotate_span",
+    "current_session",
+    "global_hooks",
+    "metric_inc",
+    "metric_observe",
+    "metric_set",
+    "remove_global_hook",
+    "resolve_telemetry",
+    "span",
+    "telemetry_scope",
+    "telemetry_session",
+]

@@ -262,6 +262,33 @@ class TestFaultReport:
         record_event("stripe", 0, "retry")  # must not raise
         assert current_report() is None
 
+    def test_by_site_preserves_insertion_order(self):
+        """Events sharing a (site, index) key stay grouped in record order.
+
+        Regression test: grouping must keep group keys in first-occurrence
+        order and events inside each group in recording order, even when
+        several faults land on the same shard.
+        """
+        report = FaultReport()
+        report.record("merge", 2, "retry", attempts=1)
+        report.record("stripe", 0, "timeout")
+        report.record("merge", 2, "retry", attempts=2)
+        report.record("stripe", 7, "crash")
+        report.record("merge", 2, "fallback")
+        report.record("stripe", 0, "retry")
+
+        grouped = report.by_site()
+        assert list(grouped) == [("merge", 2), ("stripe", 0), ("stripe", 7)]
+        assert [e.action for e in grouped[("merge", 2)]] == [
+            "retry",
+            "retry",
+            "fallback",
+        ]
+        assert [e.attempts for e in grouped[("merge", 2)][:2]] == [1, 2]
+        assert [e.action for e in grouped[("stripe", 0)]] == ["timeout", "retry"]
+        # Every recorded event appears in exactly one group.
+        assert sum(len(v) for v in grouped.values()) == len(report.events)
+
 
 # ---------------------------------------------------------------------------
 # WorkerPool supervision

@@ -163,3 +163,68 @@ def test_verified_iteration_reuses_reference(graph):
 
     assert len(twostep._REFERENCE_CACHE) == 1
     clear_reference_cache()
+
+
+def test_plan_cache_stats_concurrent_consistency():
+    """Hit/miss counters must not lose updates under concurrent plan().
+
+    Regression test for the unlocked ``plan_cache_stats`` counters: eight
+    threads hammer ``plan`` on a small set of matrices, and afterwards
+    every call must be accounted for as exactly one hit or one miss.
+    """
+    import threading
+
+    matrices = [erdos_renyi_graph(120, 3.0, seed=s) for s in (21, 22, 23, 24)]
+    engine = _engine(plan_cache=len(matrices))
+    n_threads, calls_per_thread = 8, 25
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def worker(tid):
+        try:
+            barrier.wait()
+            for i in range(calls_per_thread):
+                engine.plan(matrices[(tid + i) % len(matrices)])
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = engine.plan_cache_stats
+    assert stats["hits"] + stats["misses"] == n_threads * calls_per_thread
+    # Every matrix is planned at most once: the build happens under the
+    # cache lock, so concurrent first requests cannot race a double build.
+    assert stats["misses"] == len(matrices)
+    assert stats["size"] == len(matrices)
+
+
+def test_clear_plan_cache_concurrent_with_plan():
+    """clear_plan_cache racing plan() leaves consistent counters."""
+    import threading
+
+    graph_a = erdos_renyi_graph(100, 3.0, seed=31)
+    engine = _engine()
+    stop = threading.Event()
+    errors = []
+
+    def planner():
+        try:
+            while not stop.is_set():
+                engine.plan(graph_a)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    thread = threading.Thread(target=planner)
+    thread.start()
+    for _ in range(20):
+        engine.clear_plan_cache()
+    stop.set()
+    thread.join()
+    assert not errors
+    stats = engine.plan_cache_stats
+    assert stats["hits"] + stats["misses"] >= stats["misses"] >= 1
+    assert stats["size"] in (0, 1)

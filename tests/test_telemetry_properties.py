@@ -1,0 +1,272 @@
+"""Property-based telemetry invariants (Hypothesis).
+
+Three families of properties:
+
+* **Span trees are well-formed** -- for any nesting program, the tracer
+  produces exactly one root, every parent reference resolves, and local
+  child spans are contained (in time) by their parents.
+* **Counters are conserved** -- per-shard merge record counters sum to
+  exactly the global merged-record count, for arbitrary graphs and
+  worker counts, and registry merging never loses increments no matter
+  how a stream of updates is partitioned.
+* **Conservation survives faults** -- injected worker failures (retry
+  path) leave the counters exact and the shard spans deduplicated: a
+  retried task is counted and traced once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TwoStepConfig
+from repro.core.twostep import TwoStepEngine
+from repro.faults import ANY_INDEX, FaultPlan, FaultSpec, inject_faults
+from repro.generators.erdos_renyi import erdos_renyi_graph
+from repro.telemetry import MetricsRegistry, Tracer
+
+
+# ---------------------------------------------------------------------------
+# Span-tree well-formedness
+# ---------------------------------------------------------------------------
+
+#: Random nesting programs: a tree node is a list of child nodes.
+nesting_trees = st.recursive(
+    st.just([]), lambda children: st.lists(children, max_size=4), max_leaves=24
+)
+
+
+def _count(tree) -> int:
+    return 1 + sum(_count(child) for child in tree)
+
+
+@given(tree=nesting_trees)
+@settings(max_examples=60, deadline=None)
+def test_span_tree_is_well_formed(tree):
+    tracer = Tracer()
+
+    def walk(node, depth):
+        with tracer.span(f"depth{depth}"):
+            for child in node:
+                walk(child, depth + 1)
+
+    walk(tree, 0)
+    spans = tracer.finished()
+    assert len(spans) == _count(tree)
+    assert tracer.current() is None  # everything closed
+
+    by_id = {s.span_id for s in spans}
+    roots = [s for s in spans if s.parent_id is None]
+    assert len(roots) == 1  # single root
+    for s in spans:
+        assert s.span_id not in (s.parent_id,)  # no self-parenting
+        if s.parent_id is not None:
+            assert s.parent_id in by_id  # every parent resolves
+
+    parents = {s.span_id: s for s in spans}
+    for s in spans:
+        assert s.t_end >= s.t_start
+        if s.parent_id is None:
+            continue
+        parent = parents[s.parent_id]
+        # Local children are contained in their parent's interval.
+        assert s.t_start >= parent.t_start
+        assert s.t_end <= parent.t_end
+
+    # Sequential children never exceed their parent's elapsed time.
+    for s in spans:
+        child_time = sum(
+            c.duration_s for c in spans if c.parent_id == s.span_id
+        )
+        assert child_time <= s.duration_s + 1e-9
+
+
+@given(tree=nesting_trees, split=st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_finished_order_closes_children_before_parents(tree, split):
+    tracer = Tracer()
+
+    def walk(node, depth):
+        with tracer.span(f"depth{depth}"):
+            for child in node:
+                walk(child, depth + 1)
+
+    walk(tree, 0)
+    position = {s.span_id: i for i, s in enumerate(tracer.finished())}
+    for s in tracer.finished():
+        if s.parent_id is not None:
+            assert position[s.span_id] < position[s.parent_id]
+
+
+# ---------------------------------------------------------------------------
+# Counter conservation: registry merging
+# ---------------------------------------------------------------------------
+
+_updates = st.lists(
+    st.tuples(
+        st.sampled_from(["a_total", "b_total", "c_total"]),
+        st.sampled_from([None, {"site": "x"}, {"site": "y"}]),
+        st.integers(min_value=0, max_value=1000),
+    ),
+    max_size=40,
+)
+
+
+@given(updates=_updates, pivot=st.integers(min_value=0, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_registry_merge_never_loses_counter_increments(updates, pivot):
+    """Applying a stream whole == applying any split then merging."""
+    pivot = min(pivot, len(updates))
+    whole = MetricsRegistry()
+    left, right = MetricsRegistry(), MetricsRegistry()
+    for i, (name, labels, amount) in enumerate(updates):
+        whole.inc(name, amount, labels=labels)
+        (left if i < pivot else right).inc(name, amount, labels=labels)
+    left.merge(right)
+    for name in ("a_total", "b_total", "c_total"):
+        assert left.total(name) == whole.total(name)
+        assert left.series(name) == whole.series(name)
+
+
+# ---------------------------------------------------------------------------
+# Counter conservation: engine shard accounting
+# ---------------------------------------------------------------------------
+
+
+def _force_fanout(monkeypatch):
+    from repro.backends.parallel import ParallelBackend
+
+    monkeypatch.setattr(ParallelBackend, "MIN_FANOUT_RECORDS", 0)
+
+
+@pytest.fixture
+def fanout(monkeypatch):
+    _force_fanout(monkeypatch)
+
+
+@given(
+    n=st.integers(min_value=40, max_value=200),
+    degree=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_jobs=st.sampled_from([2, 3, 4]),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_shard_record_counters_sum_to_global_merged_count(
+    fanout, n, degree, seed, n_jobs
+):
+    graph = erdos_renyi_graph(n, float(degree), seed=seed)
+    engine = TwoStepEngine(
+        TwoStepConfig(
+            segment_width=32, q=2, backend="parallel", n_jobs=n_jobs, telemetry=True
+        )
+    )
+    x = np.random.default_rng(seed).uniform(size=graph.n_cols)
+    result = engine.run(graph, x, verify=True)
+    assert result.verified
+    metrics = result.telemetry.metrics
+    merged = metrics.total("spmv_records_merged_total")
+    shards = metrics.series("spmv_merge_shard_records_total")
+    assert merged > 0
+    assert shards, "fan-out must have produced per-shard counters"
+    assert sum(shards.values()) == merged
+
+
+def test_merged_count_invariant_across_worker_counts(fanout):
+    """The global merged-record counter is a property of the matrix, not
+    of the execution schedule."""
+    graph = erdos_renyi_graph(300, 4.0, seed=17)
+    x = np.random.default_rng(17).uniform(size=graph.n_cols)
+    totals = []
+    for backend, n_jobs in [("reference", None), ("vectorized", None),
+                            ("parallel", 1), ("parallel", 4)]:
+        engine = TwoStepEngine(
+            TwoStepConfig(
+                segment_width=64, q=2, backend=backend, n_jobs=n_jobs, telemetry=True
+            )
+        )
+        metrics = engine.run(graph, x).telemetry.metrics
+        totals.append(metrics.total("spmv_records_merged_total"))
+    assert len(set(totals)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Conservation under faults: retried tasks count (and trace) once
+# ---------------------------------------------------------------------------
+
+
+class TestFaultConservation:
+    def _run(self, plan=None, n_jobs=2):
+        graph = erdos_renyi_graph(250, 4.0, seed=23)
+        engine = TwoStepEngine(
+            TwoStepConfig(
+                segment_width=64, q=2, backend="parallel", n_jobs=n_jobs,
+                telemetry=True, max_retries=3,
+            )
+        )
+        x = np.random.default_rng(23).uniform(size=graph.n_cols)
+        if plan is None:
+            return engine.run(graph, x, verify=True)
+        with inject_faults(plan):
+            return engine.run(graph, x, verify=True)
+
+    def test_retry_keeps_counters_exact(self, fanout):
+        clean = self._run()
+        faulted = self._run(
+            FaultPlan(FaultSpec(site="merge", kind="raise", index=0, times=1))
+        )
+        assert faulted.verified
+        assert faulted.faults is not None and faulted.faults.retries >= 1
+        assert np.array_equal(clean.y, faulted.y)
+
+        clean_m = clean.telemetry.metrics
+        fault_m = faulted.telemetry.metrics
+        # The retried shard is counted once: totals match the clean run.
+        assert fault_m.total("spmv_merge_shard_records_total") == clean_m.total(
+            "spmv_merge_shard_records_total"
+        )
+        assert fault_m.total("spmv_records_merged_total") == clean_m.total(
+            "spmv_records_merged_total"
+        )
+        assert sum(
+            fault_m.series("spmv_merge_shard_records_total").values()
+        ) == fault_m.total("spmv_records_merged_total")
+        assert fault_m.total("spmv_pool_retries_total") >= 1
+        assert fault_m.value(
+            "spmv_fault_events_total", labels={"site": "merge", "action": "retry"}
+        ) >= 1
+
+    def test_retried_task_traced_exactly_once(self, fanout):
+        faulted = self._run(
+            FaultPlan(FaultSpec(site="merge", kind="raise", index=0, times=1))
+        )
+        shard_spans = [
+            s.name
+            for s in faulted.telemetry.spans
+            if s.name.startswith("step2.merge.class[")
+        ]
+        # One span per shard -- the failed attempt contributes nothing.
+        assert len(shard_spans) == len(set(shard_spans))
+        assert "step2.merge.class[0]" in shard_spans
+
+    def test_worker_kill_degradation_keeps_result_and_counters(self, fanout):
+        clean = self._run()
+        faulted = self._run(
+            FaultPlan(FaultSpec(site="merge", kind="raise", index=ANY_INDEX, times=-1))
+        )
+        assert faulted.verified
+        assert np.array_equal(clean.y, faulted.y)
+        assert faulted.faults.fallbacks >= 1
+        fault_m = faulted.telemetry.metrics
+        # Sequential fallback still merges every record exactly once.
+        assert fault_m.total("spmv_records_merged_total") == clean.telemetry.metrics.total(
+            "spmv_records_merged_total"
+        )
+        assert fault_m.value(
+            "spmv_fault_events_total", labels={"site": "merge", "action": "fallback"}
+        ) >= 1
