@@ -1,0 +1,135 @@
+"""Symbolic/numeric split: warm-iteration speedup on iterative workloads.
+
+Iterative SpMV clients (PageRank power iteration, CG solves) multiply by
+the same matrix every iteration.  The fused step-2 path precomputes the
+merge permutation, run-id array, injection positions and scatter map
+once on the plan, so warm iterations are a pure gather / ``bincount`` /
+scatter datapath -- no per-iteration stable argsort.  This bench times
+warm iterations fused vs unfused on the vectorized backend for both
+workloads and checks the outputs stay bit-identical.  The acceptance
+bar is a >= 2x warm-iteration speedup; CI smoke-gates a looser 1.5x
+(see ``BENCH_symbolic.json``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.apps.conjugate_gradient import spd_system
+from repro.apps.pagerank import stochastic_matrix
+from repro.core.config import TwoStepConfig
+from repro.core.twostep import TwoStepEngine
+from repro.generators.erdos_renyi import erdos_renyi_graph
+
+from benchmarks._util import emit, emit_json
+
+N_NODES = 150_000
+AVG_DEGREE = 3.0
+SEGMENT_WIDTH = 8192
+Q = 4
+WARM_ITERATIONS = 10
+DAMPING = 0.85
+MIN_SPEEDUP = 2.0
+CI_SMOKE_SPEEDUP = 1.5
+
+
+def _workloads():
+    """(name, matrix, x0, update) per iterative client."""
+    graph = erdos_renyi_graph(N_NODES, AVG_DEGREE, seed=42)
+    transition = stochastic_matrix(graph)
+    n = transition.n_rows
+    pagerank = (
+        "pagerank",
+        transition,
+        np.full(n, 1.0 / n),
+        lambda y: DAMPING * y + (1.0 - DAMPING) / n,
+    )
+    system, b = spd_system(N_NODES, avg_degree=AVG_DEGREE, seed=42)
+    # CG's per-iteration SpMV hits an evolving search direction; model the
+    # feedback with a residual-style update on the same system matrix.
+    cg = ("cg", system, b.copy(), lambda y: b - 0.5 * y)
+    return [pagerank, cg]
+
+
+def _run(matrix, x0, update, fused: bool):
+    """One cold iteration (plan + symbolic build), then timed warm loop."""
+    engine = TwoStepEngine(
+        TwoStepConfig(
+            segment_width=SEGMENT_WIDTH, q=Q, backend="vectorized", fused_step2=fused
+        )
+    )
+    x = update(engine.run(matrix, x0).y)
+    start = time.perf_counter()
+    for _ in range(WARM_ITERATIONS):
+        x = update(engine.run(matrix, x).y)
+    return time.perf_counter() - start, x
+
+
+def measure() -> list:
+    results = []
+    for name, matrix, x0, update in _workloads():
+        fused_s, fused_x = _run(matrix, x0, update, fused=True)
+        unfused_s, unfused_x = _run(matrix, x0, update, fused=False)
+        results.append(
+            {
+                "workload": name,
+                "nnz": matrix.nnz,
+                "warm_iterations": WARM_ITERATIONS,
+                "fused_warm_s": fused_s,
+                "unfused_warm_s": unfused_s,
+                "speedup": unfused_s / fused_s,
+                "bit_identical": bool(fused_x.tobytes() == unfused_x.tobytes()),
+            }
+        )
+    return results
+
+
+def render(results: list) -> str:
+    rows = [
+        [
+            r["workload"],
+            f"{r['unfused_warm_s'] * 1e3:,.0f} ms",
+            f"{r['fused_warm_s'] * 1e3:,.0f} ms",
+            f"{r['speedup']:.1f}x",
+            "bit-identical" if r["bit_identical"] else "DIVERGED",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["workload", "unfused warm", "fused warm", "speedup", "results"],
+        rows,
+        title=(
+            f"Symbolic/numeric split: {WARM_ITERATIONS} warm iterations, "
+            f"ER N={N_NODES:,} d={AVG_DEGREE:g} (gate >= {MIN_SPEEDUP:g}x)"
+        ),
+    )
+
+
+def to_payload(results: list) -> dict:
+    """Machine-readable record for ``BENCH_symbolic.json``."""
+    return {
+        "graph": {"n_nodes": N_NODES, "avg_degree": AVG_DEGREE},
+        "warm_iterations": WARM_ITERATIONS,
+        "workloads": results,
+        "min_speedup": MIN_SPEEDUP,
+        "ci_smoke_speedup": CI_SMOKE_SPEEDUP,
+    }
+
+
+def test_symbolic_iterative_speedup():
+    results = measure()
+    emit("symbolic_iterative", render(results))
+    emit_json("symbolic", to_payload(results))
+    for r in results:
+        assert r["bit_identical"], f"{r['workload']} fused output diverged"
+        assert r["speedup"] >= MIN_SPEEDUP, (
+            f"{r['workload']} warm speedup {r['speedup']:.2f}x < {MIN_SPEEDUP:g}x"
+        )
+
+
+if __name__ == "__main__":
+    results = measure()
+    print(render(results))
+    path = emit_json("symbolic", to_payload(results))
+    print(f"wrote {path}")

@@ -5,7 +5,10 @@ per iteration plus vector updates, and is the archetypal kernel behind
 the "numerous scientific applications" of the paper's abstract.  The
 SpMV inside each iteration runs through the Two-Step engine when a
 configuration is supplied, with the ITS-style traffic accounting
-aggregated over the run.
+aggregated over the run.  The engine persists across iterations, so the
+fused step-2 path (default) reuses the cached symbolic merge structure
+and per-thread workspace: warm iterations perform no argsort and
+allocate O(1) new arrays.
 """
 
 from __future__ import annotations

@@ -3,6 +3,11 @@
 PageRank's power iteration is ``r' = d * M r + (1 - d)/N`` with ``M`` the
 column-stochastic transition matrix; the SpMV result of one iteration is
 the source of the next -- exactly the pattern ITS (section 5.2) overlaps.
+
+Every iteration runs on the same matrix, so the engine's fused step-2
+path (default) replays the plan-cached merge permutation and injection
+structure: iterations 2..N are a pure gather/bincount/scatter datapath
+with no per-iteration argsort, bit-identical to the unfused path.
 """
 
 from __future__ import annotations

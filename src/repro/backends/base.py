@@ -144,13 +144,18 @@ class ExecutionBackend(ABC):
     # order.
     # ------------------------------------------------------------------
 
-    def stripe_spmv_plan(self, stripe, x_segment: np.ndarray) -> SparseVector:
+    def stripe_spmv_plan(
+        self, stripe, x_segment: np.ndarray, workspace=None
+    ) -> SparseVector:
         """Step-1 kernel against a precomputed stripe plan.
 
         Args:
             stripe: A ``StripePlan`` carrying ``rows``/``cols``/``vals``
                 plus the precomputed run structure.
             x_segment: Scratchpad-resident source-vector segment.
+            workspace: Optional :class:`repro.core.plan.Workspace` whose
+                scratch buffers a fast path may reuse; the default
+                (oracle-delegating) implementation ignores it.
 
         Returns:
             ``(indices, values)`` of the intermediate sparse vector.
@@ -173,18 +178,22 @@ class ExecutionBackend(ABC):
         k = segments.shape[1]
         if k == 0:
             return stripe.out_indices, np.empty((stripe.n_runs, 0), dtype=np.float64)
+        # One Fortran-order conversion makes every column view contiguous,
+        # so the per-column loop below stops copying each RHS.
+        segments = np.asfortranarray(segments)
         columns = [
-            self.stripe_spmv_plan(stripe, np.ascontiguousarray(segments[:, j]))[1]
-            for j in range(k)
+            self.stripe_spmv_plan(stripe, segments[:, j])[1] for j in range(k)
         ]
         return stripe.out_indices, np.stack(columns, axis=1)
 
-    def map_stripe_plans(self, stripes: list, segments: list) -> list:
+    def map_stripe_plans(self, stripes: list, segments: list, workspace=None) -> list:
         """Run step 1 over all stripes; the parallel backend fans out here.
 
         Args:
             stripes: ``StripePlan`` objects, one per column block.
             segments: Matching source-vector segments.
+            workspace: Optional :class:`repro.core.plan.Workspace`
+                forwarded to the per-stripe kernel on serial paths.
 
         Returns:
             Per-stripe ``(indices, values)`` pairs, in stripe order.
@@ -192,7 +201,7 @@ class ExecutionBackend(ABC):
         out = []
         for sp, seg in zip(stripes, segments):
             with span(f"step1.stripe[{sp.index}]", nnz=sp.nnz):
-                out.append(self.stripe_spmv_plan(sp, seg))
+                out.append(self.stripe_spmv_plan(sp, seg, workspace=workspace))
         return out
 
     def map_stripe_plans_batch(self, stripes: list, segments: list) -> list:
@@ -243,14 +252,83 @@ class ExecutionBackend(ABC):
         """
         out = []
         for radix in range(p):
-            mask = (keys & (p - 1)) == radix
             with span(f"inject.class[{radix}]"):
+                # Mask construction is part of the class's work: keep it
+                # inside the span so per-class timings account for it.
+                mask = (keys & (p - 1)) == radix
                 out.append(
                     self.inject_missing_keys(
                         keys[mask], vals[mask], (0, hi), stride=p, offset=radix
                     )
                 )
         return out
+
+    # ------------------------------------------------------------------
+    # Fused (symbolic/numeric split) step-2 kernels.
+    #
+    # A :class:`repro.core.plan.Step2Symbolic` carries the precomputed
+    # merge permutation, run ids, merged keys, per-class injection
+    # positions and the scatter map; the kernels below consume only the
+    # *values*.  Defaults fall back to the scalar kernels, so every
+    # backend (including the record-at-a-time oracle) is automatically
+    # fused-capable and automatically bit-compatible.
+    # ------------------------------------------------------------------
+
+    def merge_accumulate_plan(
+        self, symbolic, lists: list, workspace=None
+    ) -> np.ndarray:
+        """K-way merge against precomputed structure: values only.
+
+        Args:
+            symbolic: The plan's :class:`~repro.core.plan.Step2Symbolic`.
+            lists: ``(indices, values)`` pairs in stripe order (the
+                order the symbolic permutation was derived from).
+            workspace: Optional scratch-buffer workspace.
+
+        Returns:
+            Accumulated values aligned with ``symbolic.merged_keys``.
+        """
+        return self.merge_accumulate(lists)[1]
+
+    def merge_accumulate_plan_batch(
+        self, symbolic, lists: list, k: int, workspace=None
+    ) -> np.ndarray:
+        """Multi-RHS variant of :meth:`merge_accumulate_plan`.
+
+        Returns:
+            Accumulated values of shape ``(n_merged, k)``, rows aligned
+            with ``symbolic.merged_keys``.
+        """
+        return self.merge_accumulate_batch(lists, k)[1]
+
+    def inject_classes_plan(self, symbolic, merged_vals, workspace=None) -> list:
+        """Missing-key injection against precomputed class structure.
+
+        Args:
+            symbolic: The plan's :class:`~repro.core.plan.Step2Symbolic`.
+            merged_vals: Values aligned with ``symbolic.merged_keys``.
+            workspace: Optional scratch-buffer workspace.
+
+        Returns:
+            ``p`` dense per-class *value* streams in radix order; the
+            matching key streams are ``symbolic.class_keys``.
+        """
+        streams = self.inject_classes(
+            symbolic.merged_keys, merged_vals, symbolic.padded, symbolic.p
+        )
+        return [vals for _keys, vals in streams]
+
+    def scatter_dense_plan(self, symbolic, merged_vals) -> np.ndarray:
+        """Store-queue scatter against the precomputed scatter map.
+
+        Args:
+            symbolic: The plan's :class:`~repro.core.plan.Step2Symbolic`.
+            merged_vals: Values aligned with ``symbolic.merged_keys``.
+
+        Returns:
+            Dense ``float64`` vector of length ``symbolic.n_out``.
+        """
+        return self.scatter_dense(symbolic.merged_keys, merged_vals, symbolic.n_out)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"

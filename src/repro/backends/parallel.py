@@ -48,7 +48,9 @@ from repro.telemetry.session import metric_inc
 from repro.parallel.sharding import recombine_sorted_shards, shard_lists_by_residue
 from repro.parallel.shm import ArrayExporter
 from repro.parallel.workers import (
+    inject_class_plan_task,
     inject_class_task,
+    merge_plan_chunk_task,
     merge_shard_task,
     stripe_values_task,
 )
@@ -156,10 +158,12 @@ class ParallelBackend(VectorizedBackend):
     # Step 1: stripe-level sharding
     # ------------------------------------------------------------------
 
-    def map_stripe_plans(self, stripes: list, segments: list) -> list:
+    def map_stripe_plans(self, stripes: list, segments: list, workspace=None) -> list:
         total = sum(sp.vals.size for sp in stripes)
         if self.pool.inline or len(stripes) <= 1 or total < self.MIN_FANOUT_RECORDS:
-            return super().map_stripe_plans(stripes, segments)
+            # Inline runs on the supervisor thread, so the workspace is
+            # safe to reuse; fan-out paths below never share it.
+            return super().map_stripe_plans(stripes, segments, workspace=workspace)
         if self.pool.uses_processes:
             return self._map_stripes_processes(stripes, segments)
         tasks = list(zip(stripes, segments))
@@ -262,6 +266,134 @@ class ParallelBackend(VectorizedBackend):
                 help="Merged records per residue-class shard",
             )
         return recombine_sorted_shards(outputs)
+
+    def merge_accumulate_plan(
+        self, symbolic, lists: list, workspace=None
+    ) -> np.ndarray:
+        """Fused merge, sharded over contiguous run ranges.
+
+        The cheap part -- gathering the concatenated values into merge
+        order via the precomputed permutation -- runs supervisor-side;
+        the accumulation fans out over ``n_jobs`` chunks whose
+        boundaries are aligned to run (merged-key) boundaries, so every
+        output key is produced by exactly one worker with the same
+        sequential ``bincount`` addition as the serial kernel --
+        bit-identical by construction.
+        """
+        n_shards = self.pool.n_jobs
+        if (
+            self.pool.inline
+            or n_shards <= 1
+            or symbolic.n_merged <= 1
+            or symbolic.total_records < self.MIN_FANOUT_RECORDS
+        ):
+            return super().merge_accumulate_plan(symbolic, lists, workspace=workspace)
+        values = [np.asarray(v, dtype=np.float64) for _, v in lists]
+        if workspace is not None:
+            concat = workspace.buffer("merge.concat", symbolic.total_records)
+            np.concatenate(values, out=concat)
+            ordered = workspace.buffer("merge.ordered", symbolic.total_records)
+            np.take(concat, symbolic.order, out=ordered)
+        else:
+            ordered = np.concatenate(values)[symbolic.order]
+        n_chunks = min(n_shards, symbolic.n_merged)
+        # Evenly spaced run boundaries; gaps are >= 1 run, so the record
+        # boundaries found below are strictly increasing.
+        run_bounds = np.linspace(0, symbolic.n_merged, n_chunks + 1).astype(np.int64)
+        rec_bounds = np.searchsorted(symbolic.run_ids, run_bounds, side="left")
+        chunks = [
+            (int(rec_bounds[i]), int(rec_bounds[i + 1]),
+             int(run_bounds[i]), int(run_bounds[i + 1]))
+            for i in range(n_chunks)
+        ]
+
+        def chunk_values(task) -> np.ndarray:
+            rec_lo, rec_hi, run_lo, run_hi = task
+            return np.bincount(
+                symbolic.run_ids[rec_lo:rec_hi] - run_lo,
+                weights=ordered[rec_lo:rec_hi],
+                minlength=run_hi - run_lo,
+            )
+
+        if self.pool.uses_processes:
+            with ArrayExporter() as exporter:
+                payloads = [
+                    {
+                        "run_ids": exporter.export(
+                            np.ascontiguousarray(symbolic.run_ids[lo:hi])
+                        ),
+                        "vals": exporter.export(np.ascontiguousarray(ordered[lo:hi])),
+                        "run_lo": run_lo,
+                        "n_runs": run_hi - run_lo,
+                    }
+                    for lo, hi, run_lo, run_hi in chunks
+                ]
+                outputs = self._supervised(
+                    merge_plan_chunk_task,
+                    payloads,
+                    site="merge",
+                    fallback=lambda i: chunk_values(chunks[i]),
+                )
+        else:
+            outputs = self._supervised(
+                chunk_values,
+                chunks,
+                site="merge",
+                fallback=lambda i: chunk_values(chunks[i]),
+            )
+        # Same supervisor-side shard accounting as the unfused path: each
+        # chunk's final output counts exactly once.
+        for shard_index, vals in enumerate(outputs):
+            metric_inc(
+                "spmv_merge_shard_records_total",
+                int(np.asarray(vals).size),
+                labels={"shard": str(shard_index)},
+                help="Merged records per residue-class shard",
+            )
+        return np.concatenate(outputs)
+
+    def inject_classes_plan(self, symbolic, merged_vals, workspace=None) -> list:
+        """Fused injection, fanned out per residue class."""
+        p = symbolic.p
+        if (
+            self.pool.inline
+            or p <= 1
+            or symbolic.n_merged + symbolic.padded // max(p, 1)
+            < self.MIN_FANOUT_RECORDS
+        ):
+            return super().inject_classes_plan(symbolic, merged_vals, workspace=workspace)
+
+        def inject_sequential(radix: int) -> np.ndarray:
+            dense = np.zeros(symbolic.class_keys[radix].size, dtype=np.float64)
+            dense[symbolic.class_positions[radix]] = merged_vals[
+                symbolic.class_sel[radix]
+            ]
+            return dense
+
+        if self.pool.uses_processes:
+            with ArrayExporter() as exporter:
+                payloads = [
+                    {
+                        "vals": exporter.export(
+                            np.ascontiguousarray(merged_vals[symbolic.class_sel[radix]])
+                        ),
+                        "positions": exporter.export(symbolic.class_positions[radix]),
+                        "length": symbolic.class_keys[radix].size,
+                    }
+                    for radix in range(p)
+                ]
+                return self._supervised(
+                    inject_class_plan_task,
+                    payloads,
+                    site="inject",
+                    fallback=inject_sequential,
+                )
+        return self._supervised(
+            inject_sequential,
+            list(range(p)),
+            site="inject",
+            fallback=inject_sequential,
+        )
 
     def inject_classes(
         self, keys: np.ndarray, vals: np.ndarray, hi: int, p: int

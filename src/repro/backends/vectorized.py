@@ -17,6 +17,7 @@ from repro.backends.base import ExecutionBackend, SparseVector
 from repro.compression.vldi import total_encoded_bits
 from repro.merge.merge_core import inject_missing_keys
 from repro.merge.tournament import merge_accumulate
+from repro.telemetry.session import metric_inc, span
 
 
 class VectorizedBackend(ExecutionBackend):
@@ -45,12 +46,19 @@ class VectorizedBackend(ExecutionBackend):
     def merge_accumulate(self, lists: list[SparseVector]) -> SparseVector:
         return merge_accumulate(lists)
 
-    def stripe_spmv_plan(self, stripe, x_segment: np.ndarray) -> SparseVector:
+    def stripe_spmv_plan(
+        self, stripe, x_segment: np.ndarray, workspace=None
+    ) -> SparseVector:
         # The run structure (boundaries, output rows) is precomputed in the
         # plan; only the value datapath runs per call.
         if stripe.vals.size == 0:
             return stripe.out_indices, np.empty(0, dtype=np.float64)
-        products = stripe.vals * x_segment[stripe.cols]
+        if workspace is not None:
+            products = workspace.buffer("step1.products", stripe.vals.size)
+            np.take(x_segment, stripe.cols, out=products)
+            np.multiply(stripe.vals, products, out=products)
+        else:
+            products = stripe.vals * x_segment[stripe.cols]
         values = np.bincount(stripe.run_ids, weights=products, minlength=stripe.n_runs)
         return stripe.out_indices, values
 
@@ -82,6 +90,11 @@ class VectorizedBackend(ExecutionBackend):
         all_val = np.concatenate([v for _, v in pairs], axis=0)
         # Same stable sort as the scalar merge: the permutation depends only
         # on keys, so it is shared by every column.
+        metric_inc(
+            "spmv_step2_argsort_total",
+            labels={"site": "merge_batch"},
+            help="Stable argsorts on the step-2 numeric path",
+        )
         order = np.argsort(all_idx, kind="stable")
         all_idx = all_idx[order]
         all_val = all_val[order]
@@ -111,6 +124,62 @@ class VectorizedBackend(ExecutionBackend):
         out = np.zeros(n_out, dtype=np.float64)
         out[indices] = values
         return out
+
+    # ------------------------------------------------------------------
+    # Fused step-2 kernels: with the merge permutation, run ids and
+    # injection positions precomputed (:class:`repro.core.plan.
+    # Step2Symbolic`), the per-iteration numeric path collapses to
+    # gather + bincount + scatter -- no concatenate-and-argsort, no
+    # per-class index construction.  bincount's sequential stream-order
+    # addition over the *same* permuted stream keeps outputs
+    # bit-identical to the unfused kernels and the oracle.
+    # ------------------------------------------------------------------
+
+    def merge_accumulate_plan(
+        self, symbolic, lists: list, workspace=None
+    ) -> np.ndarray:
+        if symbolic.total_records == 0:
+            return np.zeros(symbolic.n_merged, dtype=np.float64)
+        values = [np.asarray(v, dtype=np.float64) for _, v in lists]
+        if workspace is not None:
+            concat = workspace.buffer("merge.concat", symbolic.total_records)
+            np.concatenate(values, out=concat)
+            ordered = workspace.buffer("merge.ordered", symbolic.total_records)
+            np.take(concat, symbolic.order, out=ordered)
+        else:
+            ordered = np.concatenate(values)[symbolic.order]
+        return np.bincount(
+            symbolic.run_ids, weights=ordered, minlength=symbolic.n_merged
+        )
+
+    def merge_accumulate_plan_batch(
+        self, symbolic, lists: list, k: int, workspace=None
+    ) -> np.ndarray:
+        if k == 0 or symbolic.total_records == 0:
+            return np.zeros((symbolic.n_merged, k), dtype=np.float64)
+        all_val = np.concatenate(
+            [np.asarray(v, dtype=np.float64) for _, v in lists], axis=0
+        )
+        ordered = all_val[symbolic.order]
+        summed = np.empty((symbolic.n_merged, k), dtype=np.float64)
+        # The permutation is shared by every column; accumulation stays
+        # per-column bincount (the bit-compatibility contract).
+        for j in range(k):
+            summed[:, j] = np.bincount(
+                symbolic.run_ids, weights=ordered[:, j], minlength=symbolic.n_merged
+            )
+        return summed
+
+    def inject_classes_plan(self, symbolic, merged_vals, workspace=None) -> list:
+        streams = []
+        for radix in range(symbolic.p):
+            with span(f"inject.class[{radix}]"):
+                dense = np.zeros(symbolic.class_keys[radix].size, dtype=np.float64)
+                dense[symbolic.class_positions[radix]] = merged_vals[
+                    symbolic.class_sel[radix]
+                ]
+            streams.append(dense)
+        return streams
 
     def vldi_stream_bits(self, deltas: np.ndarray, block_bits: int) -> int:
         return total_encoded_bits(deltas, block_bits)

@@ -87,6 +87,15 @@ def add_backend_options(parser: argparse.ArgumentParser) -> None:
         "(default: $REPRO_TELEMETRY, then on; never changes results)",
     )
     parser.add_argument(
+        "--no-fused-step2",
+        dest="fused_step2",
+        action="store_false",
+        default=None,
+        help="disable the precomputed symbolic step-2 path and re-derive "
+        "the merge structure per call "
+        "(default: $REPRO_FUSED_STEP2, then on; never changes results)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -181,6 +190,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 task_timeout=args.task_timeout,
                 strict_validate=args.strict_validate,
                 telemetry=args.telemetry,
+                fused_step2=args.fused_step2,
             )
         )
     else:
@@ -193,6 +203,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             task_timeout=args.task_timeout,
             strict_validate=args.strict_validate,
             telemetry=args.telemetry,
+            fused_step2=args.fused_step2,
         )
     if args.batch > 1:
         X = rng.uniform(size=(matrix.n_cols, args.batch))
@@ -231,6 +242,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         strict_validate=args.strict_validate,
         telemetry=args.telemetry,
+        fused_step2=args.fused_step2,
     )
     engine = TwoStepEngine(config)
     if args.app == "pagerank":

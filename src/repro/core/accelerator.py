@@ -44,6 +44,7 @@ class Accelerator:
         task_timeout: float = None,
         strict_validate: bool = None,
         telemetry: bool = None,
+        fused_step2: bool = None,
     ):
         """
         Args:
@@ -66,6 +67,9 @@ class Accelerator:
                 None defers to ``REPRO_STRICT_VALIDATE``.
             telemetry: Collect tracing spans and metrics per run; None
                 defers to ``REPRO_TELEMETRY``, then True.
+            fused_step2: Run step 2 against the plan's precomputed
+                symbolic structure; None defers to
+                ``REPRO_FUSED_STEP2``, then True.
         """
         self.point = point
         width = simulation_segment_width or point.segment_elements
@@ -82,6 +86,7 @@ class Accelerator:
             task_timeout=task_timeout,
             strict_validate=strict_validate,
             telemetry=telemetry,
+            fused_step2=fused_step2,
         )
         self._engine = TwoStepEngine(self.config)
 

@@ -64,6 +64,13 @@ class TwoStepConfig:
             and ``engine.metrics()``); None defers to
             ``REPRO_TELEMETRY``, then True.  Telemetry never changes
             results -- outputs are bit-identical either way.
+        fused_step2: Run step 2 through the precomputed symbolic
+            structure (merge permutation, injection positions, scatter
+            map cached on the plan) instead of re-deriving it per call;
+            None defers to ``REPRO_FUSED_STEP2``, then True.  The fused
+            path is bit-identical -- the stable-sort permutation depends
+            only on the keys, so reusing it preserves accumulation
+            order exactly.
     """
 
     segment_width: int
@@ -84,6 +91,7 @@ class TwoStepConfig:
     task_timeout: float = None
     strict_validate: bool = None
     telemetry: bool = None
+    fused_step2: bool = None
 
     def __post_init__(self) -> None:
         if self.segment_width <= 0:

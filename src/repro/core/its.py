@@ -14,6 +14,12 @@ Effects modelled (and tested):
 * per-iteration time drops from ``t1 + t2`` to ``max(t1, t2)`` in steady
   state because both fabrics stay busy;
 * the scratchpad must hold two segments, halving the maximum dimension.
+
+The wrapped :class:`~repro.core.twostep.TwoStepEngine` runs the fused
+symbolic/numeric step-2 split by default (``TwoStepConfig.fused_step2``),
+so interior iterations reuse the cached merge permutation, injection
+positions and scatter map and perform no per-iteration argsort -- the
+software counterpart of the structural reuse ITS assumes in hardware.
 """
 
 from __future__ import annotations

@@ -24,6 +24,8 @@ execution -- and any bit-compatible backend.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from dataclasses import dataclass, field, replace
 
@@ -40,6 +42,31 @@ from repro.formats.convert import coo_to_csr
 from repro.formats.coo import COOMatrix
 from repro.formats.hypersparse import StripeFormat, choose_stripe_format
 from repro.memory.traffic import TrafficLedger
+from repro.telemetry.session import metric_inc, span
+
+#: Environment variable toggling the fused (symbolic/numeric split)
+#: step-2 path; parallels ``REPRO_TELEMETRY``.
+FUSED_STEP2_ENV_VAR = "REPRO_FUSED_STEP2"
+
+_FALSY = {"0", "false", "no", "off", ""}
+
+
+def resolve_fused_step2(flag: bool | None = None) -> bool:
+    """Resolve the fused-step-2 toggle: explicit flag, then env, then on.
+
+    Args:
+        flag: ``TwoStepConfig.fused_step2`` (None = unset).
+
+    Returns:
+        True when step 2 should run through the precomputed symbolic
+        structure.
+    """
+    if flag is not None:
+        return bool(flag)
+    env = os.environ.get(FUSED_STEP2_ENV_VAR)
+    if env is None:
+        return True
+    return env.strip().lower() not in _FALSY
 
 
 @dataclass(frozen=True)
@@ -88,6 +115,147 @@ class StripePlan:
         return int(self.rows.size)
 
 
+@dataclass(frozen=True)
+class Step2Symbolic:
+    """Precomputed step-2 index machinery for one ``(matrix, p)`` pair.
+
+    Everything the K-way merge, PRaP injection and store-queue assembly
+    derive from *structure* -- the stable merge permutation, the run-id
+    array, the merged key set, per-residue-class injection positions and
+    the final scatter map -- computed once from the plan's stripes.  The
+    per-iteration numeric path is then a pure gather / ``bincount`` /
+    scatter datapath over these arrays.
+
+    Bit-identity argument: ``np.argsort(kind="stable")`` is a pure
+    function of the concatenated key stream, which is fixed by the
+    stripe structure.  Reusing ``order`` therefore replays the exact
+    accumulation order of a from-scratch merge, and ``bincount`` adds
+    weights sequentially in stream order -- so fused outputs equal the
+    unfused (and reference-oracle) outputs bit for bit.
+
+    Attributes:
+        p: PRaP merge cores (``2**q``); core ``r`` owns keys with
+            ``key & (p - 1) == r``.
+        n_out: Output-vector dimension.
+        padded: ``n_out`` rounded up to a multiple of ``p`` (store-queue
+            cycles are full rounds).
+        total_records: Records across all intermediate vectors.
+        n_merged: Distinct output keys after accumulation.
+        order: Stable argsort of the concatenated ``out_indices``
+            streams (stripe order) -- the global merge permutation.
+        run_ids: Per-sorted-record merged-output id; ``bincount`` weights
+            collapse equal keys in stream order.
+        merged_keys: Sorted distinct keys; doubles as the dense scatter
+            map (``out[merged_keys] = merged_vals``).
+        class_sel: Per residue class, indices into ``merged_keys``
+            selecting that class's records.
+        class_positions: Per residue class, dense in-class positions
+            (``(key - r) // p``) for value injection.
+        class_keys: Per residue class, the full dense key stream
+            ``r, r+p, ... < padded`` (what the store queue interleaves).
+    """
+
+    p: int
+    n_out: int
+    padded: int
+    total_records: int
+    n_merged: int
+    order: np.ndarray
+    run_ids: np.ndarray
+    merged_keys: np.ndarray
+    class_sel: tuple
+    class_positions: tuple
+    class_keys: tuple
+
+
+def build_step2_symbolic(stripes: list, n_out: int, p: int) -> Step2Symbolic:
+    """Derive the full step-2 symbolic structure from stripe plans.
+
+    Args:
+        stripes: :class:`StripePlan` list in stripe order (the merge
+            consumes intermediate vectors in exactly this order).
+        n_out: Output-vector dimension.
+        p: PRaP merge cores; must be a positive power of two.
+
+    Returns:
+        The immutable :class:`Step2Symbolic`.
+
+    Raises:
+        ConfigurationError: ``p`` is not a positive power of two.
+        ValueError: A record key falls outside ``[0, n_out)`` (same
+            check the numeric merge used to run per call).
+    """
+    from repro.faults.errors import ConfigurationError
+
+    if p <= 0 or (p & (p - 1)) != 0:
+        raise ConfigurationError("p must be a positive power of two")
+    parts = [sp.out_indices for sp in stripes]
+    all_keys = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    )
+    order = np.argsort(all_keys, kind="stable")
+    sorted_keys = all_keys[order]
+    if sorted_keys.size:
+        if sorted_keys[0] < 0 or sorted_keys[-1] >= n_out:
+            raise ValueError("record key outside output vector range")
+        new_run = np.empty(sorted_keys.size, dtype=bool)
+        new_run[0] = True
+        new_run[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        run_ids = (np.cumsum(new_run) - 1).astype(np.int64, copy=False)
+        merged_keys = sorted_keys[new_run]
+    else:
+        run_ids = np.empty(0, dtype=np.int64)
+        merged_keys = np.empty(0, dtype=np.int64)
+    padded = -(-n_out // p) * p
+    sel, positions, class_keys = [], [], []
+    for radix in range(p):
+        chosen = np.flatnonzero((merged_keys & (p - 1)) == radix)
+        sel.append(chosen)
+        positions.append((merged_keys[chosen] - radix) // p)
+        class_keys.append(np.arange(radix, padded, p, dtype=np.int64))
+    return Step2Symbolic(
+        p=p,
+        n_out=int(n_out),
+        padded=int(padded),
+        total_records=int(all_keys.size),
+        n_merged=int(merged_keys.size),
+        order=order,
+        run_ids=run_ids,
+        merged_keys=merged_keys,
+        class_sel=tuple(sel),
+        class_positions=tuple(positions),
+        class_keys=tuple(class_keys),
+    )
+
+
+class Workspace:
+    """Named, grow-only scratch buffers for the fused value datapath.
+
+    Steady-state iterations reuse the same few buffers (step-1 products,
+    the concatenated and permuted value streams), so iteration 2..N
+    allocates O(1) new arrays.  Buffers are keyed by name and only ever
+    grow; a request returns a length-``size`` view.  A workspace is
+    single-threaded state: engines keep one per thread and never share
+    it into pool fan-out.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+
+    def buffer(self, name: str, size: int, dtype=np.float64) -> np.ndarray:
+        """A reusable length-``size`` view of the named buffer."""
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < size or buf.dtype != np.dtype(dtype):
+            buf = np.empty(max(int(size), 1), dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:size]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held across all buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
 @dataclass
 class ExecutionPlan:
     """Reusable matrix-side state for Two-Step execution on one matrix.
@@ -106,6 +274,12 @@ class ExecutionPlan:
             identical for every run); copied into each report.
         step2_template: Complete step-2 statistics, ditto.
         build_s: Wall-clock seconds spent building the plan.
+
+    The step-2 symbolic structures (:class:`Step2Symbolic`) are built
+    lazily per ``p`` via :meth:`step2_symbolic` and cached on the plan,
+    so they ride the engine's existing LRU plan cache -- the cache key
+    effectively includes ``p`` because each radix gets its own slot and
+    ``q`` is part of the config fingerprint.
     """
 
     matrix: COOMatrix
@@ -118,6 +292,10 @@ class ExecutionPlan:
     step1_template: Step1Stats = field(default_factory=Step1Stats)
     step2_template: Step2Stats = field(default_factory=Step2Stats)
     build_s: float = 0.0
+    _symbolic: dict = field(default_factory=dict, repr=False, compare=False)
+    _symbolic_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def n_rows(self) -> int:
@@ -128,6 +306,33 @@ class ExecutionPlan:
     def n_cols(self) -> int:
         """Source-vector dimension."""
         return self.matrix.n_cols
+
+    def step2_symbolic(self, p: int) -> Step2Symbolic:
+        """The cached step-2 symbolic structure for ``p`` merge cores.
+
+        Built once per ``(plan, p)`` under a ``plan.symbolic`` span
+        (counter ``spmv_plan_symbolic_builds_total``); subsequent calls
+        are pure dictionary hits (``spmv_step2_plan_hits_total``), so
+        steady-state iterations never touch an argsort.
+        """
+        with self._symbolic_lock:
+            symbolic = self._symbolic.get(p)
+        if symbolic is not None:
+            metric_inc(
+                "spmv_step2_plan_hits_total",
+                labels={"p": str(p)},
+                help="Cached step-2 symbolic structure reuses",
+            )
+            return symbolic
+        with span("plan.symbolic", p=p):
+            symbolic = build_step2_symbolic(self.stripes, self.n_rows, p)
+        metric_inc(
+            "spmv_plan_symbolic_builds_total",
+            labels={"p": str(p)},
+            help="Step-2 symbolic structures built",
+        )
+        with self._symbolic_lock:
+            return self._symbolic.setdefault(p, symbolic)
 
     def step1_stats(self) -> Step1Stats:
         """Fresh per-run copy of the step-1 statistics."""

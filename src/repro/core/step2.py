@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.backends import ExecutionBackend, resolve_backend
 from repro.core.config import TwoStepConfig
-from repro.merge.prap import prap_merge_dense, prap_merge_dense_batch
+from repro.merge.prap import (
+    prap_merge_dense,
+    prap_merge_dense_batch,
+    prap_merge_dense_plan,
+    prap_merge_dense_plan_batch,
+)
 
 
 @dataclass
@@ -101,6 +106,63 @@ class Step2Engine:
             if y.shape != (n_out,):
                 raise ValueError(f"y must have shape ({n_out},)")
             merged = merged + y
+        return merged
+
+    def run_lists_plan(
+        self,
+        symbolic,
+        lists: list,
+        y: np.ndarray | None = None,
+        workspace=None,
+    ) -> np.ndarray:
+        """Fused :meth:`run_lists` against precomputed step-2 structure.
+
+        Args:
+            symbolic: The plan's :class:`~repro.core.plan.Step2Symbolic`
+                (built for this engine's ``p``).
+            lists: Sorted sparse vectors in stripe order.
+            y: Optional dense accumuland.
+            workspace: Optional scratch-buffer workspace.
+
+        Returns:
+            Dense ``float64`` result, bit-identical to :meth:`run_lists`.
+        """
+        merged = prap_merge_dense_plan(
+            symbolic,
+            lists,
+            check_interleave=self.config.check_interleave,
+            backend=self.backend,
+            workspace=workspace,
+        )
+        if y is not None:
+            y = np.asarray(y, dtype=np.float64)
+            if y.shape != (symbolic.n_out,):
+                raise ValueError(f"y must have shape ({symbolic.n_out},)")
+            merged = merged + y
+        return merged
+
+    def run_batch_plan(
+        self,
+        symbolic,
+        lists: list,
+        k: int,
+        Y: np.ndarray | None = None,
+        workspace=None,
+    ) -> np.ndarray:
+        """Fused :meth:`run_batch` against precomputed step-2 structure."""
+        merged = prap_merge_dense_plan_batch(
+            symbolic,
+            lists,
+            k,
+            check_interleave=self.config.check_interleave,
+            backend=self.backend,
+            workspace=workspace,
+        )
+        if Y is not None:
+            Y = np.asarray(Y, dtype=np.float64)
+            if Y.shape != (symbolic.n_out, k):
+                raise ValueError(f"Y must have shape ({symbolic.n_out}, {k})")
+            merged = merged + Y
         return merged
 
     def run_batch(

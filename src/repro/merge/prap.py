@@ -206,6 +206,124 @@ def prap_merge_dense_batch(
     return out
 
 
+def prap_merge_dense_plan(
+    symbolic,
+    lists: list,
+    check_interleave: bool = False,
+    backend=None,
+    workspace=None,
+) -> np.ndarray:
+    """Fused :func:`prap_merge_dense` against precomputed structure.
+
+    The merge permutation, injection positions and scatter map come from
+    the plan's :class:`~repro.core.plan.Step2Symbolic`; only the value
+    datapath runs here, so a warm iteration performs no argsort and no
+    per-class index construction.  Outputs are bit-identical to
+    :func:`prap_merge_dense` (same accumulation order, same span and
+    counter semantics).
+
+    Args:
+        symbolic: Precomputed step-2 structure for this matrix and ``p``.
+        lists: ``(indices, values)`` pairs in stripe order -- the order
+            the symbolic permutation was derived from.
+        check_interleave: Emulate the store-queue interleave (per-class
+            injection + strided assembly) instead of a direct scatter.
+        backend: Optional execution backend; None resolves the default.
+        workspace: Optional :class:`~repro.core.plan.Workspace` for
+            scratch-buffer reuse.
+
+    Returns:
+        Dense ``float64`` vector of length ``symbolic.n_out``.
+    """
+    from repro.backends import resolve_backend  # deferred: avoids import cycle
+
+    backend = resolve_backend(backend)
+    p = symbolic.p
+    with span("step2.merge", n_lists=len(lists)):
+        merged_val = backend.merge_accumulate_plan(symbolic, lists, workspace=workspace)
+    metric_inc(
+        "spmv_records_merged_total",
+        int(symbolic.n_merged),
+        help="Records emitted by the K-way merge",
+    )
+    if not check_interleave:
+        return backend.scatter_dense_plan(symbolic, merged_val)
+    # Same padding rule as the unfused path; the strided assembly below
+    # is exactly what StoreQueue.drain() produces (stream r fills
+    # positions r, r+p, ...), truncated to n_out.
+    with span("inject", p=p):
+        streams = backend.inject_classes_plan(symbolic, merged_val, workspace=workspace)
+    metric_inc(
+        "spmv_keys_injected_total",
+        int(symbolic.padded - symbolic.n_merged),
+        help="Zero-value records injected for missing keys",
+    )
+    out = np.empty(symbolic.padded, dtype=np.float64)
+    for radix, stream in enumerate(streams):
+        out[radix::p] = stream
+    return out[: symbolic.n_out]
+
+
+def prap_merge_dense_plan_batch(
+    symbolic,
+    lists: list,
+    k: int,
+    check_interleave: bool = False,
+    backend=None,
+    workspace=None,
+) -> np.ndarray:
+    """Multi-RHS :func:`prap_merge_dense_plan`: values are ``(n, k)``.
+
+    Column ``j`` of the output is bit-identical to
+    :func:`prap_merge_dense_plan` on the matching scalar lists (and to
+    the unfused batch path).
+
+    Args:
+        symbolic: Precomputed step-2 structure for this matrix and ``p``.
+        lists: ``(indices, values)`` pairs with ``(n, k)`` value blocks.
+        k: Batch width.
+        check_interleave: Per-column store-queue-equivalent assembly.
+        backend: Optional execution backend; None resolves the default.
+        workspace: Optional workspace for scratch-buffer reuse.
+
+    Returns:
+        Dense ``float64`` array of shape ``(symbolic.n_out, k)``.
+    """
+    from repro.backends import resolve_backend  # deferred: avoids import cycle
+
+    backend = resolve_backend(backend)
+    p = symbolic.p
+    with span("step2.merge", n_lists=len(lists), batch=k):
+        merged_val = backend.merge_accumulate_plan_batch(
+            symbolic, lists, k, workspace=workspace
+        )
+    metric_inc(
+        "spmv_records_merged_total",
+        int(symbolic.n_merged),
+        help="Records emitted by the K-way merge",
+    )
+    if not check_interleave:
+        out = np.zeros((symbolic.n_out, k), dtype=np.float64)
+        out[symbolic.merged_keys, :] = merged_val
+        return out
+    out = np.empty((symbolic.n_out, k), dtype=np.float64)
+    with span("inject", p=p, batch=k):
+        for j in range(k):
+            streams = backend.inject_classes_plan(
+                symbolic, merged_val[:, j], workspace=workspace
+            )
+            full = np.empty(symbolic.padded, dtype=np.float64)
+            for radix, stream in enumerate(streams):
+                full[radix::p] = stream
+            out[:, j] = full[: symbolic.n_out]
+    metric_inc(
+        "spmv_keys_injected_total",
+        int(k * (symbolic.padded - symbolic.n_merged)),
+        help="Zero-value records injected for missing keys",
+    )
+    return out
+
+
 class PRaPMergeNetwork:
     """Record-level PRaP simulation (pre-sorter + cores + store queue).
 

@@ -24,6 +24,8 @@ import heapq
 
 import numpy as np
 
+from repro.telemetry.session import metric_inc
+
 
 def merge_accumulate(lists: list) -> tuple:
     """Merge sorted sparse vectors, accumulating duplicate keys.
@@ -42,6 +44,13 @@ def merge_accumulate(lists: list) -> tuple:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
     all_idx = np.concatenate([i for i, _ in non_empty])
     all_val = np.concatenate([v for _, v in non_empty])
+    # Counted so the fused (symbolic) path can assert that steady-state
+    # iterations perform no per-call argsort at all.
+    metric_inc(
+        "spmv_step2_argsort_total",
+        labels={"site": "merge"},
+        help="Stable argsorts on the step-2 numeric path",
+    )
     order = np.argsort(all_idx, kind="stable")
     all_idx, all_val = all_idx[order], all_val[order]
     new_run = np.empty(all_idx.size, dtype=bool)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.faults.errors import ConfigurationError
+from repro.telemetry.session import metric_inc
 
 
 def shard_lists_by_residue(lists: list, n_shards: int) -> list:
@@ -72,5 +73,10 @@ def recombine_sorted_shards(shard_outputs: list) -> tuple:
         return pairs[0]
     all_idx = np.concatenate([i for i, _ in pairs])
     all_val = np.concatenate([v for _, v in pairs])
+    metric_inc(
+        "spmv_step2_argsort_total",
+        labels={"site": "recombine"},
+        help="Stable argsorts on the step-2 numeric path",
+    )
     order = np.argsort(all_idx, kind="stable")
     return all_idx[order], all_val[order]

@@ -78,6 +78,47 @@ def merge_shard_task(payload: dict) -> tuple:
         _release(handles)
 
 
+def merge_plan_chunk_task(payload: dict) -> np.ndarray:
+    """Fused step-2 merge: accumulate one contiguous run-range chunk.
+
+    The parent gathered the values into merge order via the precomputed
+    permutation; this task bincounts its record slice against its
+    (rebased) run ids -- the same sequential stream-order addition as
+    the serial kernel, so the concatenated chunk outputs are
+    bit-identical to an unsharded merge.
+
+    Payload keys: ``run_ids``, ``vals`` (:class:`ArraySpec`),
+    ``run_lo``, ``n_runs`` (ints).
+    """
+    (run_ids, vals), handles = _attach(payload, ("run_ids", "vals"))
+    try:
+        if vals.size == 0:
+            return np.zeros(payload["n_runs"], dtype=np.float64)
+        return np.bincount(
+            run_ids - payload["run_lo"], weights=vals, minlength=payload["n_runs"]
+        )
+    finally:
+        _release(handles)
+
+
+def inject_class_plan_task(payload: dict) -> np.ndarray:
+    """Fused missing-key injection for one residue class.
+
+    The dense in-class scatter positions are precomputed, so the task is
+    a pure zeros + fancy-assign over the class's values.
+
+    Payload keys: ``vals``, ``positions`` (:class:`ArraySpec`),
+    ``length`` (int).
+    """
+    (vals, positions), handles = _attach(payload, ("vals", "positions"))
+    try:
+        dense = np.zeros(payload["length"], dtype=np.float64)
+        dense[positions] = vals
+        return dense
+    finally:
+        _release(handles)
+
+
 def inject_class_task(payload: dict) -> tuple:
     """Missing-key injection for one residue class.
 

@@ -178,6 +178,33 @@ class TestEngineSpans:
         engine.run(graph, np.ones(graph.n_cols))
         assert engine.metrics().names() == ()
 
+    def test_inject_radix_mask_built_inside_class_span(self):
+        """Regression: ``inject_classes`` once built the radix mask before
+        opening ``inject.class[r]``, so per-class timings missed the mask
+        cost.  Observe the ``keys & (p - 1)`` call via an ndarray subclass
+        and assert it always fires with a class span open."""
+        from repro.backends.vectorized import VectorizedBackend
+
+        recorded = []
+
+        class SpyKeys(np.ndarray):
+            def __and__(self, other):
+                session = current_session()
+                open_span = session.tracer.current() if session else None
+                recorded.append(open_span.name if open_span is not None else None)
+                return np.asarray(self) & other
+
+        p = 4
+        keys = np.array([0, 1, 2, 5, 7, 10], dtype=np.int64).view(SpyKeys)
+        vals = np.arange(keys.size, dtype=np.float64)
+        with telemetry_scope(telemetry_session()):
+            streams = VectorizedBackend().inject_classes(keys, vals, 12, p)
+        assert len(streams) == p
+        assert len(recorded) == p
+        assert all(
+            name is not None and name.startswith("inject.class[") for name in recorded
+        )
+
 
 # ---------------------------------------------------------------------------
 # Session scoping and the no-op fast path
