@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import Accelerator, TS_ASIC, reference_spmv
+from repro import create_engine, reference_spmv
 from repro.generators import erdos_renyi_graph
 
 def main() -> None:
@@ -20,9 +20,11 @@ def main() -> None:
     graph = erdos_renyi_graph(n_nodes=100_000, avg_degree=3.0, seed=7)
     x = np.random.default_rng(7).uniform(size=graph.n_cols)
 
-    # TS_ASIC is the paper's plain Two-Step 16nm ASIC design point; the
-    # small simulation segment width forces multi-stripe behaviour.
-    accelerator = Accelerator(TS_ASIC, simulation_segment_width=8_192)
+    # create_engine is the single entry point for every engine in the
+    # package; TS_ASIC is the paper's plain Two-Step 16nm ASIC design
+    # point, and the small simulation segment width forces multi-stripe
+    # behaviour.  Unset options follow REPRO_* env vars, then defaults.
+    accelerator = create_engine(design_point="TS_ASIC", segment_width=8_192)
     y, report = accelerator.run(graph, x)
 
     assert np.allclose(y, reference_spmv(graph, x)), "accelerator output mismatch"

@@ -1,4 +1,18 @@
-"""Public engine protocol and result type for SpMV execution.
+"""Public engine construction, protocol and result type for SpMV execution.
+
+This module is the package's *single* entry point for building engines:
+
+* :class:`EngineOptions` -- one consolidated, audited option surface
+  subsuming the scattered :class:`~repro.core.config.TwoStepConfig`
+  fields, ``REPRO_*`` environment variables and per-engine constructor
+  keywords, with a documented precedence rule
+  (**explicit argument > environment variable > package default**).
+* :func:`create_engine` -- the factory every caller (CLI, apps, serving
+  layer, examples) goes through.  It resolves options once, records the
+  provenance of every value, and returns a ready
+  :class:`~repro.core.twostep.TwoStepEngine` (or an
+  :class:`~repro.core.accelerator.Accelerator` when a design point is
+  requested).
 
 Every engine-shaped object in the package (:class:`~repro.core.twostep.
 TwoStepEngine`, :class:`~repro.core.accelerator.Accelerator`) satisfies
@@ -9,16 +23,27 @@ line.  ``SpMVResult`` unpacks like the historical ``(y, report)`` tuple::
     y, report = engine.run(matrix, x)          # still works
     result = engine.run(matrix, x, verify=True)
     result.y, result.report, result.verified, result.wall_time_s
+
+Quickstart::
+
+    from repro.api import EngineOptions, create_engine
+
+    engine = create_engine(segment_width=8_192, q=4)
+    engine = create_engine(EngineOptions.from_env(), backend="parallel")
+    engine = create_engine(design_point="TS_ASIC", segment_width=8_192)
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
 if TYPE_CHECKING:  # avoid an import cycle; core.twostep imports this module
+    from repro.core.config import TwoStepConfig
     from repro.core.twostep import TwoStepReport
     from repro.faults.report import FaultReport
     from repro.formats.coo import COOMatrix
@@ -101,4 +126,384 @@ class SpMVEngine(Protocol):
         ...
 
 
-__all__ = ["SpMVEngine", "SpMVResult"]
+#: Simulation-scale stripe width used when nothing selects one.
+DEFAULT_SEGMENT_WIDTH = 8_192
+
+#: EngineOptions fields that map 1:1 onto TwoStepConfig fields.
+_CONFIG_FIELDS = (
+    "segment_width",
+    "q",
+    "precision",
+    "vldi_vector_block_bits",
+    "vldi_matrix_block_bits",
+    "dpage_bytes",
+    "step1_pipelines",
+    "hdn",
+    "check_interleave",
+    "index_field_bytes",
+    "backend",
+    "n_jobs",
+    "parallel_pool",
+    "plan_cache",
+    "max_retries",
+    "task_timeout",
+    "strict_validate",
+    "telemetry",
+    "fused_step2",
+)
+
+#: Environment variable consulted per env-backed field when the explicit
+#: value is None.  This is the one table the precedence rule
+#: (explicit > env > default) is implemented from; ``EngineOptions.
+#: from_env`` and ``resolve`` both read it, so the mapping can never
+#: drift between them.
+ENV_VARS = {
+    "backend": "REPRO_BACKEND",
+    "n_jobs": "REPRO_JOBS",
+    "parallel_pool": "REPRO_POOL",
+    "max_retries": "REPRO_MAX_RETRIES",
+    "task_timeout": "REPRO_TASK_TIMEOUT",
+    "strict_validate": "REPRO_STRICT_VALIDATE",
+    "telemetry": "REPRO_TELEMETRY",
+    "fused_step2": "REPRO_FUSED_STEP2",
+}
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"0", "false", "no", "off", ""})
+
+#: Static package defaults applied when neither an explicit value nor an
+#: environment variable selects one.  Fields absent here have *dynamic*
+#: defaults (CPU count for ``n_jobs``, the pool's retry budget for
+#: ``max_retries``, value-precision SINGLE for ``precision``, feature-off
+#: ``None`` for VLDI/HDN/timeout) and deliberately stay ``None`` after
+#: resolution -- the component owning the live value resolves them.
+#: ``backend`` mirrors ``repro.backends.DEFAULT_BACKEND`` (asserted by
+#: the test-suite so the two can never drift).
+_STATIC_DEFAULTS = {
+    "segment_width": DEFAULT_SEGMENT_WIDTH,
+    "q": 4,
+    "dpage_bytes": 2048,
+    "step1_pipelines": 8,
+    "check_interleave": False,
+    "index_field_bytes": 4,
+    "backend": "vectorized",
+    "parallel_pool": "thread",
+    "plan_cache": 8,
+    "strict_validate": False,
+    "telemetry": True,
+    "fused_step2": True,
+}
+
+
+def _config_error(message: str):
+    from repro.faults.errors import ConfigurationError
+
+    return ConfigurationError(message)
+
+
+def _parse_env(field_name: str, raw: str):
+    """Parse one environment value into its field's native type.
+
+    Boolean parsing mirrors the historical per-module resolvers exactly:
+    default-on flags (``telemetry``, ``fused_step2``) treat any value
+    outside the falsy set as on; default-off flags (``strict_validate``)
+    require an explicit truthy value.
+    """
+    raw = raw.strip()
+    if field_name in ("n_jobs", "max_retries"):
+        try:
+            return int(raw)
+        except ValueError:
+            raise _config_error(
+                f"{ENV_VARS[field_name]} must be an integer, got {raw!r}"
+            ) from None
+    if field_name == "task_timeout":
+        try:
+            return float(raw)
+        except ValueError:
+            raise _config_error(
+                f"{ENV_VARS[field_name]} must be a number, got {raw!r}"
+            ) from None
+    if field_name == "strict_validate":
+        return raw.lower() in _TRUTHY
+    if field_name in ("telemetry", "fused_step2"):
+        return raw.lower() not in _FALSY
+    return raw  # backend / parallel_pool: plain strings
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Every engine-construction knob, in one audited dataclass.
+
+    A field left at ``None`` means "unset": resolution falls back to the
+    field's environment variable (when one exists, see :data:`ENV_VARS`)
+    and then to the package default.  The precedence rule is therefore
+    **explicit argument > environment variable > default**, applied
+    field by field at :meth:`resolve` time -- never again afterwards, so
+    an engine built from resolved options cannot change behaviour when
+    the environment mutates under it.
+
+    Structural fields (``segment_width`` .. ``index_field_bytes``) mirror
+    :class:`~repro.core.config.TwoStepConfig`; execution fields
+    (``backend`` .. ``fused_step2``) subsume the historical ``REPRO_*``
+    environment variables; ``design_point`` selects the
+    :class:`~repro.core.accelerator.Accelerator` facade instead of a bare
+    :class:`~repro.core.twostep.TwoStepEngine`.
+
+    Attributes:
+        segment_width: Stripe width (scratchpad-resident source
+            elements); default :data:`DEFAULT_SEGMENT_WIDTH`.  Under a
+            ``design_point`` this is the *simulation* segment width.
+        q: PRaP radix bits (``p = 2**q`` merge cores); default 4.
+        precision: Value :class:`~repro.core.records.Precision` for
+            traffic accounting; default SINGLE.
+        vldi_vector_block_bits: VLDI block width for intermediate vector
+            indices; default off.
+        vldi_matrix_block_bits: VLDI block width for stripe column
+            indices; default off.
+        dpage_bytes: DRAM page size for prefetch accounting; default 2048.
+        step1_pipelines: Parallel multiplier/adder sets in step 1;
+            default 8.
+        hdn: :class:`~repro.filters.hdn.HDNConfig`; default off.
+        check_interleave: Route step-2 assembly through the store-queue
+            invariant checker; default off.
+        index_field_bytes: Uncompressed index field width; default 4.
+        backend: Execution backend name (``REPRO_BACKEND``, then
+            ``"vectorized"``).
+        n_jobs: Parallel-backend worker count (``REPRO_JOBS``, then the
+            CPU count).
+        parallel_pool: ``"thread"`` or ``"process"`` (``REPRO_POOL``,
+            then thread).
+        plan_cache: Execution plans retained per engine (LRU); default 8.
+        max_retries: Supervised-task retry budget (``REPRO_MAX_RETRIES``,
+            then the pool default).
+        task_timeout: Per-task timeout seconds (``REPRO_TASK_TIMEOUT``,
+            then no limit).
+        strict_validate: Full-scan input hardening
+            (``REPRO_STRICT_VALIDATE``, then off).
+        telemetry: Span/metric collection (``REPRO_TELEMETRY``, then on).
+        fused_step2: Precomputed symbolic step-2 path
+            (``REPRO_FUSED_STEP2``, then on).
+        design_point: Design-point name or
+            :class:`~repro.core.design_points.DesignPoint`; when set,
+            :func:`create_engine` returns an
+            :class:`~repro.core.accelerator.Accelerator`.
+    """
+
+    segment_width: int | None = None
+    q: int | None = None
+    precision: object | None = None
+    vldi_vector_block_bits: int | None = None
+    vldi_matrix_block_bits: int | None = None
+    dpage_bytes: int | None = None
+    step1_pipelines: int | None = None
+    hdn: object | None = None
+    check_interleave: bool | None = None
+    index_field_bytes: int | None = None
+    backend: str | None = None
+    n_jobs: int | None = None
+    parallel_pool: str | None = None
+    plan_cache: int | None = None
+    max_retries: int | None = None
+    task_timeout: float | None = None
+    strict_validate: bool | None = None
+    telemetry: bool | None = None
+    fused_step2: bool | None = None
+    design_point: object | None = None
+
+    def replace(self, **overrides) -> "EngineOptions":
+        """A copy with ``overrides`` applied (unknown names raise).
+
+        Raises:
+            ConfigurationError: An override is not an ``EngineOptions``
+                field -- the audited surface rejects typos instead of
+                silently dropping them.
+        """
+        names = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - names)
+        if unknown:
+            raise _config_error(
+                f"unknown engine option(s): {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(names))}"
+            )
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def from_env(cls, **overrides) -> "EngineOptions":
+        """Options with every env-backed field read from ``REPRO_*``.
+
+        Fields whose variable is unset stay ``None`` (so provenance
+        reporting can distinguish "environment" from "default"), and
+        explicit ``overrides`` win over the environment -- the same
+        precedence :meth:`resolve` applies.
+
+        Raises:
+            ConfigurationError: An environment value fails to parse, or
+                an override names an unknown field.
+        """
+        from_env = {}
+        for field_name, var in ENV_VARS.items():
+            raw = os.environ.get(var)
+            if raw is not None:
+                from_env[field_name] = _parse_env(field_name, raw)
+        from_env.update(overrides)
+        return cls().replace(**from_env)
+
+    @classmethod
+    def from_config(cls, config, **overrides) -> "EngineOptions":
+        """Options mirroring an existing ``TwoStepConfig``.
+
+        Bridges pre-redesign code (autotuners, saved configs) onto the
+        single entry point: every config field becomes the explicit
+        value of the corresponding option, then ``overrides`` apply on
+        top.
+        """
+        values = {name: getattr(config, name) for name in _CONFIG_FIELDS}
+        values.update(overrides)
+        return cls().replace(**values)
+
+    def resolve(self) -> "EngineOptions":
+        """Apply the precedence rule and return fully pinned options.
+
+        Every env-backed field that is still ``None`` consults its
+        environment variable, then :data:`_STATIC_DEFAULTS`.  Fields
+        with *dynamic* defaults (CPU count, pool retry budget, value
+        precision) stay ``None`` deliberately -- they are resolved where
+        the live value exists.  After this call the options are pinned:
+        later environment mutations cannot change the engine.
+        """
+        resolved = dict(self.provenance())
+        updates = {
+            field_name: value
+            for field_name, (value, _source) in resolved.items()
+            if value is not None and getattr(self, field_name) is None
+        }
+        return dataclasses.replace(self, **updates) if updates else self
+
+    def provenance(self) -> dict:
+        """Field -> ``(value, source)`` with source one of ``"explicit"``,
+        ``"env:REPRO_*"`` or ``"default"``.
+
+        This is the audit trail ``create_engine`` attaches to the engine
+        (``engine.options_provenance``) and the serving layer surfaces in
+        ``/stats``.
+        """
+        report = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value is not None:
+                report[field.name] = (value, "explicit")
+                continue
+            var = ENV_VARS.get(field.name)
+            raw = os.environ.get(var) if var else None
+            if raw is not None:
+                report[field.name] = (_parse_env(field.name, raw), f"env:{var}")
+            else:
+                report[field.name] = (
+                    _STATIC_DEFAULTS.get(field.name),
+                    "default",
+                )
+        return report
+
+    def to_config(self) -> "TwoStepConfig":
+        """The equivalent :class:`~repro.core.config.TwoStepConfig`.
+
+        Unset fields are simply omitted so ``TwoStepConfig`` keeps
+        supplying the package defaults; resolution against the
+        environment happens first (:meth:`resolve`), so the returned
+        config carries pinned values for every env-backed field that had
+        a variable set.
+        """
+        from repro.core.config import TwoStepConfig
+
+        resolved = self.resolve()
+        kwargs = {
+            name: getattr(resolved, name)
+            for name in _CONFIG_FIELDS
+            if getattr(resolved, name) is not None
+        }
+        kwargs.setdefault("segment_width", DEFAULT_SEGMENT_WIDTH)
+        return TwoStepConfig(**kwargs)
+
+
+def create_engine(
+    options: EngineOptions | None = None, **overrides
+) -> "SpMVEngine":
+    """Build an engine through the one audited entry point.
+
+    This is the only supported way to construct engines: the CLI, the
+    apps, the serving layer and the examples all come through here.  The
+    factory resolves ``options`` (explicit argument > ``REPRO_*``
+    environment variable > package default), pins the result, and
+    attaches the audit trail to the returned engine as
+    ``engine.options`` / ``engine.options_provenance``.
+
+    Args:
+        options: Base options; None starts from blank
+            :class:`EngineOptions` (environment + defaults).
+        **overrides: Field overrides applied on top of ``options``
+            (unknown names raise ``ConfigurationError``).
+
+    Returns:
+        A :class:`~repro.core.twostep.TwoStepEngine`, or an
+        :class:`~repro.core.accelerator.Accelerator` when
+        ``design_point`` is set.
+
+    Examples::
+
+        engine = create_engine(segment_width=4_096, backend="parallel")
+        engine = create_engine(EngineOptions.from_env())
+        accel = create_engine(design_point="ITS_ASIC", segment_width=8_192)
+    """
+    base = options if options is not None else EngineOptions()
+    if not isinstance(base, EngineOptions):
+        raise _config_error(
+            f"options must be an EngineOptions, got {type(base).__name__}; "
+            "pass TwoStepConfig fields as keyword overrides instead"
+        )
+    merged = base.replace(**overrides)
+    provenance = merged.provenance()
+    resolved = merged.resolve()
+    if resolved.design_point is not None:
+        from repro.core.accelerator import Accelerator
+        from repro.core.design_points import DesignPoint, get_design_point
+
+        point = resolved.design_point
+        if not isinstance(point, DesignPoint):
+            point = get_design_point(str(point))
+        engine = Accelerator(
+            point,
+            simulation_segment_width=resolved.segment_width,
+            options=dataclasses.replace(resolved, design_point=None),
+        )
+    else:
+        from repro.core.twostep import TwoStepEngine
+
+        engine = TwoStepEngine(resolved.to_config())
+    engine.options = resolved
+    engine.options_provenance = provenance
+    return engine
+
+
+def ensure_config(config) -> "TwoStepConfig | None":
+    """Normalize a ``TwoStepConfig | EngineOptions | None`` parameter.
+
+    The apps historically accepted a :class:`TwoStepConfig`; they now
+    also take :class:`EngineOptions` so every caller can stay on the
+    single option surface.  ``None`` passes through (apps treat it as
+    "reference kernels, no engine").
+    """
+    if config is None or isinstance(config, EngineOptions):
+        return config.to_config() if config is not None else None
+    return config
+
+
+__all__ = [
+    "DEFAULT_SEGMENT_WIDTH",
+    "ENV_VARS",
+    "EngineOptions",
+    "SpMVEngine",
+    "SpMVResult",
+    "create_engine",
+    "ensure_config",
+]

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import ensure_config
 from repro.core.config import TwoStepConfig
 from repro.core.twostep import TwoStepEngine
 from repro.formats.coo import COOMatrix
@@ -115,9 +116,13 @@ def conjugate_gradient(
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (matrix.n_rows,):
         raise ValueError(f"b must have shape ({matrix.n_rows},)")
+    config = ensure_config(config)
     if config is not None and (backend is not None or n_jobs is not None):
         from dataclasses import replace
 
+        from repro.apps.pagerank import _warn_legacy_kwargs
+
+        _warn_legacy_kwargs("conjugate_gradient")
         config = replace(
             config,
             backend=backend if backend is not None else config.backend,

@@ -12,13 +12,26 @@ with no per-iteration argsort, bit-identical to the unfused path.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.api import ensure_config
 from repro.core.config import TwoStepConfig
 from repro.core.its import ITSEngine
 from repro.formats.coo import COOMatrix
+
+
+def _warn_legacy_kwargs(app: str) -> None:
+    """One shared deprecation message for the scattered solver keywords."""
+    warnings.warn(
+        f"passing backend=/n_jobs= to {app}() is deprecated; set them on "
+        "repro.api.EngineOptions (or TwoStepConfig) and pass that as "
+        "config instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def stochastic_matrix(adjacency: COOMatrix) -> COOMatrix:
@@ -99,7 +112,7 @@ def pagerank_reference(
 
 def pagerank(
     adjacency: COOMatrix,
-    config: TwoStepConfig,
+    config: "TwoStepConfig | EngineOptions",
     damping: float = 0.85,
     tol: float = 1e-8,
     max_iterations: int = 100,
@@ -114,7 +127,8 @@ def pagerank(
 
     Args:
         adjacency: Directed graph adjacency (row = source).
-        config: Two-Step configuration (segment width should be the ITS
+        config: Two-Step configuration or :class:`repro.api.EngineOptions`
+            (segment width should be the ITS
             half-scratchpad width).
         damping: PageRank damping factor d.
         tol: L1 convergence threshold.
@@ -129,7 +143,9 @@ def pagerank(
     """
     if not 0.0 < damping < 1.0:
         raise ValueError("damping must be in (0, 1)")
+    config = ensure_config(config)
     if backend is not None or n_jobs is not None:
+        _warn_legacy_kwargs("pagerank")
         config = replace(
             config,
             backend=backend if backend is not None else config.backend,

@@ -66,16 +66,18 @@ class VectorizedBackend(ExecutionBackend):
         k = segments.shape[1]
         if stripe.vals.size == 0 or k == 0:
             return stripe.out_indices, np.zeros((stripe.n_runs, k), dtype=np.float64)
-        # One batched gather serves every right-hand side ...
-        products = stripe.vals[:, None] * segments[stripe.cols, :]
-        values = np.empty((stripe.n_runs, k), dtype=np.float64)
-        # ... but accumulation stays per-column bincount: its sequential
-        # stream-order addition is the bit-compatibility contract (a 2-D
-        # reduction would re-associate the sums).
-        for j in range(k):
-            values[:, j] = np.bincount(
-                stripe.run_ids, weights=products[:, j], minlength=stripe.n_runs
-            )
+        # One batched gather serves every right-hand side; accumulation
+        # uses the order-preserving length-grouped segment sum, whose
+        # left-associated stream-order adds replay bincount exactly (the
+        # bit-compatibility contract) while staying k-wide vectorized.
+        # Deferred import: repro.core pulls the backend registry back in
+        # at package-init time, so a module-level import would cycle.
+        from repro.core.segsum import build_run_groups, mul_segment_sum_batch
+
+        groups = stripe.run_groups
+        if groups is None:
+            groups = build_run_groups(stripe.run_ids, stripe.n_runs)
+        values = mul_segment_sum_batch(segments, stripe.cols, stripe.vals, groups)
         return stripe.out_indices, values
 
     def merge_accumulate_batch(self, lists: list, k: int) -> SparseVector:
@@ -101,11 +103,11 @@ class VectorizedBackend(ExecutionBackend):
         new_run = np.empty(all_idx.size, dtype=bool)
         new_run[0] = True
         new_run[1:] = all_idx[1:] != all_idx[:-1]
+        from repro.core.segsum import build_run_groups, segment_sum_batch
+
         run_ids = np.cumsum(new_run) - 1
         n_runs = int(run_ids[-1]) + 1 if run_ids.size else 0
-        summed = np.empty((n_runs, k), dtype=np.float64)
-        for j in range(k):
-            summed[:, j] = np.bincount(run_ids, weights=all_val[:, j], minlength=n_runs)
+        summed = segment_sum_batch(all_val, build_run_groups(run_ids, n_runs))
         return all_idx[new_run], summed
 
     def inject_missing_keys(
@@ -157,18 +159,22 @@ class VectorizedBackend(ExecutionBackend):
     ) -> np.ndarray:
         if k == 0 or symbolic.total_records == 0:
             return np.zeros((symbolic.n_merged, k), dtype=np.float64)
+        from repro.core.segsum import build_run_groups, segment_sum_batch
+
         all_val = np.concatenate(
             [np.asarray(v, dtype=np.float64) for _, v in lists], axis=0
         )
-        ordered = all_val[symbolic.order]
-        summed = np.empty((symbolic.n_merged, k), dtype=np.float64)
-        # The permutation is shared by every column; accumulation stays
-        # per-column bincount (the bit-compatibility contract).
-        for j in range(k):
-            summed[:, j] = np.bincount(
-                symbolic.run_ids, weights=ordered[:, j], minlength=symbolic.n_merged
+        # The symbolic record maps are composed with the merge
+        # permutation at plan-build time, so the sorted stream is never
+        # materialized: the segment sum reads the raw concatenated block
+        # and still replays bincount's stream-order addition, k columns
+        # at a time.
+        groups = symbolic.run_groups
+        if groups is None:
+            groups = build_run_groups(
+                symbolic.run_ids, symbolic.n_merged, order=symbolic.order
             )
-        return summed
+        return segment_sum_batch(all_val, groups)
 
     def inject_classes_plan(self, symbolic, merged_vals, workspace=None) -> list:
         streams = []

@@ -11,7 +11,13 @@ Subcommands:
   dataset across design points.
 * ``repro solve``    -- run an iterative solver (PageRank, BFS, k-core)
   through the engine, exercising plan reuse and multi-RHS batching.
+* ``repro serve``    -- long-lived SpMV-as-a-service HTTP server with
+  dynamic micro-batching (see :mod:`repro.serving`).
 * ``repro datasets`` -- list the paper's evaluation graphs.
+
+Every subcommand that executes the functional engine builds it through
+:func:`repro.api.create_engine` from one :class:`~repro.api.EngineOptions`
+translation point (:func:`engine_options_from_args`).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import sys
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.api import EngineOptions, create_engine
 from repro.backends import available_backends
 from repro.core.accelerator import Accelerator
 from repro.core.design_points import ALL_DESIGN_POINTS, get_design_point
@@ -110,6 +117,38 @@ def add_backend_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def engine_options_from_args(
+    args: argparse.Namespace, **structural
+) -> EngineOptions:
+    """Build :class:`~repro.api.EngineOptions` from parsed CLI flags.
+
+    One translation point from the ``add_backend_options`` flag set to
+    the audited option surface; unset flags stay ``None`` so the
+    standard precedence (explicit > ``REPRO_*`` env > default) applies
+    inside :func:`~repro.api.create_engine`.
+
+    Args:
+        args: Parsed namespace carrying the shared backend flags.
+        **structural: Extra explicit fields (``segment_width``,
+            ``design_point``, ...).
+    """
+    return EngineOptions(**_exec_fields(args)).replace(**structural)
+
+
+def _exec_fields(args: argparse.Namespace) -> dict:
+    """The execution-side flag values that were actually set."""
+    fields = {
+        "backend": args.backend,
+        "n_jobs": args.jobs,
+        "max_retries": args.max_retries,
+        "task_timeout": args.task_timeout,
+        "strict_validate": args.strict_validate,
+        "telemetry": args.telemetry,
+        "fused_step2": args.fused_step2,
+    }
+    return {name: value for name, value in fields.items() if value is not None}
+
+
 def _emit_telemetry(args: argparse.Namespace, report=None, metrics=None) -> None:
     """Write the ``--trace-out`` / ``--metrics-out`` artifacts if requested.
 
@@ -170,10 +209,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     point = get_design_point(args.design_point)
     rng = np.random.default_rng(args.seed)
     if args.autotune:
-        from dataclasses import replace
-
         from repro.core.autotune import autotune
-        from repro.core.twostep import TwoStepEngine
 
         tuned = autotune(matrix, point, segment_width=args.segment_width)
         print(
@@ -181,29 +217,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"hdn={'on (threshold %d)' % tuned.config.hdn.degree_threshold if tuned.hdn_enabled else 'off'}, "
             f"stripe={tuned.config.segment_width}"
         )
-        engine = TwoStepEngine(
-            replace(
-                tuned.config,
-                backend=args.backend,
-                n_jobs=args.jobs,
-                max_retries=args.max_retries,
-                task_timeout=args.task_timeout,
-                strict_validate=args.strict_validate,
-                telemetry=args.telemetry,
-                fused_step2=args.fused_step2,
-            )
-        )
+        base = EngineOptions.from_config(tuned.config)
+        engine = create_engine(base.replace(**_exec_fields(args)))
     else:
-        engine = Accelerator(
-            point,
-            simulation_segment_width=args.segment_width,
-            backend=args.backend,
-            n_jobs=args.jobs,
-            max_retries=args.max_retries,
-            task_timeout=args.task_timeout,
-            strict_validate=args.strict_validate,
-            telemetry=args.telemetry,
-            fused_step2=args.fused_step2,
+        engine = create_engine(
+            engine_options_from_args(
+                args,
+                design_point=point,
+                segment_width=args.segment_width,
+            )
         )
     if args.batch > 1:
         X = rng.uniform(size=(matrix.n_cols, args.batch))
@@ -230,28 +252,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
-    from repro.core.config import TwoStepConfig
-    from repro.core.twostep import TwoStepEngine
-
     matrix = _load_matrix(args.matrix)
-    config = TwoStepConfig(
-        segment_width=args.segment_width,
-        backend=args.backend,
-        n_jobs=args.jobs,
-        max_retries=args.max_retries,
-        task_timeout=args.task_timeout,
-        strict_validate=args.strict_validate,
-        telemetry=args.telemetry,
-        fused_step2=args.fused_step2,
-    )
-    engine = TwoStepEngine(config)
+    options = engine_options_from_args(args, segment_width=args.segment_width)
+    engine = create_engine(options)
     if args.app == "pagerank":
         from repro.apps.pagerank import pagerank
 
-        result = pagerank(
-            matrix, config, max_iterations=args.iterations, backend=args.backend,
-            n_jobs=args.jobs,
-        )
+        result = pagerank(matrix, options, max_iterations=args.iterations)
         top = np.argsort(result.ranks)[::-1][:5]
         print(
             f"pagerank: {result.iterations} iterations, "
@@ -283,6 +290,46 @@ def cmd_solve(args: argparse.Namespace) -> int:
               f"mean {float(coreness.mean()):.2f}")
         print(f"plan cache: {stats['hits']} hits / {stats['misses']} misses")
         _emit_telemetry(args, None, engine.metrics())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import BatchPolicy, SpMVServer
+    from repro.serving.http import HTTPServingFrontend
+
+    options = engine_options_from_args(args, segment_width=args.segment_width)
+    policy = BatchPolicy(
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        max_queue=args.max_queue,
+    )
+
+    async def _main() -> None:
+        server = SpMVServer(options=options, policy=policy)
+        for path in args.matrix:
+            matrix = _load_matrix(path)
+            fingerprint = server.register(matrix)
+            print(
+                f"registered {path}: fingerprint {fingerprint} "
+                f"({matrix.n_rows:,} x {matrix.n_cols:,}, nnz {matrix.nnz:,})"
+            )
+        frontend = HTTPServingFrontend(server, host=args.host, port=args.port)
+        await frontend.start()
+        print(
+            f"serving on http://{args.host}:{frontend.port} "
+            "(GET /health /stats /metrics, POST /v1/matrices /v1/spmv)"
+        )
+        try:
+            await frontend.serve_forever()
+        finally:
+            await frontend.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("\nshutting down")
     return 0
 
 
@@ -465,6 +512,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend_options(solve)
     solve.set_defaults(func=cmd_solve)
+
+    serve = sub.add_parser(
+        "serve", help="serve SpMV over HTTP with dynamic micro-batching"
+    )
+    serve.add_argument(
+        "matrix", nargs="*", help=".mtx or packed binary path(s) to pre-register"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument("--segment-width", type=int, default=4096)
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="K",
+        help="micro-batch size cap: pending requests per matrix coalesced "
+        "into one run_many call",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batch delay cap: a partial batch flushes after this "
+        "long even if not full",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="admission-control bound on pending requests; beyond it the "
+        "server sheds load with 429/OverloadedError",
+    )
+    add_backend_options(serve)
+    serve.set_defaults(func=cmd_serve)
 
     est = sub.add_parser("estimate", help="paper-scale performance for a dataset")
     est.add_argument("dataset", help="dataset name from 'repro datasets'")

@@ -12,9 +12,12 @@ Two-Step engine (simulation scale) and the analytic performance model
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
+
 import numpy as np
 
-from repro.api import SpMVResult
+from repro.api import EngineOptions, SpMVResult
 from repro.core.config import TwoStepConfig
 from repro.core.design_points import DesignPoint
 from repro.core.its import ITSEngine
@@ -34,17 +37,24 @@ class Accelerator:
     Satisfies the :class:`repro.api.SpMVEngine` protocol.
     """
 
+    #: Constructor keywords subsumed by ``EngineOptions``; passing them
+    #: directly still works but warns (see ``repro.api.create_engine``).
+    _LEGACY_KWARGS = (
+        "backend",
+        "n_jobs",
+        "max_retries",
+        "task_timeout",
+        "strict_validate",
+        "telemetry",
+        "fused_step2",
+    )
+
     def __init__(
         self,
         point: DesignPoint,
         simulation_segment_width: int = None,
-        backend: str = None,
-        n_jobs: int = None,
-        max_retries: int = None,
-        task_timeout: float = None,
-        strict_validate: bool = None,
-        telemetry: bool = None,
-        fused_step2: bool = None,
+        options: EngineOptions = None,
+        **legacy,
     ):
         """
         Args:
@@ -54,40 +64,60 @@ class Accelerator:
                 real segment width, which is usually far larger than scaled
                 test matrices; pass a small value to exercise multi-stripe
                 behaviour on small inputs.
-            backend: Optional execution-backend name for the functional
-                engine (see :mod:`repro.backends`); None follows the
-                ``REPRO_BACKEND`` / package-default resolution.
-            n_jobs: Worker count when ``backend="parallel"``; ignored by
-                the sequential backends.
-            max_retries: Supervised-task retry budget for the
-                ``parallel`` backend; None defers to ``REPRO_MAX_RETRIES``.
-            task_timeout: Per-task timeout (seconds) for the ``parallel``
-                backend; None defers to ``REPRO_TASK_TIMEOUT``.
-            strict_validate: Enable the full-scan input-hardening tier;
-                None defers to ``REPRO_STRICT_VALIDATE``.
-            telemetry: Collect tracing spans and metrics per run; None
-                defers to ``REPRO_TELEMETRY``, then True.
-            fused_step2: Run step 2 against the plan's precomputed
-                symbolic structure; None defers to
-                ``REPRO_FUSED_STEP2``, then True.
+            options: Execution options (:class:`repro.api.EngineOptions`)
+                for the functional engine: backend, worker count,
+                supervision budgets, validation/telemetry/fused toggles.
+                Prefer building accelerators through
+                :func:`repro.api.create_engine` with
+                ``design_point=point``.
+            **legacy: The historical scattered keywords (``backend``,
+                ``n_jobs``, ``max_retries``, ``task_timeout``,
+                ``strict_validate``, ``telemetry``, ``fused_step2``).
+                Deprecated -- still honoured, but emits a
+                ``DeprecationWarning`` pointing at ``create_engine``.
         """
+        unknown = sorted(set(legacy) - set(self._LEGACY_KWARGS))
+        if unknown:
+            raise TypeError(
+                f"Accelerator() got unexpected keyword argument(s): "
+                f"{', '.join(unknown)}"
+            )
+        if options is not None and not isinstance(options, EngineOptions):
+            # Historical third positional argument was the backend name;
+            # keep `Accelerator(point, width, "vectorized")` working.
+            legacy = {"backend": options, **legacy}
+            options = None
+        passed = {k: v for k, v in legacy.items() if v is not None}
+        if passed:
+            warnings.warn(
+                "passing backend/n_jobs/max_retries/task_timeout/"
+                "strict_validate/telemetry/fused_step2 directly to "
+                "Accelerator() is deprecated; build engines via "
+                "repro.api.create_engine(design_point=..., ...) or pass "
+                "options=EngineOptions(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if options is None:
+            options = EngineOptions()
+        options = options.replace(**passed) if passed else options
         self.point = point
         width = simulation_segment_width or point.segment_elements
         q = int(np.log2(point.n_merge_cores))
-        self.config = TwoStepConfig(
+        # The design point dictates the structural fields; the options
+        # surface supplies the execution fields (already env-resolved when
+        # the accelerator comes from create_engine).
+        execution = dataclasses.replace(
+            options,
             segment_width=width,
             q=q,
             precision=_PRECISION_BY_BYTES[point.value_bytes],
             vldi_vector_block_bits=8 if point.vldi else None,
+            vldi_matrix_block_bits=None,
             step1_pipelines=point.step1_pipelines,
-            backend=backend,
-            n_jobs=n_jobs,
-            max_retries=max_retries,
-            task_timeout=task_timeout,
-            strict_validate=strict_validate,
-            telemetry=telemetry,
-            fused_step2=fused_step2,
+            design_point=None,
         )
+        self.config = execution.to_config()
         self._engine = TwoStepEngine(self.config)
 
     def metrics(self):

@@ -34,6 +34,7 @@ import numpy as np
 from repro.backends import ExecutionBackend
 from repro.compression.delta import delta_encode, stripe_column_deltas
 from repro.core.config import TwoStepConfig
+from repro.core.segsum import RunGroups, build_run_groups
 from repro.core.step1 import Step1Engine, Step1Stats
 from repro.core.step2 import Step2Stats
 from repro.filters.hdn import HDNDetector
@@ -89,6 +90,9 @@ class StripePlan:
         matrix_bytes: Off-chip bytes to stream the stripe (meta + values).
         iv_index_bits: Encoded bits of the intermediate index stream
             (VLDI when enabled, fixed fields otherwise).
+        run_groups: Length-grouped run layout
+            (:class:`~repro.core.segsum.RunGroups`) for the
+            order-preserving multi-RHS accumulation kernel.
     """
 
     index: int
@@ -103,6 +107,7 @@ class StripePlan:
     fmt: StripeFormat
     matrix_bytes: float
     iv_index_bits: int
+    run_groups: RunGroups | None = None
 
     @property
     def width(self) -> int:
@@ -153,6 +158,9 @@ class Step2Symbolic:
             (``(key - r) // p``) for value injection.
         class_keys: Per residue class, the full dense key stream
             ``r, r+p, ... < padded`` (what the store queue interleaves).
+        run_groups: Length-grouped run layout
+            (:class:`~repro.core.segsum.RunGroups`) of the sorted merge
+            stream, for the order-preserving multi-RHS kernel.
     """
 
     p: int
@@ -166,6 +174,7 @@ class Step2Symbolic:
     class_sel: tuple
     class_positions: tuple
     class_keys: tuple
+    run_groups: RunGroups | None = None
 
 
 def build_step2_symbolic(stripes: list, n_out: int, p: int) -> Step2Symbolic:
@@ -225,6 +234,7 @@ def build_step2_symbolic(stripes: list, n_out: int, p: int) -> Step2Symbolic:
         class_sel=tuple(sel),
         class_positions=tuple(positions),
         class_keys=tuple(class_keys),
+        run_groups=build_run_groups(run_ids, int(merged_keys.size), order=order),
     )
 
 
@@ -485,6 +495,7 @@ def build_plan(
                     block, fmt, matrix.n_rows, config, backend
                 ),
                 iv_index_bits=_iv_index_bits(out_indices, config, backend),
+                run_groups=build_run_groups(run_ids, n_runs),
             )
         )
         # Step-1 statistics are structure-only: accumulate the template

@@ -225,6 +225,23 @@ class TwoStepEngine:
         with self._plan_lock:
             self._plans.clear()
 
+    def forget(self, matrix: COOMatrix) -> int:
+        """Drop the cached plan(s) for one matrix; returns how many.
+
+        The serving layer's registry calls this when it evicts a matrix
+        under LRU pressure, so the engine's plan cache cannot pin an
+        unregistered matrix (and its symbolic structures) in memory.
+        """
+        with self._plan_lock:
+            stale = [
+                key
+                for key, plan in self._plans.items()
+                if plan.matrix is matrix
+            ]
+            for key in stale:
+                del self._plans[key]
+            return len(stale)
+
     def run(
         self,
         matrix: COOMatrix,
@@ -311,8 +328,14 @@ class TwoStepEngine:
 
         Args:
             matrix: Sparse matrix in RM-COO.
-            X: Dense source block, shape ``(n_cols, k)``.
-            Y: Optional dense accumuland block, shape ``(n_rows, k)``.
+            X: Dense source block, shape ``(n_cols, k)``.  A 1-D vector
+                of length ``n_cols`` is accepted as a batch of one and
+                normalized to ``(n_cols, 1)``; transposed blocks and
+                wrong-length 1-D operands raise a
+                :class:`~repro.faults.errors.ConfigurationError` naming
+                the expected layout.
+            Y: Optional dense accumuland block, shape ``(n_rows, k)``
+                (1-D of length ``n_rows`` normalized likewise).
             verify: Check every column against the (cached) dense
                 reference.
 

@@ -29,9 +29,13 @@ from repro.faults.errors import (
     InvalidInputError,
     InvalidMatrixError,
     InvalidVectorError,
+    OverloadedError,
+    QuotaExceededError,
     RetryExhaustedError,
+    ServingError,
     ShardFailedError,
     TaskTimeoutError,
+    UnknownMatrixError,
     WorkerCrashError,
 )
 from repro.faults.injection import (
@@ -52,6 +56,7 @@ from repro.faults.report import (
 )
 from repro.faults.validation import (
     STRICT_VALIDATE_ENV_VAR,
+    normalize_batch_operand,
     resolve_strict_validate,
     validate_inputs,
     validate_matrix,
@@ -72,16 +77,21 @@ __all__ = [
     "InvalidInputError",
     "InvalidMatrixError",
     "InvalidVectorError",
+    "OverloadedError",
+    "QuotaExceededError",
     "RetryExhaustedError",
     "STRICT_VALIDATE_ENV_VAR",
+    "ServingError",
     "ShardFailedError",
     "TaskTimeoutError",
+    "UnknownMatrixError",
     "WorkerCrashError",
     "active_plan",
     "collect_faults",
     "current_report",
     "inject_faults",
     "match_fault",
+    "normalize_batch_operand",
     "record_event",
     "resolve_strict_validate",
     "validate_inputs",

@@ -84,6 +84,48 @@ class ShardFailedError(FaultError):
         self.index = index
 
 
+class ServingError(FaultError):
+    """Base class for failures raised by the :mod:`repro.serving` layer."""
+
+
+class OverloadedError(ServingError):
+    """The server shed a request under admission control.
+
+    Raised when the global micro-batching queue is at capacity.  HTTP
+    frontends map this to ``429 Too Many Requests``; clients should back
+    off and retry.
+
+    Attributes:
+        queue_depth: Pending requests at rejection time.
+        limit: The admission-control bound that was hit.
+    """
+
+    def __init__(self, message: str, queue_depth: int = -1, limit: int = -1):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+class QuotaExceededError(OverloadedError):
+    """A tenant exceeded its per-tenant quota (matrices or in-flight).
+
+    Subclasses :class:`OverloadedError` so generic shed-handling catches
+    both; the ``tenant`` attribute names the offender.
+    """
+
+    def __init__(self, message: str, tenant: str = "", queue_depth: int = -1, limit: int = -1):
+        super().__init__(message, queue_depth=queue_depth, limit=limit)
+        self.tenant = tenant
+
+
+class UnknownMatrixError(ServingError, KeyError):
+    """A request referenced a fingerprint that is not registered.
+
+    Subclasses :class:`KeyError` so registry-shaped call sites can keep
+    their ``except KeyError`` handling.
+    """
+
+
 __all__ = [
     "ConfigurationError",
     "CorruptPayloadError",
@@ -92,8 +134,12 @@ __all__ = [
     "InvalidInputError",
     "InvalidMatrixError",
     "InvalidVectorError",
+    "OverloadedError",
+    "QuotaExceededError",
     "RetryExhaustedError",
+    "ServingError",
     "ShardFailedError",
     "TaskTimeoutError",
+    "UnknownMatrixError",
     "WorkerCrashError",
 ]

@@ -21,7 +21,11 @@ import os
 
 import numpy as np
 
-from repro.faults.errors import InvalidMatrixError, InvalidVectorError
+from repro.faults.errors import (
+    ConfigurationError,
+    InvalidMatrixError,
+    InvalidVectorError,
+)
 
 #: Environment variable enabling strict validation globally.
 STRICT_VALIDATE_ENV_VAR = "REPRO_STRICT_VALIDATE"
@@ -72,6 +76,60 @@ def validate_vector(
     if strict and arr.size and not np.all(np.isfinite(arr)):
         bad = int(np.count_nonzero(~np.isfinite(arr)))
         raise InvalidVectorError(f"{name} contains {bad} non-finite (NaN/Inf) element(s)")
+    return arr
+
+
+def normalize_batch_operand(x, n: int, name: str = "X"):
+    """Normalize a ``run_many`` operand to its canonical 2-D layout.
+
+    ``run_many`` takes right-hand sides as *columns*: shape ``(n, k)``.
+    Two shapes historically slipped through to confusing downstream
+    errors (or, for a single-column matrix, silently flipped meaning):
+
+    * a 1-D vector of length ``n`` -- clearly one RHS; normalized to
+      ``(n, 1)`` so ``run_many(matrix, x)`` behaves like a batch of one;
+    * a transposed block ``(k, n)`` -- rejected with a
+      :class:`~repro.faults.errors.ConfigurationError` naming the fix
+      instead of a bare shape mismatch.
+
+    A 1-D operand whose length is *not* ``n`` (the ambiguous
+    single-column-matrix case: ``n_cols == 1`` and a length-``k``
+    vector) is also rejected with an explicit message, since guessing
+    between "k right-hand sides" and "one malformed RHS" would be
+    silent corruption.
+
+    Args:
+        x: Candidate operand (array-like).
+        n: Required leading dimension (``n_cols`` for X, ``n_rows``
+            for Y).
+        name: Operand name for error messages.
+
+    Returns:
+        The operand as an ``ndarray`` of shape ``(n, k)``.
+
+    Raises:
+        ConfigurationError: 1-D with the wrong length, or a transposed
+            2-D block.
+    """
+    try:
+        arr = np.asarray(x)
+    except (TypeError, ValueError) as exc:
+        raise InvalidVectorError(f"{name} is not convertible to an array: {exc}") from exc
+    if arr.ndim == 1:
+        if arr.shape[0] != n:
+            raise ConfigurationError(
+                f"{name} is 1-D with length {arr.shape[0]} but run_many "
+                f"expects right-hand sides as columns of shape ({n}, k); "
+                f"pass {name} with shape ({n},) for a single RHS or "
+                f"({n}, k) for a batch"
+            )
+        return arr.reshape(n, 1)
+    if arr.ndim == 2 and arr.shape[0] != n and arr.shape[1] == n:
+        raise ConfigurationError(
+            f"{name} has shape {arr.shape} which looks transposed: "
+            f"run_many expects right-hand sides as columns, shape "
+            f"({n}, k); pass {name}.T"
+        )
     return arr
 
 
@@ -140,16 +198,24 @@ def validate_inputs(
 
     Returns:
         ``(x, y)`` coerced to ``float64`` arrays (``y`` may be None).
+        In batch mode 1-D operands of the right length are normalized to
+        single-column blocks first (see :func:`normalize_batch_operand`).
 
     Raises:
         InvalidMatrixError: Matrix contract violation.
         InvalidVectorError: Dense-operand contract violation.
+        ConfigurationError: Batch operand 1-D with the wrong length or
+            passed transposed.
     """
     validate_matrix(matrix, strict=strict)
     ndim = 2 if batch else 1
+    if batch:
+        x = normalize_batch_operand(x, matrix.n_cols, name="X")
     x = validate_vector(x, matrix.n_cols, name="X" if batch else "x", strict=strict, ndim=ndim)
     if y is not None:
         name = "Y" if batch else "y"
+        if batch:
+            y = normalize_batch_operand(y, matrix.n_rows, name="Y")
         y = validate_vector(y, matrix.n_rows, name=name, strict=strict, ndim=ndim)
         if batch and y.shape[1] != x.shape[1]:
             raise InvalidVectorError(
@@ -160,6 +226,7 @@ def validate_inputs(
 
 __all__ = [
     "STRICT_VALIDATE_ENV_VAR",
+    "normalize_batch_operand",
     "resolve_strict_validate",
     "validate_inputs",
     "validate_matrix",

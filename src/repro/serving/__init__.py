@@ -1,0 +1,53 @@
+"""SpMV-as-a-service: async serving over the Two-Step engine.
+
+The serving layer turns the batch-oriented engine into a long-lived
+service: matrices are registered once by content fingerprint, concurrent
+single-RHS requests are coalesced by a dynamic micro-batching queue
+(max-batch / max-delay policy) into :meth:`run_many` calls, admission
+control sheds load past a bounded queue, and every tenant gets its own
+engine (plan cache + workspaces) with LRU eviction and quotas.
+
+Layering:
+
+* :mod:`repro.serving.registry` -- fingerprints, tenants, quotas, LRU.
+* :mod:`repro.serving.batching` -- the micro-batching queue.
+* :mod:`repro.serving.server` -- the transport-agnostic core.
+* :mod:`repro.serving.http` -- stdlib asyncio HTTP/1.1 frontend.
+* :mod:`repro.serving.loadgen` -- open-loop QPS sweeps for benchmarks.
+
+Quickstart (in-process)::
+
+    import asyncio
+    from repro.serving import BatchPolicy, SpMVServer
+
+    server = SpMVServer(policy=BatchPolicy(max_batch=16, max_delay_s=0.002))
+    fp = server.register(matrix)
+
+    async def main():
+        result = await server.submit(fp, x)
+        return result.y  # bit-identical to engine.run(matrix, x)
+
+    y = asyncio.run(main())
+
+Or over HTTP: ``repro serve graph.npz --port 8787``.
+"""
+
+from repro.serving.batching import BatchPolicy, BatchResult, MicroBatcher
+from repro.serving.loadgen import LoadReport, run_open_loop, sweep
+from repro.serving.registry import MatrixRegistry, Registration, TenantQuotas, matrix_fingerprint
+from repro.serving.server import ServeResult, SpMVServer
+
+__all__ = [
+    "BatchPolicy",
+    "BatchResult",
+    "LoadReport",
+    "MatrixRegistry",
+    "MicroBatcher",
+    "Registration",
+    "ServeResult",
+    "SpMVServer",
+    "TenantQuotas",
+    "matrix_fingerprint",
+    "run_open_loop",
+    "sweep",
+]

@@ -1,0 +1,269 @@
+"""Dynamic micro-batching for concurrent single-RHS SpMV requests.
+
+The engine's :meth:`~repro.core.twostep.TwoStepEngine.run_many` amortises
+the matrix-side traversal (plan lookup, stripe walk, merge scheduling)
+across every column of a multi-RHS block, so k coalesced requests cost
+far less than k independent ``run`` calls.  The :class:`MicroBatcher`
+exploits that: concurrent requests against the same (tenant, matrix)
+lane accumulate in a pending list and are flushed as one ``run_many``
+batch when either
+
+* the lane reaches ``BatchPolicy.max_batch`` pending requests, or
+* the oldest pending request has waited ``BatchPolicy.max_delay_s``.
+
+Admission control is a single bound across all lanes: once
+``BatchPolicy.max_queue`` requests are in flight (queued or executing),
+further submissions are shed immediately with
+:class:`~repro.faults.errors.OverloadedError` rather than queued into an
+unbounded backlog.
+
+All queue state is mutated only on the event-loop thread, so no locks
+are needed; batch execution runs on a small *dedicated* thread pool
+(``BatchPolicy.workers``, default 1) rather than ``asyncio.to_thread``'s
+shared rotating pool.  Pinning execution to stable threads keeps the
+engine's thread-local workspaces warm -- with a rotating pool every
+batch lands on a cold thread and re-allocates its scratch buffers,
+which on memory-starved hosts costs as much as the kernels themselves.
+(The engine is thread-safe: the plan cache is locked and workspaces are
+thread-local.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.errors import ConfigurationError, OverloadedError
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Micro-batching policy: flush triggers and queue bound.
+
+    Attributes:
+        max_batch: Flush a lane as soon as this many requests are
+            pending (one ``run_many`` call serves them all).
+        max_delay_s: Flush a non-empty lane once its oldest request has
+            waited this long, even if the batch is not full.  This is
+            the latency a lone request pays to give companions a chance
+            to arrive.
+        max_queue: Total in-flight requests (queued + executing, across
+            all lanes) before submissions are shed with
+            ``OverloadedError``.
+        workers: Dedicated batch-execution threads.  Keep small (the
+            default 1 is right for most hosts): stable threads keep the
+            engine's thread-local workspaces warm across batches.
+    """
+
+    max_batch: int = 32
+    max_delay_s: float = 0.002
+    max_queue: int = 1024
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ConfigurationError("max_batch must be positive")
+        if self.max_delay_s < 0:
+            raise ConfigurationError("max_delay_s must be non-negative")
+        if self.max_queue <= 0:
+            raise ConfigurationError("max_queue must be positive")
+        if self.workers <= 0:
+            raise ConfigurationError("workers must be positive")
+
+
+@dataclass
+class _Pending:
+    """One queued request: its RHS and the future its caller awaits."""
+
+    x: np.ndarray
+    future: asyncio.Future
+    enqueued: float
+
+
+@dataclass
+class _Lane:
+    """Per-(tenant, fingerprint) pending queue and delay timer."""
+
+    pending: list = field(default_factory=list)
+    timer: asyncio.Task | None = None
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """What a coalesced request gets back: its column plus batch facts."""
+
+    y: np.ndarray
+    batch_size: int
+    queued_s: float
+
+
+class MicroBatcher:
+    """Coalesces per-lane requests into batched ``execute`` calls.
+
+    Args:
+        execute: ``execute(key, X) -> np.ndarray`` of shape ``(m, k)``;
+            called in a worker thread with the stacked RHS block.
+        policy: Flush triggers and the global queue bound.
+        metrics: Optional ``MetricsRegistry``; observes batch sizes and
+            queue waits, counts batches and shed requests.
+    """
+
+    def __init__(self, execute, policy: BatchPolicy | None = None, metrics=None):
+        self._execute = execute
+        self.policy = policy or BatchPolicy()
+        self._metrics = metrics
+        self._lanes: dict = {}
+        self._in_flight = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.policy.workers, thread_name_prefix="spmv-batch"
+        )
+        self.batches = 0
+        self.coalesced = 0
+        self.shed = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently queued or executing, across all lanes."""
+        return self._in_flight
+
+    async def submit(self, key, x: np.ndarray) -> BatchResult:
+        """Queue one RHS for ``key``; resolves when its batch executes.
+
+        Raises:
+            OverloadedError: The global ``max_queue`` bound is hit; the
+                request was shed without queueing.
+        """
+        if self._in_flight >= self.policy.max_queue:
+            self.shed += 1
+            if self._metrics is not None:
+                self._metrics.inc(
+                    "serving_shed_total", help="Requests shed by admission control"
+                )
+            raise OverloadedError(
+                f"serving queue full ({self._in_flight} in flight, "
+                f"limit {self.policy.max_queue}); retry later",
+                queue_depth=self._in_flight,
+                limit=self.policy.max_queue,
+            )
+        loop = asyncio.get_running_loop()
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = self._lanes[key] = _Lane()
+        pending = _Pending(x=x, future=loop.create_future(), enqueued=time.perf_counter())
+        lane.pending.append(pending)
+        self._in_flight += 1
+        if len(lane.pending) >= self.policy.max_batch:
+            batch = self._pop(lane)
+            asyncio.ensure_future(self._run_batch(key, batch))
+        elif lane.timer is None:
+            lane.timer = asyncio.ensure_future(self._delayed_flush(key, lane))
+        return await pending.future
+
+    async def flush(self, key=None) -> None:
+        """Immediately flush one lane (or every lane) without waiting."""
+        keys = [key] if key is not None else list(self._lanes)
+        tasks = []
+        for k in keys:
+            lane = self._lanes.get(k)
+            if lane is None:
+                continue
+            batch = self._pop(lane)
+            if batch:
+                tasks.append(asyncio.ensure_future(self._run_batch(k, batch)))
+        if tasks:
+            await asyncio.gather(*tasks)
+
+    async def drain(self) -> None:
+        """Flush everything and wait for in-flight batches to finish.
+
+        The batcher stays usable afterwards; call :meth:`shutdown` to
+        also release the execution threads.
+        """
+        while self._in_flight:
+            await self.flush()
+            await asyncio.sleep(0)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the dedicated execution threads (terminal)."""
+        self._pool.shutdown(wait=wait)
+
+    def _pop(self, lane: _Lane) -> list:
+        """Detach up to ``max_batch`` pending requests and stop the timer."""
+        batch = lane.pending[: self.policy.max_batch]
+        del lane.pending[: self.policy.max_batch]
+        if lane.timer is not None and not lane.timer.done():
+            lane.timer.cancel()
+        lane.timer = None
+        return batch
+
+    async def _delayed_flush(self, key, lane: _Lane) -> None:
+        try:
+            await asyncio.sleep(self.policy.max_delay_s)
+        except asyncio.CancelledError:
+            return
+        lane.timer = None
+        batch = self._pop(lane)
+        if batch:
+            await self._run_batch(key, batch)
+
+    def _execute_stacked(self, key, xs: list) -> np.ndarray:
+        """Worker-thread body: stack, execute, unstack.
+
+        The RHS stack (column-major fill) and the result transpose are
+        both O(n*k) memory passes; doing them here keeps the event loop
+        free to keep coalescing while a batch executes.  The returned
+        array is ``(k, m)`` so each request's ``y`` is a contiguous row.
+        """
+        X = np.stack(xs, axis=1)
+        Y = self._execute(key, X)
+        return np.ascontiguousarray(Y.T)
+
+    async def _run_batch(self, key, batch: list) -> None:
+        """Execute one coalesced batch and fan results back to futures."""
+        now = time.perf_counter()
+        k = len(batch)
+        loop = asyncio.get_running_loop()
+        try:
+            YT = await loop.run_in_executor(
+                self._pool, self._execute_stacked, key, [p.x for p in batch]
+            )
+        except Exception as exc:
+            for p in batch:
+                if not p.future.done():
+                    p.future.set_exception(exc)
+        else:
+            for j, p in enumerate(batch):
+                if not p.future.done():
+                    p.future.set_result(
+                        BatchResult(
+                            y=YT[j],
+                            batch_size=k,
+                            queued_s=now - p.enqueued,
+                        )
+                    )
+        finally:
+            self._in_flight -= k
+            self.batches += 1
+            self.coalesced += k
+            if self._metrics is not None:
+                self._metrics.inc(
+                    "serving_batches_total", help="Coalesced batches executed"
+                )
+                self._metrics.observe(
+                    "serving_batch_size",
+                    float(k),
+                    help="Requests per coalesced batch",
+                )
+                for p in batch:
+                    self._metrics.observe(
+                        "serving_queue_wait_seconds",
+                        now - p.enqueued,
+                        help="Time requests spent queued",
+                    )
+
+
+__all__ = ["BatchPolicy", "BatchResult", "MicroBatcher"]

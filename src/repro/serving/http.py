@@ -1,0 +1,298 @@
+"""Minimal asyncio HTTP/1.1 frontend for :class:`SpMVServer`.
+
+Stdlib-only (``asyncio.start_server`` + hand-rolled request parsing) so
+serving needs no web framework.  Routes:
+
+* ``GET /health`` -- liveness JSON.
+* ``GET /stats`` -- operational snapshot JSON.
+* ``GET /metrics`` -- Prometheus exposition text.
+* ``POST /v1/matrices`` -- register a matrix from an RM-COO triple
+  payload ``{"n_rows", "n_cols", "rows", "cols", "vals", "tenant"?}``;
+  returns ``{"fingerprint": ...}``.
+* ``POST /v1/spmv`` -- serve one request
+  ``{"fingerprint", "x", "tenant"?}``; returns ``{"y", "batch_size",
+  "queued_ms", "wall_ms"}``.
+
+Error mapping follows the faults hierarchy: admission-control sheds
+(:class:`OverloadedError`, including tenant quotas) become ``429`` with
+a ``Retry-After`` hint, unknown fingerprints become ``404``, malformed
+payloads and operands become ``400``, and anything else a ``500``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.faults.errors import (
+    ConfigurationError,
+    FaultError,
+    InvalidInputError,
+    OverloadedError,
+    UnknownMatrixError,
+)
+from repro.serving.server import SpMVServer
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+
+
+class HTTPServingFrontend:
+    """Serve an :class:`SpMVServer` over HTTP on ``host:port``.
+
+    Args:
+        server: The transport-agnostic serving core.
+        host: Bind address.
+        port: Bind port; ``0`` picks a free port (read ``self.port``
+            after :meth:`start`).
+    """
+
+    def __init__(self, server: SpMVServer, host: str = "127.0.0.1", port: int = 8787):
+        self.server = server
+        self.host = host
+        self.port = port
+        self._asyncio_server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._asyncio_server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled."""
+        if self._asyncio_server is None:
+            await self.start()
+        await self._asyncio_server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight batches, close."""
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+        await self.server.shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            status, payload, content_type, extra = await self._route(
+                method, path, body
+            )
+        except FaultError as exc:
+            status, payload, content_type, extra = self._map_fault(exc)
+        except (ValueError, UnicodeDecodeError) as exc:
+            status, payload, content_type, extra = (
+                400,
+                {"error": "bad_request", "detail": str(exc)},
+                "application/json",
+                {},
+            )
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            status, payload, content_type, extra = (
+                500,
+                {"error": "internal", "detail": str(exc)},
+                "application/json",
+                {},
+            )
+        try:
+            await self._respond(writer, status, payload, content_type, extra)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError("malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        else:
+            raise ValueError("too many headers")
+        if content_length > _MAX_BODY_BYTES:
+            raise ValueError(f"body too large ({content_length} bytes)")
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    async def _route(self, method: str, path: str, body: bytes):
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/health":
+            return 200, self.server.health(), "application/json", {}
+        if method == "GET" and path == "/stats":
+            return 200, self.server.stats(), "application/json", {}
+        if method == "GET" and path == "/metrics":
+            return 200, self.server.prometheus(), "text/plain; version=0.0.4", {}
+        if method == "POST" and path == "/v1/matrices":
+            return await self._post_matrix(body)
+        if method == "POST" and path == "/v1/spmv":
+            return await self._post_spmv(body)
+        return (
+            404,
+            {"error": "not_found", "detail": f"no route for {method} {path}"},
+            "application/json",
+            {},
+        )
+
+    async def _post_matrix(self, body: bytes):
+        payload = _parse_json(body)
+        tenant = str(payload.get("tenant", "default"))
+        try:
+            n_rows = int(payload["n_rows"])
+            n_cols = int(payload["n_cols"])
+            rows = payload["rows"]
+            cols = payload["cols"]
+            vals = payload["vals"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"matrix payload missing field {exc.args[0]!r}; expected "
+                "n_rows, n_cols, rows, cols, vals"
+            ) from None
+        # Matrix construction (sort, dedup, validation) can be costly for
+        # large payloads; keep it off the event loop.
+        matrix = await asyncio.to_thread(
+            _build_matrix, n_rows, n_cols, rows, cols, vals
+        )
+        fingerprint = self.server.register(matrix, tenant)
+        return 200, {"fingerprint": fingerprint, "tenant": tenant}, "application/json", {}
+
+    async def _post_spmv(self, body: bytes):
+        payload = _parse_json(body)
+        tenant = str(payload.get("tenant", "default"))
+        try:
+            fingerprint = str(payload["fingerprint"])
+            x = payload["x"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"spmv payload missing field {exc.args[0]!r}; expected "
+                "fingerprint, x"
+            ) from None
+        result = await self.server.submit(fingerprint, x, tenant)
+        return (
+            200,
+            {
+                "y": result.y.tolist(),
+                "fingerprint": result.fingerprint,
+                "tenant": result.tenant,
+                "batch_size": result.batch_size,
+                "queued_ms": round(result.queued_s * 1e3, 3),
+                "wall_ms": round(result.wall_s * 1e3, 3),
+            },
+            "application/json",
+            {},
+        )
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+
+    def _map_fault(self, exc: FaultError):
+        if isinstance(exc, UnknownMatrixError):
+            return (
+                404,
+                {"error": "unknown_matrix", "detail": _fault_detail(exc)},
+                "application/json",
+                {},
+            )
+        if isinstance(exc, OverloadedError):
+            payload = {
+                "error": "overloaded",
+                "detail": str(exc),
+                "queue_depth": exc.queue_depth,
+                "limit": exc.limit,
+            }
+            tenant = getattr(exc, "tenant", "")
+            if tenant:
+                payload["tenant"] = tenant
+            return 429, payload, "application/json", {"Retry-After": "1"}
+        if isinstance(exc, (ConfigurationError, InvalidInputError)):
+            return (
+                400,
+                {"error": "invalid_request", "detail": str(exc)},
+                "application/json",
+                {},
+            )
+        return (
+            500,
+            {"error": type(exc).__name__, "detail": str(exc)},
+            "application/json",
+            {},
+        )
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        content_type: str,
+        extra: dict,
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  429: "Too Many Requests", 500: "Internal Server Error"}.get(
+            status, "OK"
+        )
+        if isinstance(payload, str):
+            body = payload.encode()
+        else:
+            body = json.dumps(payload).encode()
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        headers.extend(f"{name}: {value}" for name, value in extra.items())
+        writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + body)
+        await writer.drain()
+
+
+def _parse_json(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ConfigurationError(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ConfigurationError("request body must be a JSON object")
+    return payload
+
+
+def _fault_detail(exc: FaultError) -> str:
+    # UnknownMatrixError subclasses KeyError, whose str() wraps the
+    # message in repr quotes; unwrap for a clean JSON detail.
+    if exc.args and isinstance(exc.args[0], str):
+        return exc.args[0]
+    return str(exc)
+
+
+def _build_matrix(n_rows: int, n_cols: int, rows, cols, vals):
+    from repro.formats.coo import COOMatrix
+
+    try:
+        return COOMatrix.from_triples(n_rows, n_cols, rows, cols, vals)
+    except (ValueError, TypeError) as exc:
+        raise ConfigurationError(f"invalid matrix payload: {exc}") from None
+
+
+__all__ = ["HTTPServingFrontend"]

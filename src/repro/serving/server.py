@@ -1,0 +1,234 @@
+"""The SpMV server: registration, admission control, batched dispatch.
+
+:class:`SpMVServer` is the transport-agnostic core of the serving layer.
+It owns a :class:`~repro.serving.registry.MatrixRegistry` (matrices +
+per-tenant engines), a :class:`~repro.serving.batching.MicroBatcher`
+(dynamic coalescing into ``run_many``), and a ``MetricsRegistry`` that
+the ``/metrics`` endpoint renders as Prometheus text.  The HTTP frontend
+in :mod:`repro.serving.http` is a thin adapter over this class; tests
+and the load generator drive it in-process.
+
+Every served result is bit-identical to a direct ``engine.run`` on the
+same matrix and vector: ``run_many`` guarantees column ``j`` of a batch
+equals the single-RHS result, and the batcher only ever stacks requests
+for the same (tenant, fingerprint) lane.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import EngineOptions
+from repro.faults.errors import FaultError, OverloadedError, QuotaExceededError
+from repro.faults.validation import validate_vector
+from repro.serving.batching import BatchPolicy, MicroBatcher
+from repro.serving.registry import MatrixRegistry, TenantQuotas
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served request: the result vector plus serving facts."""
+
+    y: np.ndarray
+    fingerprint: str
+    tenant: str
+    batch_size: int
+    queued_s: float
+    wall_s: float
+
+
+class SpMVServer:
+    """Async SpMV service over registered matrices.
+
+    Args:
+        options: Engine options for every tenant engine (one audited
+            configuration; resolved once at construction).
+        policy: Micro-batching policy (flush triggers, queue bound).
+        quotas: Per-tenant matrix and in-flight limits.
+    """
+
+    def __init__(
+        self,
+        options: EngineOptions | None = None,
+        policy: BatchPolicy | None = None,
+        quotas: TenantQuotas | None = None,
+    ):
+        self.options = (options or EngineOptions()).resolve()
+        self.policy = policy or BatchPolicy()
+        self.registry = MatrixRegistry(self.options, quotas)
+        self.metrics = MetricsRegistry()
+        self._batcher = MicroBatcher(self._execute, self.policy, metrics=self.metrics)
+        self._inflight_by_tenant: dict[str, int] = {}
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, matrix, tenant: str = "default") -> str:
+        """Register a matrix for a tenant; returns its fingerprint."""
+        fingerprint = self.registry.register(matrix, tenant)
+        self.metrics.inc(
+            "serving_matrices_registered_total",
+            labels={"tenant": tenant},
+            help="Matrix registrations accepted",
+        )
+        return fingerprint
+
+    def unregister(self, fingerprint: str, tenant: str = "default") -> None:
+        """Drop one registration (and its cached plan)."""
+        self.registry.unregister(fingerprint, tenant)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self, fingerprint: str, x, tenant: str = "default"
+    ) -> ServeResult:
+        """Serve ``y = A x`` for a registered matrix.
+
+        The request joins the (tenant, fingerprint) micro-batching lane;
+        it resolves once its batch executes.  Raises
+        ``UnknownMatrixError`` for unregistered fingerprints,
+        ``QuotaExceededError``/``OverloadedError`` under admission
+        control, and ``InvalidVectorError`` for malformed operands.
+        """
+        t0 = time.perf_counter()
+        outcome = "error"
+        try:
+            registration = self.registry.get(fingerprint, tenant)
+            x = validate_vector(
+                x, registration.matrix.n_cols, name="x", strict=False, ndim=1
+            )
+            inflight = self._inflight_by_tenant.get(tenant, 0)
+            if inflight >= self.registry.quotas.max_inflight:
+                outcome = "quota"
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} has {inflight} requests in flight "
+                    f"(limit {self.registry.quotas.max_inflight})",
+                    tenant=tenant,
+                    queue_depth=inflight,
+                    limit=self.registry.quotas.max_inflight,
+                )
+            self._inflight_by_tenant[tenant] = inflight + 1
+            try:
+                batched = await self._batcher.submit((tenant, fingerprint), x)
+            finally:
+                self._inflight_by_tenant[tenant] -= 1
+            outcome = "ok"
+            return ServeResult(
+                y=batched.y,
+                fingerprint=fingerprint,
+                tenant=tenant,
+                batch_size=batched.batch_size,
+                queued_s=batched.queued_s,
+                wall_s=time.perf_counter() - t0,
+            )
+        except OverloadedError:
+            if outcome != "quota":
+                outcome = "overloaded"
+            raise
+        except FaultError as exc:
+            outcome = type(exc).__name__
+            raise
+        finally:
+            self.metrics.inc(
+                "serving_requests_total",
+                labels={"tenant": tenant, "outcome": outcome},
+                help="Requests by tenant and outcome",
+            )
+            if outcome == "ok":
+                self.metrics.observe(
+                    "serving_request_seconds",
+                    time.perf_counter() - t0,
+                    labels={"tenant": tenant},
+                    help="End-to-end request latency",
+                )
+
+    def _execute(self, key, X: np.ndarray) -> np.ndarray:
+        """Run one coalesced batch (called by the batcher in a thread)."""
+        tenant, fingerprint = key
+        registration = self.registry.get(fingerprint, tenant)
+        engine = self.registry.engine(tenant)
+        Y, _report = engine.run_many(registration.matrix, X)
+        registration.requests_served += X.shape[1]
+        registration.batches_served += 1
+        return Y
+
+    async def close(self) -> None:
+        """Flush pending lanes and wait for in-flight batches.
+
+        The server stays usable afterwards; call :meth:`shutdown` for a
+        terminal close that also releases the execution threads.
+        """
+        await self._batcher.drain()
+
+    async def shutdown(self) -> None:
+        """Drain and release the batch-execution threads (terminal)."""
+        await self._batcher.drain()
+        self._batcher.shutdown()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness summary for ``GET /health``."""
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "tenants": len(self.registry.tenants()),
+            "queue_depth": self._batcher.in_flight,
+            "queue_limit": self.policy.max_queue,
+        }
+
+    def stats(self) -> dict:
+        """Operational snapshot for ``GET /stats``."""
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "policy": {
+                "max_batch": self.policy.max_batch,
+                "max_delay_s": self.policy.max_delay_s,
+                "max_queue": self.policy.max_queue,
+            },
+            "queue": {
+                "in_flight": self._batcher.in_flight,
+                "batches": self._batcher.batches,
+                "coalesced": self._batcher.coalesced,
+                "shed": self._batcher.shed,
+                "mean_batch": (
+                    round(self._batcher.coalesced / self._batcher.batches, 3)
+                    if self._batcher.batches
+                    else None
+                ),
+            },
+            "engine_options": {
+                name: value
+                for name, (value, _source) in self.options.provenance().items()
+                if value is not None
+            },
+            "registry": self.registry.stats(),
+        }
+
+    def prometheus(self) -> str:
+        """Prometheus exposition text: serving + per-tenant engine metrics."""
+        merged = MetricsRegistry()
+        merged.merge(self.metrics)
+        merged.set(
+            "serving_queue_depth",
+            float(self._batcher.in_flight),
+            help="Requests currently queued or executing",
+        )
+        for tenant in self.registry.tenants():
+            engine = self.registry.engine(tenant)
+            if hasattr(engine, "metrics"):
+                merged.merge(engine.metrics())
+        return merged.to_prometheus()
+
+
+__all__ = ["ServeResult", "SpMVServer"]

@@ -1,0 +1,241 @@
+"""EngineOptions / create_engine: the single audited entry point.
+
+Covers the precedence rule (explicit argument > environment variable >
+package default), provenance reporting, the TwoStepConfig bridge, the
+deprecation shims on legacy constructor keywords, and the guarantee that
+the static defaults table cannot drift from the live package defaults.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro import create_engine, reference_spmv
+from repro.api import DEFAULT_SEGMENT_WIDTH, ENV_VARS, EngineOptions, ensure_config
+from repro.backends import DEFAULT_BACKEND
+from repro.core.accelerator import Accelerator
+from repro.core.config import TwoStepConfig
+from repro.core.design_points import TS_ASIC
+from repro.core.twostep import TwoStepEngine
+from repro.faults.errors import ConfigurationError
+from repro.generators import erdos_renyi_graph
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    """Strip every REPRO_* variable so defaults are observable."""
+    for var in ENV_VARS.values():
+        monkeypatch.delenv(var, raising=False)
+    return monkeypatch
+
+
+@pytest.fixture
+def small_graph():
+    return erdos_renyi_graph(n_nodes=600, avg_degree=4.0, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Precedence: explicit > env > default
+# ----------------------------------------------------------------------
+
+
+class TestPrecedence:
+    def test_default_when_nothing_set(self, clean_env):
+        options = EngineOptions().resolve()
+        assert options.backend == DEFAULT_BACKEND
+        assert options.segment_width == DEFAULT_SEGMENT_WIDTH
+        assert options.telemetry is True
+        assert options.fused_step2 is True
+        assert options.strict_validate is False
+
+    def test_env_beats_default(self, clean_env):
+        clean_env.setenv("REPRO_BACKEND", "reference")
+        clean_env.setenv("REPRO_JOBS", "3")
+        options = EngineOptions().resolve()
+        assert options.backend == "reference"
+        assert options.n_jobs == 3
+
+    def test_explicit_beats_env(self, clean_env):
+        clean_env.setenv("REPRO_BACKEND", "reference")
+        options = EngineOptions(backend="parallel").resolve()
+        assert options.backend == "parallel"
+
+    def test_resolution_pins_values(self, clean_env):
+        clean_env.setenv("REPRO_BACKEND", "reference")
+        options = EngineOptions().resolve()
+        clean_env.setenv("REPRO_BACKEND", "parallel")
+        # Already-resolved options must not chase the environment.
+        assert options.backend == "reference"
+        assert options.resolve().backend == "reference"
+
+    def test_boolean_env_parsing_matches_historical_resolvers(self, clean_env):
+        # Default-on flags: anything outside the falsy set means on.
+        clean_env.setenv("REPRO_TELEMETRY", "0")
+        clean_env.setenv("REPRO_FUSED_STEP2", "off")
+        # Default-off flag: requires an explicit truthy value.
+        clean_env.setenv("REPRO_STRICT_VALIDATE", "yes")
+        options = EngineOptions().resolve()
+        assert options.telemetry is False
+        assert options.fused_step2 is False
+        assert options.strict_validate is True
+
+    def test_garbage_env_value_raises_configuration_error(self, clean_env):
+        clean_env.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError, match="REPRO_JOBS"):
+            EngineOptions().resolve()
+
+    def test_dynamic_defaults_stay_unset(self, clean_env):
+        options = EngineOptions().resolve()
+        # CPU count / pool retry budget / precision resolve downstream.
+        assert options.n_jobs is None
+        assert options.max_retries is None
+        assert options.task_timeout is None
+        assert options.precision is None
+
+
+class TestStaticDefaultsTable:
+    def test_backend_default_cannot_drift(self):
+        assert api._STATIC_DEFAULTS["backend"] == DEFAULT_BACKEND
+
+    def test_config_side_defaults_match_twostepconfig(self):
+        config = TwoStepConfig(segment_width=DEFAULT_SEGMENT_WIDTH)
+        for name in ("q", "dpage_bytes", "step1_pipelines", "check_interleave",
+                     "index_field_bytes", "plan_cache"):
+            assert api._STATIC_DEFAULTS[name] == getattr(config, name), name
+
+
+# ----------------------------------------------------------------------
+# from_env / from_config / replace / provenance
+# ----------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_from_env_reads_only_set_variables(self, clean_env):
+        clean_env.setenv("REPRO_BACKEND", "reference")
+        options = EngineOptions.from_env()
+        assert options.backend == "reference"
+        assert options.n_jobs is None  # unset variable stays None
+
+    def test_from_env_overrides_win(self, clean_env):
+        clean_env.setenv("REPRO_BACKEND", "reference")
+        options = EngineOptions.from_env(backend="parallel")
+        assert options.backend == "parallel"
+
+    def test_from_config_round_trip(self, clean_env):
+        config = TwoStepConfig(segment_width=1024, q=3, backend="reference")
+        options = EngineOptions.from_config(config)
+        rebuilt = options.to_config()
+        assert rebuilt.segment_width == 1024
+        assert rebuilt.q == 3
+        assert rebuilt.backend == "reference"
+
+    def test_replace_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="segmnt_width"):
+            EngineOptions().replace(segmnt_width=512)
+
+    def test_create_engine_rejects_unknown_overrides(self):
+        with pytest.raises(ConfigurationError, match="unknown engine option"):
+            create_engine(bakend="reference")
+
+    def test_create_engine_rejects_non_options(self):
+        with pytest.raises(ConfigurationError, match="EngineOptions"):
+            create_engine(TwoStepConfig(segment_width=512))
+
+    def test_provenance_sources(self, clean_env):
+        clean_env.setenv("REPRO_BACKEND", "reference")
+        options = EngineOptions(segment_width=2048)
+        provenance = options.provenance()
+        assert provenance["segment_width"] == (2048, "explicit")
+        assert provenance["backend"] == ("reference", "env:REPRO_BACKEND")
+        assert provenance["q"] == (4, "default")
+
+
+# ----------------------------------------------------------------------
+# create_engine
+# ----------------------------------------------------------------------
+
+
+class TestCreateEngine:
+    def test_returns_twostep_engine_by_default(self, clean_env):
+        engine = create_engine(segment_width=512)
+        assert isinstance(engine, TwoStepEngine)
+        assert engine.config.segment_width == 512
+        assert engine.options.segment_width == 512
+        assert engine.options_provenance["segment_width"] == (512, "explicit")
+
+    def test_returns_accelerator_for_design_point(self, clean_env):
+        engine = create_engine(design_point="TS_ASIC", segment_width=1024)
+        assert isinstance(engine, Accelerator)
+        assert engine.point is TS_ASIC
+        assert engine.config.segment_width == 1024
+
+    def test_design_point_object_accepted(self, clean_env):
+        engine = create_engine(design_point=TS_ASIC, segment_width=1024)
+        assert isinstance(engine, Accelerator)
+        assert engine.point is TS_ASIC
+
+    def test_env_backed_engine_runs_correctly(self, clean_env, small_graph):
+        clean_env.setenv("REPRO_BACKEND", "reference")
+        engine = create_engine(segment_width=256)
+        x = np.random.default_rng(0).uniform(size=small_graph.n_cols)
+        y, _ = engine.run(small_graph, x)
+        np.testing.assert_allclose(y, reference_spmv(small_graph, x))
+        assert engine.options.backend == "reference"
+
+    def test_ensure_config_accepts_both_surfaces(self, clean_env):
+        config = TwoStepConfig(segment_width=512)
+        assert ensure_config(config) is config
+        assert ensure_config(None) is None
+        converted = ensure_config(EngineOptions(segment_width=512))
+        assert isinstance(converted, TwoStepConfig)
+        assert converted.segment_width == 512
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims
+# ----------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    def test_accelerator_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="create_engine"):
+            accel = Accelerator(TS_ASIC, simulation_segment_width=1024,
+                                backend="reference")
+        assert accel.config.backend == "reference"
+
+    def test_accelerator_positional_backend_string_warns(self):
+        # Historical third positional argument was the backend name.
+        with pytest.warns(DeprecationWarning, match="create_engine"):
+            accel = Accelerator(TS_ASIC, 1024, "reference")
+        assert accel.config.backend == "reference"
+
+    def test_accelerator_unknown_kwarg_is_typeerror(self):
+        with pytest.raises(TypeError):
+            Accelerator(TS_ASIC, bakend="reference")
+
+    def test_accelerator_options_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Accelerator(TS_ASIC, simulation_segment_width=1024,
+                        options=EngineOptions(backend="reference"))
+
+    def test_pagerank_legacy_backend_kwarg_warns(self, small_graph):
+        from repro.apps import pagerank
+
+        config = TwoStepConfig(segment_width=256)
+        with pytest.warns(DeprecationWarning, match="EngineOptions"):
+            pagerank(small_graph, config, max_iterations=2, backend="reference")
+
+    def test_pagerank_accepts_engine_options(self, small_graph):
+        from repro.apps import pagerank
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = pagerank(
+                small_graph,
+                EngineOptions(segment_width=256, backend="reference"),
+                max_iterations=2,
+            )
+        assert np.isfinite(result.ranks).all()

@@ -129,9 +129,15 @@ def test_run_many_amortizes_matrix_traffic(graph):
 
 
 def test_run_many_rejects_bad_shapes(graph):
+    # A right-length 1-D RHS is normalized to a single column (the
+    # serving path submits vectors); only genuinely wrong shapes raise.
+    from repro.faults.errors import ConfigurationError
+
     engine = _engine()
-    with pytest.raises(ValueError, match="X must have shape"):
-        engine.run_many(graph, np.ones(graph.n_cols))
+    y, _ = engine.run_many(graph, np.ones(graph.n_cols))
+    assert y.shape == (graph.n_rows, 1)
+    with pytest.raises(ConfigurationError, match="run_many"):
+        engine.run_many(graph, np.ones(graph.n_cols + 1))
     with pytest.raises(ValueError, match="Y must have shape"):
         engine.run_many(
             graph,

@@ -1,0 +1,89 @@
+"""Regression tests: ``run_many`` operand-shape normalization.
+
+Historically a 1-D RHS (or a single-column matrix with an ambiguous
+operand) fell through to a bare shape-mismatch error deep in the stack;
+now 1-D operands of the right length are normalized to single-column
+blocks and the ambiguous / transposed cases are rejected up front with
+a :class:`~repro.faults.errors.ConfigurationError` that names the fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro import create_engine
+from repro.faults.errors import ConfigurationError
+from repro.faults.validation import normalize_batch_operand
+from repro.formats.coo import COOMatrix
+from repro.generators import erdos_renyi_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(n_nodes=300, avg_degree=4.0, seed=9)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return create_engine(segment_width=128, backend="reference")
+
+
+class TestNormalizeBatchOperand:
+    def test_correct_block_passes_through(self):
+        X = np.ones((5, 3))
+        out = normalize_batch_operand(X, 5)
+        assert out.shape == (5, 3)
+
+    def test_1d_right_length_becomes_column(self):
+        out = normalize_batch_operand(np.arange(5.0), 5)
+        assert out.shape == (5, 1)
+        np.testing.assert_array_equal(out[:, 0], np.arange(5.0))
+
+    def test_1d_wrong_length_rejected_with_guidance(self):
+        with pytest.raises(ConfigurationError, match=r"columns of shape \(5, k\)"):
+            normalize_batch_operand(np.ones(4), 5)
+
+    def test_transposed_block_rejected_with_guidance(self):
+        with pytest.raises(ConfigurationError, match=r"\.T"):
+            normalize_batch_operand(np.ones((3, 5)), 5)
+
+    def test_square_block_is_trusted(self):
+        # (n, n) is indistinguishable from its transpose by shape alone;
+        # it must pass through untouched rather than be second-guessed.
+        X = np.arange(25.0).reshape(5, 5)
+        np.testing.assert_array_equal(normalize_batch_operand(X, 5), X)
+
+
+class TestRunManyShapes:
+    def test_1d_rhs_matches_run(self, graph, engine):
+        x = np.random.default_rng(0).uniform(size=graph.n_cols)
+        direct, _ = engine.run(graph, x)
+        batched, _ = engine.run_many(graph, x)  # 1-D, normalized to (n, 1)
+        assert batched.shape == (graph.n_rows, 1)
+        assert np.array_equal(batched[:, 0], direct)
+
+    def test_1d_wrong_length_raises_configuration_error(self, graph, engine):
+        with pytest.raises(ConfigurationError, match="run_many"):
+            engine.run_many(graph, np.ones(graph.n_cols + 1))
+
+    def test_transposed_block_raises_configuration_error(self, graph, engine):
+        X = np.ones((4, graph.n_cols))  # (k, n): transposed
+        with pytest.raises(ConfigurationError, match="transposed"):
+            engine.run_many(graph, X)
+
+    def test_single_column_matrix_1d_rhs(self, engine):
+        # The single-column edge case: n_cols == 1, so a length-1 vector
+        # is one RHS and a length-k vector must be rejected, not guessed
+        # to be k right-hand sides.
+        matrix = COOMatrix.from_triples(4, 1, [0, 2, 3], [0, 0, 0], [1.0, 2.0, 3.0])
+        y, _ = engine.run_many(matrix, np.array([2.0]))
+        assert y.shape == (4, 1)
+        np.testing.assert_array_equal(y[:, 0], [2.0, 0.0, 4.0, 6.0])
+        with pytest.raises(ConfigurationError, match=r"\(1, k\)"):
+            engine.run_many(matrix, np.array([1.0, 2.0, 3.0]))
+
+    def test_1d_accumuland_normalized(self, graph, engine):
+        x = np.ones(graph.n_cols)
+        y0 = np.random.default_rng(1).uniform(size=graph.n_rows)
+        direct, _ = engine.run(graph, x, y=y0.copy())
+        batched, _ = engine.run_many(graph, x, Y=y0.copy())  # both 1-D
+        assert np.array_equal(batched[:, 0], direct)
