@@ -9,9 +9,36 @@ regenerated artifacts on disk.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
+
+import numpy as np
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_provenance() -> dict:
+    """Machine/toolchain fingerprint stamped into every ``BENCH_*.json``.
+
+    Trajectory comparisons across checkouts are meaningless without
+    knowing the core count and kernel toolchain that produced a number;
+    this records both, plus which backend selection was in force.
+    """
+    try:
+        import numba
+
+        numba_version = numba.__version__
+    except Exception:
+        numba_version = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba": numba_version,
+        "backend_env": os.environ.get("REPRO_BACKEND"),
+    }
 
 
 def emit(name: str, text: str) -> None:
@@ -36,6 +63,8 @@ def emit_json(name: str, payload: dict) -> pathlib.Path:
         The written path.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("provenance", bench_provenance())
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

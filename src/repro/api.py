@@ -268,10 +268,15 @@ class EngineOptions:
         check_interleave: Route step-2 assembly through the store-queue
             invariant checker; default off.
         index_field_bytes: Uncompressed index field width; default 4.
-        backend: Execution backend name (``REPRO_BACKEND``, then
-            ``"vectorized"``).
-        n_jobs: Parallel-backend worker count (``REPRO_JOBS``, then the
-            CPU count).
+        backend: Execution backend name -- ``"reference"``,
+            ``"vectorized"``, ``"parallel"`` or ``"native"``
+            (``REPRO_BACKEND``, then ``"vectorized"``).  ``native``
+            JIT-compiles the plan-replay kernels when Numba is
+            installed and falls back to the bit-identical vectorized
+            kernels when it is not.
+        n_jobs: Parallel-backend worker count and native-backend
+            ``prange`` thread count (``REPRO_JOBS``, then the CPU
+            count).
         parallel_pool: ``"thread"`` or ``"process"`` (``REPRO_POOL``,
             then thread).
         plan_cache: Execution plans retained per engine (LRU); default 8.

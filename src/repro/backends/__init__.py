@@ -11,6 +11,10 @@ accounting) through an :class:`ExecutionBackend`:
 * ``parallel`` -- the vectorized kernels sharded over ``n_jobs``
   workers: stripes in step 1, PRaP residue classes in step 2
   (:class:`ParallelBackend`).
+* ``native`` -- JIT-fused plan-replay loops compiled with Numba (an
+  *optional* dependency; graceful fallback to the vectorized kernels
+  when unavailable), with ``prange`` run-range parallelism
+  (:class:`NativeBackend`).
 
 Selection precedence: an explicit backend object > the ``backend`` field
 of :class:`~repro.core.config.TwoStepConfig` > the ``REPRO_BACKEND``
@@ -24,6 +28,7 @@ from __future__ import annotations
 import os
 
 from repro.backends.base import ExecutionBackend, SparseVector
+from repro.backends.native import NativeBackend
 from repro.backends.parallel import ParallelBackend
 from repro.backends.reference import ReferenceBackend
 from repro.backends.vectorized import VectorizedBackend
@@ -38,6 +43,7 @@ _REGISTRY: dict[str, type[ExecutionBackend]] = {
     ReferenceBackend.name: ReferenceBackend,
     VectorizedBackend.name: VectorizedBackend,
     ParallelBackend.name: ParallelBackend,
+    NativeBackend.name: NativeBackend,
 }
 
 _INSTANCES: dict[tuple, ExecutionBackend] = {}
@@ -77,9 +83,10 @@ def resolve_backend(
         selection: A backend instance (returned as is), a registry name,
             or None -- which falls back to the ``REPRO_BACKEND``
             environment variable, then :data:`DEFAULT_BACKEND`.
-        n_jobs: Worker count for the ``parallel`` backend; ignored by
-            the sequential backends.  None lets ``REPRO_JOBS`` / the
-            CPU count decide.
+        n_jobs: Worker count for the ``parallel`` backend (pool
+            workers) and the ``native`` backend (``prange`` threads);
+            ignored by the sequential backends.  None lets
+            ``REPRO_JOBS`` / the CPU count decide.
         pool_kind: ``"thread"`` or ``"process"`` for the ``parallel``
             backend; None means thread.
         max_retries: Per-task retry budget for the ``parallel``
@@ -110,6 +117,13 @@ def resolve_backend(
                 task_timeout=task_timeout,
             )
         return _INSTANCES[key]
+    if name == NativeBackend.name and n_jobs is not None:
+        # prange thread count is the only native parameter; the other
+        # knobs configure the worker pool the native tier replaces.
+        key = (name, n_jobs)
+        if key not in _INSTANCES:
+            _INSTANCES[key] = NativeBackend(n_jobs=n_jobs)
+        return _INSTANCES[key]
     return get_backend(name)
 
 
@@ -117,6 +131,7 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "ExecutionBackend",
+    "NativeBackend",
     "ParallelBackend",
     "ReferenceBackend",
     "SparseVector",

@@ -37,6 +37,17 @@ class ExecutionBackend(ABC):
 
     name: str = "abstract"
 
+    @property
+    def kernel_tier(self) -> str:
+        """Which kernel implementation actually executes.
+
+        Defaults to the registry name; backends with internal fallback
+        tiers (the ``native`` backend without Numba) override this so
+        telemetry and the serving layer can report the tier that served
+        a request, not just the tier that was requested.
+        """
+        return self.name
+
     @abstractmethod
     def stripe_spmv(
         self,

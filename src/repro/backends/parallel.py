@@ -18,9 +18,13 @@ entirely for very large inputs; stripe arrays above the shared-memory
 threshold travel through ``multiprocessing.shared_memory`` rather than
 pickle.
 
-Small inputs stay inline -- below :data:`ParallelBackend.MIN_FANOUT_RECORDS`
-records the scheduling overhead would dominate, so the backend silently
-degrades to the (identical-result) vectorized path.
+Small inputs stay inline -- below the size-aware dispatch threshold
+(``min_parallel_nnz`` constructor argument, ``REPRO_MIN_PARALLEL_NNZ``
+environment variable, defaulting to
+:data:`ParallelBackend.MIN_FANOUT_RECORDS`) the scheduling overhead
+would dominate, so the backend degrades to the (identical-result)
+vectorized path and counts the bypass in the
+``spmv_parallel_bypass_total`` metric.
 
 **Fault tolerance.**  Every fan-out runs under the pool's supervision
 (per-task timeout, bounded retries, executor respawn after a worker
@@ -37,11 +41,13 @@ fallback itself raises does the run abort, with a typed
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.backends.base import SparseVector
 from repro.backends.vectorized import VectorizedBackend
-from repro.faults.errors import ShardFailedError
+from repro.faults.errors import ConfigurationError, ShardFailedError
 from repro.faults.report import record_event
 from repro.parallel.pool import WorkerPool
 from repro.telemetry.session import metric_inc
@@ -54,6 +60,10 @@ from repro.parallel.workers import (
     merge_shard_task,
     stripe_values_task,
 )
+
+#: Environment override for the size-aware dispatch guard (records below
+#: which every fan-out site runs inline on the vectorized kernels).
+MIN_PARALLEL_NNZ_ENV_VAR = "REPRO_MIN_PARALLEL_NNZ"
 
 
 class ParallelBackend(VectorizedBackend):
@@ -76,6 +86,7 @@ class ParallelBackend(VectorizedBackend):
         pool_kind: str | None = None,
         max_retries: int | None = None,
         task_timeout: float | None = None,
+        min_parallel_nnz: int | None = None,
     ):
         """
         Args:
@@ -86,6 +97,14 @@ class ParallelBackend(VectorizedBackend):
                 ``REPRO_MAX_RETRIES`` then the pool default.
             task_timeout: Per-task wall-clock limit in seconds; None
                 resolves ``REPRO_TASK_TIMEOUT`` then no limit.
+            min_parallel_nnz: Record count below which every fan-out
+                site degrades to the inline vectorized path; None
+                resolves ``REPRO_MIN_PARALLEL_NNZ`` then
+                :data:`MIN_FANOUT_RECORDS`.
+
+        Raises:
+            ConfigurationError: ``min_parallel_nnz`` (explicit or via
+                the environment) is negative or not an integer.
         """
         self.pool = WorkerPool(
             n_jobs,
@@ -93,11 +112,56 @@ class ParallelBackend(VectorizedBackend):
             max_retries=max_retries,
             task_timeout=task_timeout,
         )
+        if min_parallel_nnz is None:
+            raw = os.environ.get(MIN_PARALLEL_NNZ_ENV_VAR)
+            if raw is not None:
+                try:
+                    min_parallel_nnz = int(raw)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{MIN_PARALLEL_NNZ_ENV_VAR}={raw!r} is not an "
+                        "integer; set it to a record count >= 0"
+                    ) from None
+        if min_parallel_nnz is not None and min_parallel_nnz < 0:
+            raise ConfigurationError(
+                f"min_parallel_nnz must be >= 0, got {min_parallel_nnz}"
+            )
+        self._min_parallel_nnz = min_parallel_nnz
 
     @property
     def n_jobs(self) -> int:
         """Configured worker count."""
         return self.pool.n_jobs
+
+    @property
+    def min_parallel_nnz(self) -> int:
+        """Effective size threshold for the dispatch guard.
+
+        Explicit constructor/environment values win; otherwise this
+        reads :data:`MIN_FANOUT_RECORDS` *at call time* so tests (and
+        subclasses) that assign the attribute on an instance still take
+        effect.
+        """
+        if self._min_parallel_nnz is not None:
+            return self._min_parallel_nnz
+        return self.MIN_FANOUT_RECORDS
+
+    def _bypass(self, site: str, size: int) -> bool:
+        """Whether ``size`` records are too few to fan out at ``site``.
+
+        Counts each bypass in ``spmv_parallel_bypass_total`` so the
+        silent degradation stays observable.  Callers check this *after*
+        the inline/shard-count guards, so a count always means "the pool
+        was ready but the input was too small".
+        """
+        if size >= self.min_parallel_nnz:
+            return False
+        metric_inc(
+            "spmv_parallel_bypass_total",
+            labels={"site": site},
+            help="Fan-outs skipped by the size-aware dispatch guard",
+        )
+        return True
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
@@ -160,7 +224,11 @@ class ParallelBackend(VectorizedBackend):
 
     def map_stripe_plans(self, stripes: list, segments: list, workspace=None) -> list:
         total = sum(sp.vals.size for sp in stripes)
-        if self.pool.inline or len(stripes) <= 1 or total < self.MIN_FANOUT_RECORDS:
+        if (
+            self.pool.inline
+            or len(stripes) <= 1
+            or self._bypass("stripe", total)
+        ):
             # Inline runs on the supervisor thread, so the workspace is
             # safe to reuse; fan-out paths below never share it.
             return super().map_stripe_plans(stripes, segments, workspace=workspace)
@@ -205,7 +273,7 @@ class ParallelBackend(VectorizedBackend):
             self.pool.inline
             or self.pool.uses_processes  # closures cannot cross processes;
             or len(stripes) <= 1  # the batch kernel is array-wide already
-            or total < self.MIN_FANOUT_RECORDS
+            or self._bypass("stripe", total)
         ):
             return super().map_stripe_plans_batch(stripes, segments)
         tasks = list(zip(stripes, segments))
@@ -225,7 +293,7 @@ class ParallelBackend(VectorizedBackend):
     def merge_accumulate(self, lists: list) -> SparseVector:
         total = sum(np.asarray(idx).size for idx, _ in lists)
         n_shards = self.pool.n_jobs
-        if self.pool.inline or n_shards <= 1 or total < self.MIN_FANOUT_RECORDS:
+        if self.pool.inline or n_shards <= 1 or self._bypass("merge", total):
             return super().merge_accumulate(lists)
         shards = shard_lists_by_residue(lists, n_shards)
         merge_sequential = super().merge_accumulate
@@ -285,7 +353,7 @@ class ParallelBackend(VectorizedBackend):
             self.pool.inline
             or n_shards <= 1
             or symbolic.n_merged <= 1
-            or symbolic.total_records < self.MIN_FANOUT_RECORDS
+            or self._bypass("merge", symbolic.total_records)
         ):
             return super().merge_accumulate_plan(symbolic, lists, workspace=workspace)
         values = [np.asarray(v, dtype=np.float64) for _, v in lists]
@@ -358,8 +426,9 @@ class ParallelBackend(VectorizedBackend):
         if (
             self.pool.inline
             or p <= 1
-            or symbolic.n_merged + symbolic.padded // max(p, 1)
-            < self.MIN_FANOUT_RECORDS
+            or self._bypass(
+                "inject", symbolic.n_merged + symbolic.padded // max(p, 1)
+            )
         ):
             return super().inject_classes_plan(symbolic, merged_vals, workspace=workspace)
 
@@ -398,7 +467,11 @@ class ParallelBackend(VectorizedBackend):
     def inject_classes(
         self, keys: np.ndarray, vals: np.ndarray, hi: int, p: int
     ) -> list:
-        if self.pool.inline or p <= 1 or keys.size + hi // max(p, 1) < self.MIN_FANOUT_RECORDS:
+        if (
+            self.pool.inline
+            or p <= 1
+            or self._bypass("inject", keys.size + hi // max(p, 1))
+        ):
             return super().inject_classes(keys, vals, hi, p)
         residues = keys & (p - 1)
         per_class = [

@@ -57,8 +57,8 @@ def add_backend_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         metavar="N",
-        help="worker count for --backend parallel "
-        "(default: $REPRO_JOBS, then the CPU count)",
+        help="worker count for --backend parallel / prange threads for "
+        "--backend native (default: $REPRO_JOBS, then the CPU count)",
     )
     parser.add_argument(
         "--max-retries",

@@ -34,13 +34,15 @@ class TwoStepConfig:
             for row/column/intermediate indices regardless of the actual
             dimension; VLDI is what removes that slack.
         backend: Execution-backend name (``"reference"``,
-            ``"vectorized"`` or ``"parallel"``); None defers to the
-            ``REPRO_BACKEND`` environment variable, then the package
-            default.  All backends are bit-compatible -- only wall-clock
-            speed differs.
-        n_jobs: Worker count for the ``parallel`` backend; None defers
-            to ``REPRO_JOBS``, then the CPU count.  Ignored by the
-            sequential backends.
+            ``"vectorized"``, ``"parallel"`` or ``"native"``); None
+            defers to the ``REPRO_BACKEND`` environment variable, then
+            the package default.  All backends are bit-compatible --
+            only wall-clock speed differs (``native`` falls back to the
+            vectorized kernels when Numba is not installed).
+        n_jobs: Worker count for the ``parallel`` backend and thread
+            count for the ``native`` backend's ``prange`` kernels; None
+            defers to ``REPRO_JOBS``, then the CPU count.  Ignored by
+            the sequential backends.
         parallel_pool: Worker flavour for the ``parallel`` backend:
             ``"thread"`` (default; the NumPy kernels release the GIL) or
             ``"process"`` (opt-in for large inputs; arrays travel via

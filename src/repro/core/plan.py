@@ -93,6 +93,10 @@ class StripePlan:
         run_groups: Length-grouped run layout
             (:class:`~repro.core.segsum.RunGroups`) for the
             order-preserving multi-RHS accumulation kernel.
+        run_starts: CSR-style run offsets (length ``n_runs + 1``):
+            records of output run ``r`` occupy stream positions
+            ``run_starts[r]:run_starts[r+1]``.  The native backend's
+            fused loops iterate these ranges directly.
     """
 
     index: int
@@ -108,6 +112,7 @@ class StripePlan:
     matrix_bytes: float
     iv_index_bits: int
     run_groups: RunGroups | None = None
+    run_starts: np.ndarray | None = None
 
     @property
     def width(self) -> int:
@@ -161,6 +166,11 @@ class Step2Symbolic:
         run_groups: Length-grouped run layout
             (:class:`~repro.core.segsum.RunGroups`) of the sorted merge
             stream, for the order-preserving multi-RHS kernel.
+        run_starts: CSR-style offsets into the *sorted* merge stream
+            (length ``n_merged + 1``): records of merged key ``r``
+            occupy sorted positions ``run_starts[r]:run_starts[r+1]``.
+            The native backend's fused merge loop composes these ranges
+            with ``order`` to read the unsorted concatenated stream.
     """
 
     p: int
@@ -175,6 +185,7 @@ class Step2Symbolic:
     class_positions: tuple
     class_keys: tuple
     run_groups: RunGroups | None = None
+    run_starts: np.ndarray | None = None
 
 
 def build_step2_symbolic(stripes: list, n_out: int, p: int) -> Step2Symbolic:
@@ -212,9 +223,13 @@ def build_step2_symbolic(stripes: list, n_out: int, p: int) -> Step2Symbolic:
         new_run[1:] = sorted_keys[1:] != sorted_keys[:-1]
         run_ids = (np.cumsum(new_run) - 1).astype(np.int64, copy=False)
         merged_keys = sorted_keys[new_run]
+        run_starts = np.append(
+            np.flatnonzero(new_run), sorted_keys.size
+        ).astype(np.int64, copy=False)
     else:
         run_ids = np.empty(0, dtype=np.int64)
         merged_keys = np.empty(0, dtype=np.int64)
+        run_starts = np.zeros(1, dtype=np.int64)
     padded = -(-n_out // p) * p
     sel, positions, class_keys = [], [], []
     for radix in range(p):
@@ -235,6 +250,7 @@ def build_step2_symbolic(stripes: list, n_out: int, p: int) -> Step2Symbolic:
         class_positions=tuple(positions),
         class_keys=tuple(class_keys),
         run_groups=build_run_groups(run_ids, int(merged_keys.size), order=order),
+        run_starts=run_starts,
     )
 
 
@@ -396,16 +412,24 @@ def config_fingerprint(config: TwoStepConfig) -> str:
 
 
 def _stripe_structure(rows: np.ndarray) -> tuple:
-    """Row-run structure of a row-major stripe: (out_indices, run_ids, n)."""
+    """Row-run structure: (out_indices, run_ids, n_runs, run_starts)."""
     if rows.size == 0:
         empty_idx = np.empty(0, dtype=np.int64)
-        return empty_idx, np.empty(0, dtype=np.int64), 0
+        return empty_idx, np.empty(0, dtype=np.int64), 0, np.zeros(1, dtype=np.int64)
     new_run = np.empty(rows.size, dtype=bool)
     new_run[0] = True
     new_run[1:] = rows[1:] != rows[:-1]
     run_ids = np.cumsum(new_run) - 1
     out_indices = rows[new_run].astype(np.int64, copy=False)
-    return out_indices, run_ids.astype(np.int64, copy=False), int(out_indices.size)
+    run_starts = np.append(np.flatnonzero(new_run), rows.size).astype(
+        np.int64, copy=False
+    )
+    return (
+        out_indices,
+        run_ids.astype(np.int64, copy=False),
+        int(out_indices.size),
+        run_starts,
+    )
 
 
 def _stripe_matrix_bytes(
@@ -476,7 +500,7 @@ def build_plan(
     formats: list[StripeFormat] = []
     for block in column_blocks(matrix, config.segment_width):
         stripe = block.matrix
-        out_indices, run_ids, n_runs = _stripe_structure(stripe.rows)
+        out_indices, run_ids, n_runs, run_starts = _stripe_structure(stripe.rows)
         fmt = choose_stripe_format(block.nnz, matrix.n_rows)
         formats.append(fmt)
         stripes.append(
@@ -496,6 +520,7 @@ def build_plan(
                 ),
                 iv_index_bits=_iv_index_bits(out_indices, config, backend),
                 run_groups=build_run_groups(run_ids, n_runs),
+                run_starts=run_starts,
             )
         )
         # Step-1 statistics are structure-only: accumulate the template

@@ -452,6 +452,14 @@ class TwoStepEngine:
         metrics.observe(
             "spmv_run_seconds", wall_s, help="Wall-clock seconds per engine run"
         )
+        metrics.inc(
+            "spmv_backend_runs_total",
+            labels={
+                "backend": self.backend.name,
+                "kernels": self.backend.kernel_tier,
+            },
+            help="Engine runs, by requested backend and executing kernel tier",
+        )
         telemetry = TelemetryReport(
             spans=session.tracer.finished(), metrics=metrics
         )

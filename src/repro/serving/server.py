@@ -213,6 +213,40 @@ class SpMVServer:
                 if value is not None
             },
             "registry": self.registry.stats(),
+            "backend": self._backend_stats(),
+        }
+
+    def _backend_stats(self) -> dict:
+        """Which execution tier serves requests, and what it cost to build.
+
+        Merges the per-tenant engine registries so operators can see the
+        requested backend, the kernel tier that actually executed
+        (``native-jit`` vs ``numpy-fallback``), and the one-time JIT
+        compile counters -- without scraping Prometheus.
+        """
+        from repro.backends.native import numba_available
+
+        merged = MetricsRegistry()
+        tiers: set[str] = set()
+        for tenant in self.registry.tenants():
+            engine = self.registry.engine(tenant)
+            if hasattr(engine, "metrics"):
+                merged.merge(engine.metrics())
+            if hasattr(engine, "backend"):
+                tiers.add(engine.backend.kernel_tier)
+
+        def flat(name: str) -> dict:
+            return {
+                ",".join(f"{k}={v}" for k, v in key) or "_": value
+                for key, value in merged.series(name).items()
+            }
+
+        return {
+            "configured": self.options.resolve().backend,
+            "numba_available": numba_available(),
+            "kernel_tiers": sorted(tiers),
+            "runs_total": flat("spmv_backend_runs_total"),
+            "native_compile_total": flat("spmv_native_compile_total"),
         }
 
     def prometheus(self) -> str:

@@ -281,7 +281,7 @@ def test_accumuland_agrees_across_backends(small_er_graph, rng):
 
 
 def test_available_backends_registry():
-    assert available_backends() == ("parallel", "reference", "vectorized")
+    assert available_backends() == ("native", "parallel", "reference", "vectorized")
     assert DEFAULT_BACKEND in available_backends()
     with pytest.raises(ValueError, match="unknown backend"):
         get_backend("cuda")

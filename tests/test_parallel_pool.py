@@ -138,3 +138,93 @@ def test_shard_rejects_nonpositive_count():
 def test_recombine_empty_is_empty():
     idx, val = recombine_sorted_shards([])
     assert idx.size == 0 and val.size == 0
+
+
+# ---------------------------------------------------------------------------
+# Size-aware dispatch guard (min_parallel_nnz)
+# ---------------------------------------------------------------------------
+
+
+def _run_tiny(backend):
+    """One telemetry-enabled engine run on a matrix far below the guard."""
+    from repro.core.config import TwoStepConfig
+    from repro.core.twostep import TwoStepEngine
+    from repro.generators.erdos_renyi import erdos_renyi_graph
+
+    graph = erdos_renyi_graph(60, 2.0, seed=21)
+    x = np.random.default_rng(21).uniform(size=graph.n_cols)
+    engine = TwoStepEngine(
+        TwoStepConfig(segment_width=16, q=2, telemetry=True), backend=backend
+    )
+    return engine, engine.run(graph, x)
+
+
+def test_min_parallel_nnz_defaults_and_overrides(monkeypatch):
+    from repro.backends.parallel import (
+        MIN_PARALLEL_NNZ_ENV_VAR,
+        ParallelBackend,
+    )
+
+    backend = ParallelBackend(n_jobs=2)
+    assert backend.min_parallel_nnz == ParallelBackend.MIN_FANOUT_RECORDS
+    # Instance-attribute override (the _eager_parallel test idiom) still
+    # reaches the guard through the lazy property.
+    backend.MIN_FANOUT_RECORDS = 0
+    assert backend.min_parallel_nnz == 0
+    backend.close()
+
+    explicit = ParallelBackend(n_jobs=2, min_parallel_nnz=123)
+    assert explicit.min_parallel_nnz == 123
+    explicit.close()
+
+    monkeypatch.setenv(MIN_PARALLEL_NNZ_ENV_VAR, "777")
+    from_env = ParallelBackend(n_jobs=2)
+    assert from_env.min_parallel_nnz == 777
+    from_env.close()
+
+
+def test_min_parallel_nnz_rejects_bad_values(monkeypatch):
+    from repro.backends.parallel import (
+        MIN_PARALLEL_NNZ_ENV_VAR,
+        ParallelBackend,
+    )
+    from repro.faults.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match=">= 0"):
+        ParallelBackend(n_jobs=2, min_parallel_nnz=-1)
+    monkeypatch.setenv(MIN_PARALLEL_NNZ_ENV_VAR, "lots")
+    with pytest.raises(ConfigurationError, match="not an"):
+        ParallelBackend(n_jobs=2)
+
+
+def test_tiny_input_bypasses_fanout_and_counts():
+    from repro.backends import get_backend
+    from repro.backends.parallel import ParallelBackend
+
+    backend = ParallelBackend(n_jobs=2)
+    try:
+        engine, result = _run_tiny(backend)
+        bypassed = engine.metrics().total("spmv_parallel_bypass_total")
+        assert bypassed > 0  # every fan-out site degraded inline
+        sites = {
+            dict(key).get("site")
+            for key in engine.metrics().series("spmv_parallel_bypass_total")
+        }
+        assert "stripe" in sites
+        # Degradation is silent in results: bit-identical to vectorized.
+        _, want = _run_tiny(get_backend("vectorized"))
+        assert result.y.tobytes() == want.y.tobytes()
+        assert result.report.traffic == want.report.traffic
+    finally:
+        backend.close()
+
+
+def test_zero_threshold_disables_bypass():
+    from repro.backends.parallel import ParallelBackend
+
+    backend = ParallelBackend(n_jobs=2, min_parallel_nnz=0)
+    try:
+        engine, _result = _run_tiny(backend)
+        assert engine.metrics().total("spmv_parallel_bypass_total") == 0.0
+    finally:
+        backend.close()

@@ -301,6 +301,12 @@ class TestServer:
         text = server.prometheus()
         assert "serving_requests_total" in text
         assert "serving_batch_size" in text
+        backend = stats["backend"]
+        assert isinstance(backend["numba_available"], bool)
+        assert backend["kernel_tiers"]  # at least the tier that just ran
+        assert any(
+            "backend=" in key for key in backend["runs_total"]
+        ), backend["runs_total"]
 
     def test_loadgen_open_loop(self, server, graph):
         rng = np.random.default_rng(0)
