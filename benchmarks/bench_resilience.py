@@ -1,0 +1,192 @@
+"""Serving resilience: deadline shedding under overload, goodput and p99.
+
+One measurement, archived as ``BENCH_resilience.json``: an open-loop
+load run at ~2x the server's sustainable throughput, with and without a
+per-request deadline budget.
+
+Without deadlines, every admitted request queues behind the growing
+backlog, so the p99 latency of *completed* requests balloons to roughly
+the run length -- overload is paid by everyone, in latency.  With a
+deadline budget, requests that cannot make the budget are shed at
+admission (and expired members dropped at batch formation), so the
+requests that *are* served finish inside the budget: overload is paid
+by the shed requests, in fast typed 504s, while goodput (completions
+per second that met the budget) holds.
+
+The gate asserts exactly that: under 2x overload with deadlines on,
+the p99 of admitted requests stays within ``DEADLINE_S * P99_SLACK``,
+and goodput is no worse than the no-deadline run's.  Bit-identity is
+not re-checked here (the serving and chaos suites own that); this
+bench is about the latency distribution.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.generators.erdos_renyi import erdos_renyi_graph
+from repro.serving import (
+    BatchPolicy,
+    ResiliencePolicy,
+    SpMVServer,
+    matrix_fingerprint,
+    run_open_loop,
+)
+
+from benchmarks._util import emit, emit_json
+
+N_NODES = 10_000
+AVG_DEGREE = 3.0
+MAX_BATCH = 32
+MAX_DELAY_S = 0.002
+N_REQUESTS = 800
+OVERLOAD_FACTOR = 2.0
+DEADLINE_S = 0.100
+#: p99-vs-budget slack: queue estimates are EWMA-based, so a small
+#: fraction of admitted requests lands just past the budget line.
+P99_SLACK = 1.5
+CALIBRATE_REQUESTS = 160
+
+
+def _server(deadline_s):
+    graph = erdos_renyi_graph(N_NODES, AVG_DEGREE, seed=13)
+    server = SpMVServer(
+        policy=BatchPolicy(
+            max_batch=MAX_BATCH, max_delay_s=MAX_DELAY_S, max_queue=4 * N_REQUESTS
+        ),
+        resilience=ResiliencePolicy(default_deadline_s=deadline_s),
+    )
+    return server, matrix_fingerprint(graph), graph
+
+
+def _calibrate_qps() -> float:
+    """Sustainable closed-burst throughput, to anchor the overload rate."""
+    server, fingerprint, graph = _server(None)
+    server.register(graph)
+    rng = np.random.default_rng(29)
+    xs = [rng.uniform(size=N_NODES) for _ in range(CALIBRATE_REQUESTS)]
+
+    async def main():
+        await server.submit(fingerprint, xs[0])  # warm the plan cache
+        await server.close()
+        t0 = time.perf_counter()
+        await asyncio.gather(*(server.submit(fingerprint, x) for x in xs))
+        wall = time.perf_counter() - t0
+        await server.shutdown()
+        return len(xs) / wall
+
+    return asyncio.run(main())
+
+
+def _overload_run(deadline_s, offered_qps: float) -> dict:
+    server, fingerprint, graph = _server(deadline_s)
+    server.register(graph)
+    rng = np.random.default_rng(31)
+    xs = [rng.uniform(size=N_NODES) for _ in range(16)]
+
+    async def main():
+        await server.submit(fingerprint, xs[0], deadline=None)  # warm
+        await server.close()
+        report = await run_open_loop(
+            server, fingerprint, xs, offered_qps, N_REQUESTS
+        )
+        await server.shutdown()
+        return report
+
+    report = asyncio.run(main())
+    out = report.to_dict()
+    out["goodput_qps"] = round(report.completed / report.duration_s, 1)
+    return out
+
+
+def measure() -> dict:
+    sustainable_qps = _calibrate_qps()
+    offered = OVERLOAD_FACTOR * sustainable_qps
+    without = _overload_run(None, offered)
+    with_deadline = _overload_run(DEADLINE_S, offered)
+    return {
+        "sustainable_qps": round(sustainable_qps, 1),
+        "offered_qps": round(offered, 1),
+        "overload_factor": OVERLOAD_FACTOR,
+        "deadline_ms": DEADLINE_S * 1e3,
+        "p99_budget_ms": DEADLINE_S * P99_SLACK * 1e3,
+        "without_deadline": without,
+        "with_deadline": with_deadline,
+    }
+
+
+def render(results: dict) -> str:
+    rows = []
+    for label, run in (
+        ("no deadline", results["without_deadline"]),
+        (f"{results['deadline_ms']:g}ms budget", results["with_deadline"]),
+    ):
+        rows.append(
+            [
+                label,
+                str(run["completed"]),
+                str(run["rejected"]),
+                str(run["deadline_exceeded"]),
+                f"{run['goodput_qps']:g}",
+                f"{run['p50_ms']:.1f}",
+                f"{run['p99_ms']:.1f}",
+            ]
+        )
+    table = format_table(
+        ["deadline", "ok", "shed", "expired", "goodput", "p50 ms", "p99 ms"],
+        rows,
+        title=(
+            f"Open loop at {results['offered_qps']:g} req/s "
+            f"(~{results['overload_factor']:g}x the sustainable "
+            f"{results['sustainable_qps']:g}): deadline shedding keeps the "
+            f"p99 of admitted requests within "
+            f"{results['p99_budget_ms']:g}ms"
+        ),
+    )
+    return table
+
+
+def to_payload(results: dict) -> dict:
+    """Machine-readable record for ``BENCH_resilience.json``."""
+    return {
+        "graph": {"n_nodes": N_NODES, "avg_degree": AVG_DEGREE},
+        "policy": {"max_batch": MAX_BATCH, "max_delay_s": MAX_DELAY_S},
+        "n_requests": N_REQUESTS,
+        "p99_slack": P99_SLACK,
+        **results,
+    }
+
+
+def test_deadline_shedding_bounds_p99_under_overload():
+    results = measure()
+    emit("resilience", render(results))
+    emit_json("resilience", to_payload(results))
+    with_deadline = results["with_deadline"]
+    without = results["without_deadline"]
+    assert with_deadline["errors"] == 0 and without["errors"] == 0
+    assert with_deadline["completed"] >= 1, "deadline run served nothing"
+    # The gate: admitted requests finish near the budget even at 2x
+    # overload, because doomed requests are shed instead of queued.
+    assert with_deadline["p99_ms"] <= results["p99_budget_ms"], (
+        f"p99 {with_deadline['p99_ms']:.1f}ms blew the "
+        f"{results['p99_budget_ms']:g}ms budget despite deadline shedding"
+    )
+    # Shedding must buy latency without giving up goodput (0.7 slack:
+    # open-loop goodput is noisy on shared CI hosts).
+    assert with_deadline["goodput_qps"] >= 0.7 * without["goodput_qps"], (
+        f"goodput fell from {without['goodput_qps']} to "
+        f"{with_deadline['goodput_qps']} with deadlines on"
+    )
+    # And the shed requests really were shed by the deadline path.
+    assert with_deadline["deadline_exceeded"] > 0, (
+        "overload never triggered deadline shedding; the run proved nothing"
+    )
+
+
+if __name__ == "__main__":
+    results = measure()
+    print(render(results))
+    path = emit_json("resilience", to_payload(results))
+    print(f"wrote {path}")

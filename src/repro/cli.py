@@ -296,7 +296,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serving import BatchPolicy, SpMVServer
+    from repro.serving import BatchPolicy, ResiliencePolicy, SpMVServer
     from repro.serving.http import HTTPServingFrontend
 
     options = engine_options_from_args(args, segment_width=args.segment_width)
@@ -305,9 +305,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_delay_s=args.max_delay_ms / 1e3,
         max_queue=args.max_queue,
     )
+    resilience = ResiliencePolicy(
+        default_deadline_s=(
+            args.default_deadline_ms / 1e3 if args.default_deadline_ms else None
+        ),
+        snapshot_interval_s=args.snapshot_interval_s,
+    )
 
     async def _main() -> None:
-        server = SpMVServer(options=options, policy=policy)
+        server = SpMVServer(
+            options=options,
+            policy=policy,
+            resilience=resilience,
+            state_dir=args.state_dir,
+        )
+        if server.last_restore is not None:
+            restored = server.last_restore["restored"]
+            quarantined = server.last_restore["quarantined"]
+            print(
+                f"snapshot restore from {args.state_dir}: "
+                f"{len(restored)} restored, {len(quarantined)} quarantined"
+            )
         for path in args.matrix:
             matrix = _load_matrix(path)
             fingerprint = server.register(matrix)
@@ -321,9 +339,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"serving on http://{args.host}:{frontend.port} "
             "(GET /health /stats /metrics, POST /v1/matrices /v1/spmv)"
         )
+        snapshot_task = asyncio.ensure_future(server.run_snapshot_loop())
         try:
             await frontend.serve_forever()
         finally:
+            snapshot_task.cancel()
             await frontend.stop()
 
     try:
@@ -545,6 +565,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="admission-control bound on pending requests; beyond it the "
         "server sheds load with 429/OverloadedError",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="registry snapshot directory: restored at startup (corrupted "
+        "entries quarantined), written atomically at shutdown and every "
+        "--snapshot-interval-s",
+    )
+    serve.add_argument(
+        "--snapshot-interval-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="periodic registry-snapshot cadence (requires --state-dir); "
+        "default snapshots only at shutdown",
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="deadline budget applied to requests without an X-Deadline-Ms "
+        "header; past it requests are shed/dropped with 504",
     )
     add_backend_options(serve)
     serve.set_defaults(func=cmd_serve)

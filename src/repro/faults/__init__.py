@@ -22,8 +22,10 @@ sequential-fallback ladder in
 """
 
 from repro.faults.errors import (
+    CircuitOpenError,
     ConfigurationError,
     CorruptPayloadError,
+    DeadlineExceededError,
     FaultError,
     InjectedFault,
     InvalidInputError,
@@ -31,9 +33,12 @@ from repro.faults.errors import (
     InvalidVectorError,
     OverloadedError,
     QuotaExceededError,
+    RequestCancelledError,
     RetryExhaustedError,
+    ServerClosedError,
     ServingError,
     ShardFailedError,
+    SnapshotCorruptError,
     TaskTimeoutError,
     UnknownMatrixError,
     WorkerCrashError,
@@ -41,9 +46,11 @@ from repro.faults.errors import (
 from repro.faults.injection import (
     ANY_INDEX,
     FAULT_KINDS,
+    SERVING_SITES,
     FaultPlan,
     FaultSpec,
     active_plan,
+    apply_fault,
     inject_faults,
     match_fault,
 )
@@ -65,9 +72,12 @@ from repro.faults.validation import (
 
 __all__ = [
     "ANY_INDEX",
+    "CircuitOpenError",
     "ConfigurationError",
     "FAULT_KINDS",
+    "SERVING_SITES",
     "CorruptPayloadError",
+    "DeadlineExceededError",
     "FaultError",
     "FaultEvent",
     "FaultPlan",
@@ -79,14 +89,18 @@ __all__ = [
     "InvalidVectorError",
     "OverloadedError",
     "QuotaExceededError",
+    "RequestCancelledError",
     "RetryExhaustedError",
+    "ServerClosedError",
     "STRICT_VALIDATE_ENV_VAR",
     "ServingError",
     "ShardFailedError",
+    "SnapshotCorruptError",
     "TaskTimeoutError",
     "UnknownMatrixError",
     "WorkerCrashError",
     "active_plan",
+    "apply_fault",
     "collect_faults",
     "current_report",
     "inject_faults",

@@ -126,9 +126,86 @@ class UnknownMatrixError(ServingError, KeyError):
     """
 
 
+class DeadlineExceededError(ServingError, TimeoutError):
+    """A request's deadline expired before it could be served.
+
+    Raised at admission when the queue's estimated wait already blows
+    the remaining budget (shed-on-arrival), or resolved onto a queued
+    request whose deadline expired by the time its batch formed.  HTTP
+    frontends map this to ``504 Gateway Timeout``.
+
+    Attributes:
+        stage: Where the deadline was enforced -- ``"admission"``,
+            ``"batch"`` or ``"execute"``.
+        budget_s: The request's total deadline budget, when known.
+    """
+
+    def __init__(self, message: str, stage: str = "", budget_s: float = -1.0):
+        super().__init__(message)
+        self.stage = stage
+        self.budget_s = budget_s
+
+
+class RequestCancelledError(ServingError):
+    """A request was cancelled (client disconnect) before completion.
+
+    The serving layer normally lets ``asyncio.CancelledError`` propagate
+    (so cancellation still composes with task groups); this typed error
+    exists for callers that need a resolved-not-cancelled outcome, e.g.
+    the chaos harness's every-request-resolves accounting.
+    """
+
+
+class ServerClosedError(ServingError):
+    """``submit()`` was called during or after server shutdown.
+
+    The server marks itself closed *before* draining, so concurrent
+    submissions fail fast with this error instead of racing the
+    executor teardown.  HTTP frontends map this to ``503``.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """A (tenant, matrix) lane's circuit breaker is rejecting requests.
+
+    Raised only after the degradation ladder is exhausted: the lane saw
+    ``breaker_threshold`` consecutive execution failures, went open, and
+    every lower backend tier also failed.  HTTP frontends map this to
+    ``503`` with a ``Retry-After`` hint covering the breaker cooldown.
+
+    Attributes:
+        tenant: Owning tenant of the open lane.
+        fingerprint: Matrix fingerprint of the open lane.
+        retry_after_s: Seconds until the breaker will half-open.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str = "",
+        fingerprint: str = "",
+        retry_after_s: float = 0.0,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.fingerprint = fingerprint
+        self.retry_after_s = retry_after_s
+
+
+class SnapshotCorruptError(FaultError):
+    """A registry snapshot entry failed CRC or fingerprint verification.
+
+    Restore paths never let this escape: the offending entry is moved to
+    the quarantine directory and restoration continues, so a corrupted
+    snapshot degrades to a partial restore instead of a startup crash.
+    """
+
+
 __all__ = [
+    "CircuitOpenError",
     "ConfigurationError",
     "CorruptPayloadError",
+    "DeadlineExceededError",
     "FaultError",
     "InjectedFault",
     "InvalidInputError",
@@ -136,9 +213,12 @@ __all__ = [
     "InvalidVectorError",
     "OverloadedError",
     "QuotaExceededError",
+    "RequestCancelledError",
     "RetryExhaustedError",
+    "ServerClosedError",
     "ServingError",
     "ShardFailedError",
+    "SnapshotCorruptError",
     "TaskTimeoutError",
     "UnknownMatrixError",
     "WorkerCrashError",

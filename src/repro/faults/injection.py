@@ -35,6 +35,13 @@ FAULT_KINDS = ("raise", "kill", "delay", "corrupt")
 #: Matches any task index at a site.
 ANY_INDEX = -1
 
+#: Serving-layer injection sites consulted through :func:`apply_fault`:
+#: ``"batch"`` fires when a coalesced batch forms (before execution),
+#: ``"executor"`` inside each batch-execution attempt (so retries and the
+#: degradation ladder are exercised), ``"registry.io"`` around snapshot
+#: payload reads/writes, and ``"http"`` in the HTTP frontend's routing.
+SERVING_SITES = ("batch", "executor", "registry.io", "http")
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -140,6 +147,31 @@ def match_fault(site: str, index: int) -> FaultSpec | None:
     return plan.match(site, index)
 
 
+def apply_fault(site: str, index: int = 0) -> None:
+    """Consult the armed plan at an *inline* site and act on a match.
+
+    The serving layer's instrumentation points (:data:`SERVING_SITES`)
+    execute in the calling thread rather than in a pool worker, so there
+    is no task callable to wrap: a matching ``"delay"`` spec sleeps
+    here, ``"kill"`` raises :class:`WorkerCrashError` (threads cannot be
+    killed from outside; the observable effect is the same), ``"corrupt"``
+    raises :class:`CorruptPayloadError` and ``"raise"`` raises
+    :class:`InjectedFault`.  A no-op when no plan is armed or nothing
+    matches.
+    """
+    spec = match_fault(site, index)
+    if spec is None:
+        return
+    if spec.kind == "delay":
+        time.sleep(spec.delay_s)
+        return
+    if spec.kind == "kill":
+        raise WorkerCrashError(spec.message)
+    if spec.kind == "corrupt":
+        raise CorruptPayloadError(spec.message)
+    raise InjectedFault(spec.message)
+
+
 def wrap_task(fn, site: str, index: int, uses_processes: bool):
     """Return ``fn`` or, if the armed plan matches, a fault-carrying shim.
 
@@ -200,9 +232,11 @@ def corrupt_buffer(view) -> None:
 __all__ = [
     "ANY_INDEX",
     "FAULT_KINDS",
+    "SERVING_SITES",
     "FaultPlan",
     "FaultSpec",
     "active_plan",
+    "apply_fault",
     "corrupt_buffer",
     "inject_faults",
     "match_fault",

@@ -17,6 +17,19 @@ further submissions are shed immediately with
 :class:`~repro.faults.errors.OverloadedError` rather than queued into an
 unbounded backlog.
 
+Requests may carry a :class:`~repro.serving.resilience.Deadline`.  It is
+enforced twice: at admission (when the estimated queue wait --
+:meth:`MicroBatcher.estimated_wait_s`, an EWMA of observed batch
+latency scaled by queue depth -- already exceeds the remaining budget,
+the request is shed with
+:class:`~repro.faults.errors.DeadlineExceededError` instead of queueing
+to certain death) and when the batch forms (members whose deadline
+expired while queued are dropped from the batch *before* execution and
+resolved with the same typed error, so an expired request never wastes
+executor time).  Cancelled requests -- a client disconnect cancels the
+awaiting task, which cancels the pending future -- are likewise dropped
+at batch formation and counted, releasing their queue slot.
+
 All queue state is mutated only on the event-loop thread, so no locks
 are needed; batch execution runs on a small *dedicated* thread pool
 (``BatchPolicy.workers``, default 1) rather than ``asyncio.to_thread``'s
@@ -31,13 +44,24 @@ thread-local.)
 from __future__ import annotations
 
 import asyncio
+import inspect
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.faults.errors import ConfigurationError, OverloadedError
+from repro.faults.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServerClosedError,
+)
+from repro.faults.injection import apply_fault
+from repro.serving.resilience import Deadline
+
+#: Smoothing factor for the observed-batch-latency EWMA.
+_EWMA_ALPHA = 0.2
 
 
 @dataclass(frozen=True)
@@ -77,11 +101,12 @@ class BatchPolicy:
 
 @dataclass
 class _Pending:
-    """One queued request: its RHS and the future its caller awaits."""
+    """One queued request: its RHS, deadline, and the caller's future."""
 
     x: np.ndarray
     future: asyncio.Future
     enqueued: float
+    deadline: Deadline | None = None
 
 
 @dataclass
@@ -106,10 +131,15 @@ class MicroBatcher:
 
     Args:
         execute: ``execute(key, X) -> np.ndarray`` of shape ``(m, k)``;
-            called in a worker thread with the stacked RHS block.
+            called in a worker thread with the stacked RHS block.  When
+            the callable declares a ``deadline`` parameter it also
+            receives the tightest remaining
+            :class:`~repro.serving.resilience.Deadline` among the
+            batch's members (or None), so retry loops downstream can
+            respect the budget.
         policy: Flush triggers and the global queue bound.
         metrics: Optional ``MetricsRegistry``; observes batch sizes and
-            queue waits, counts batches and shed requests.
+            queue waits, counts batches, shed/expired/cancelled requests.
     """
 
     def __init__(self, execute, policy: BatchPolicy | None = None, metrics=None):
@@ -118,42 +148,108 @@ class MicroBatcher:
         self._metrics = metrics
         self._lanes: dict = {}
         self._in_flight = 0
+        self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=self.policy.workers, thread_name_prefix="spmv-batch"
         )
+        try:
+            self._wants_deadline = (
+                "deadline" in inspect.signature(execute).parameters
+            )
+        except (TypeError, ValueError):
+            self._wants_deadline = False
         self.batches = 0
         self.coalesced = 0
         self.shed = 0
+        self.expired = 0
+        self.cancelled = 0
+        #: EWMA of observed batch execution wall time; 0 until the first
+        #: batch completes.  Drives admission-time deadline estimates
+        #: and the HTTP frontend's queue-aware ``Retry-After`` hint.
+        self.ewma_batch_s = 0.0
 
     @property
     def in_flight(self) -> int:
         """Requests currently queued or executing, across all lanes."""
         return self._in_flight
 
-    async def submit(self, key, x: np.ndarray) -> BatchResult:
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has begun; submissions fail fast."""
+        return self._closed
+
+    def estimated_wait_s(self, extra: int = 1) -> float:
+        """Estimated queueing delay for a request arriving now.
+
+        ``ceil((in_flight + extra) / max_batch)`` batches ahead of it,
+        each costing the observed EWMA batch latency, plus the coalescing
+        delay it will itself wait.  Deliberately simple -- an admission
+        estimate only has to be right about *order of magnitude* to keep
+        doomed requests out of the queue.
+        """
+        batches_ahead = (self._in_flight + extra + self.policy.max_batch - 1) // (
+            self.policy.max_batch
+        )
+        return batches_ahead * self.ewma_batch_s + self.policy.max_delay_s
+
+    async def submit(
+        self, key, x: np.ndarray, deadline: Deadline | None = None
+    ) -> BatchResult:
         """Queue one RHS for ``key``; resolves when its batch executes.
 
         Raises:
             OverloadedError: The global ``max_queue`` bound is hit; the
                 request was shed without queueing.
+            DeadlineExceededError: ``deadline`` has already expired, or
+                the estimated queue wait exceeds its remaining budget
+                (shed-on-arrival instead of queueing to certain death).
+            ServerClosedError: :meth:`shutdown` has begun.
         """
+        if self._closed:
+            raise ServerClosedError(
+                "batcher is shut down; no further submissions accepted"
+            )
         if self._in_flight >= self.policy.max_queue:
             self.shed += 1
             if self._metrics is not None:
                 self._metrics.inc(
                     "serving_shed_total", help="Requests shed by admission control"
                 )
-            raise OverloadedError(
+            error = OverloadedError(
                 f"serving queue full ({self._in_flight} in flight, "
                 f"limit {self.policy.max_queue}); retry later",
                 queue_depth=self._in_flight,
                 limit=self.policy.max_queue,
             )
+            error.retry_after_s = max(self.estimated_wait_s(), self.policy.max_delay_s)
+            raise error
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining <= 0 or self.estimated_wait_s() > remaining:
+                self.expired += 1
+                if self._metrics is not None:
+                    self._metrics.inc(
+                        "serving_deadline_exceeded_total",
+                        labels={"stage": "admission"},
+                        help="Requests past their deadline, by enforcement stage",
+                    )
+                raise DeadlineExceededError(
+                    f"deadline budget {deadline.budget_s * 1e3:.1f}ms cannot be "
+                    f"met: {remaining * 1e3:.1f}ms remaining vs estimated queue "
+                    f"wait {self.estimated_wait_s() * 1e3:.1f}ms",
+                    stage="admission",
+                    budget_s=deadline.budget_s,
+                )
         loop = asyncio.get_running_loop()
         lane = self._lanes.get(key)
         if lane is None:
             lane = self._lanes[key] = _Lane()
-        pending = _Pending(x=x, future=loop.create_future(), enqueued=time.perf_counter())
+        pending = _Pending(
+            x=x,
+            future=loop.create_future(),
+            enqueued=time.perf_counter(),
+            deadline=deadline,
+        )
         lane.pending.append(pending)
         self._in_flight += 1
         if len(lane.pending) >= self.policy.max_batch:
@@ -188,7 +284,14 @@ class MicroBatcher:
             await asyncio.sleep(0)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Release the dedicated execution threads (terminal)."""
+        """Stop accepting submissions and release the execution threads.
+
+        Terminal: the closed flag is raised *before* the pool is torn
+        down, so a submission racing the shutdown gets a fast typed
+        :class:`~repro.faults.errors.ServerClosedError` instead of an
+        opaque ``RuntimeError`` from a dead executor.
+        """
+        self._closed = True
         self._pool.shutdown(wait=wait)
 
     def _pop(self, lane: _Lane) -> list:
@@ -210,7 +313,49 @@ class MicroBatcher:
         if batch:
             await self._run_batch(key, batch)
 
-    def _execute_stacked(self, key, xs: list) -> np.ndarray:
+    def _triage(self, batch: list) -> tuple:
+        """Split a formed batch into live members and dropped ones.
+
+        Cancelled members (future already done: the awaiting task was
+        cancelled by a client disconnect) are silently dropped; expired
+        members are resolved with ``DeadlineExceededError``.  Both
+        release their queue slot immediately.
+        """
+        live = []
+        dropped = 0
+        for p in batch:
+            if p.future.done():
+                # Client went away; nothing to deliver.
+                dropped += 1
+                self.cancelled += 1
+                if self._metrics is not None:
+                    self._metrics.inc(
+                        "serving_cancelled_total",
+                        labels={"stage": "batch"},
+                        help="Requests cancelled before execution",
+                    )
+            elif p.deadline is not None and p.deadline.expired:
+                dropped += 1
+                self.expired += 1
+                p.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline expired after {time.perf_counter() - p.enqueued:.4f}s "
+                        "in queue; dropped from batch before execution",
+                        stage="batch",
+                        budget_s=p.deadline.budget_s,
+                    )
+                )
+                if self._metrics is not None:
+                    self._metrics.inc(
+                        "serving_deadline_exceeded_total",
+                        labels={"stage": "batch"},
+                        help="Requests past their deadline, by enforcement stage",
+                    )
+            else:
+                live.append(p)
+        return live, dropped
+
+    def _execute_stacked(self, key, xs: list, deadline) -> np.ndarray:
         """Worker-thread body: stack, execute, unstack.
 
         The RHS stack (column-major fill) and the result transpose are
@@ -219,24 +364,50 @@ class MicroBatcher:
         array is ``(k, m)`` so each request's ``y`` is a contiguous row.
         """
         X = np.stack(xs, axis=1)
-        Y = self._execute(key, X)
+        if self._wants_deadline:
+            Y = self._execute(key, X, deadline=deadline)
+        else:
+            Y = self._execute(key, X)
         return np.ascontiguousarray(Y.T)
 
     async def _run_batch(self, key, batch: list) -> None:
         """Execute one coalesced batch and fan results back to futures."""
         now = time.perf_counter()
-        k = len(batch)
+        live, dropped = self._triage(batch)
+        self._in_flight -= dropped
+        if not live:
+            return
+        k = len(live)
+        deadlines = [p.deadline for p in live if p.deadline is not None]
+        batch_deadline = (
+            min(deadlines, key=lambda d: d.expires_at) if deadlines else None
+        )
         loop = asyncio.get_running_loop()
         try:
+            apply_fault("batch", self.batches)
             YT = await loop.run_in_executor(
-                self._pool, self._execute_stacked, key, [p.x for p in batch]
+                self._pool, self._execute_stacked, key, [p.x for p in live],
+                batch_deadline,
             )
         except Exception as exc:
-            for p in batch:
+            if isinstance(exc, RuntimeError) and self._closed:
+                # The pool was torn down while this batch was in flight;
+                # resolve with the typed shutdown error, not the
+                # executor's opaque RuntimeError.
+                exc = ServerClosedError(
+                    "batch aborted: batcher shut down while the batch was queued"
+                )
+            for p in live:
                 if not p.future.done():
                     p.future.set_exception(exc)
         else:
-            for j, p in enumerate(batch):
+            t_exec = time.perf_counter() - now
+            self.ewma_batch_s = (
+                t_exec
+                if self.ewma_batch_s == 0.0
+                else (1 - _EWMA_ALPHA) * self.ewma_batch_s + _EWMA_ALPHA * t_exec
+            )
+            for j, p in enumerate(live):
                 if not p.future.done():
                     p.future.set_result(
                         BatchResult(
@@ -258,7 +429,7 @@ class MicroBatcher:
                     float(k),
                     help="Requests per coalesced batch",
                 )
-                for p in batch:
+                for p in live:
                     self._metrics.observe(
                         "serving_queue_wait_seconds",
                         now - p.enqueued,

@@ -11,30 +11,58 @@ serving needs no web framework.  Routes:
   returns ``{"fingerprint": ...}``.
 * ``POST /v1/spmv`` -- serve one request
   ``{"fingerprint", "x", "tenant"?}``; returns ``{"y", "batch_size",
-  "queued_ms", "wall_ms"}``.
+  "queued_ms", "wall_ms"}``.  An ``X-Deadline-Ms`` request header sets
+  the per-request deadline budget in milliseconds.
 
 Error mapping follows the faults hierarchy: admission-control sheds
-(:class:`OverloadedError`, including tenant quotas) become ``429`` with
-a ``Retry-After`` hint, unknown fingerprints become ``404``, malformed
-payloads and operands become ``400``, and anything else a ``500``.
+(:class:`OverloadedError`, including tenant quotas) become ``429``,
+unknown fingerprints ``404``, malformed payloads and operands ``400``,
+expired deadlines (:class:`DeadlineExceededError`) ``504``, open
+circuits (:class:`CircuitOpenError`) and shutdown
+(:class:`ServerClosedError`) ``503``, and anything else a ``500``.
+
+**Retry-After contract**: every ``429`` and circuit-open ``503``
+carries a ``Retry-After`` header in integer seconds.  The hint is
+*queue-aware*, not a constant: it starts from the server's estimated
+drain time (current lane depth times the observed EWMA batch latency,
+see :meth:`SpMVServer.retry_after_hint`) or the breaker's remaining
+cooldown, is jittered by +-20% so synchronized clients do not
+re-stampede in lockstep, and is clamped to ``[1, 30]`` seconds.
+Clients honouring the header get admitted near the earliest moment the
+queue can plausibly take them.
+
+**Disconnect handling**: while a request is being served, the
+connection is watched for EOF; a client that goes away mid-request
+cancels the in-flight submission (``asyncio.CancelledError`` into
+:meth:`SpMVServer.submit`), which releases its inflight-quota slot and
+stamps ``serving_cancelled_total`` -- abandoned work never holds
+capacity or executes to a dead socket.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import random
 
 from repro.faults.errors import (
+    CircuitOpenError,
     ConfigurationError,
+    DeadlineExceededError,
     FaultError,
     InvalidInputError,
     OverloadedError,
+    ServerClosedError,
     UnknownMatrixError,
 )
+from repro.faults.injection import apply_fault
 from repro.serving.server import SpMVServer
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 _MAX_HEADER_LINES = 100
+_RETRY_AFTER_MIN_S = 1
+_RETRY_AFTER_MAX_S = 30
 
 
 class HTTPServingFrontend:
@@ -52,6 +80,8 @@ class HTTPServingFrontend:
         self.host = host
         self.port = port
         self._asyncio_server: asyncio.AbstractServer | None = None
+        self._request_seq = itertools.count()
+        self._rng = random.Random(0xA77E)
 
     async def start(self) -> None:
         """Bind and start accepting connections."""
@@ -85,12 +115,35 @@ class HTTPServingFrontend:
             request = await self._read_request(reader)
             if request is None:
                 return
-            method, path, body = request
-            status, payload, content_type, extra = await self._route(
-                method, path, body
-            )
+            method, path, headers, body = request
+            apply_fault("http", next(self._request_seq))
+            route = asyncio.ensure_future(self._route(method, path, headers, body))
+            gone = asyncio.ensure_future(self._watch_disconnect(reader))
+            try:
+                done, _ = await asyncio.wait(
+                    {route, gone}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if route not in done:
+                    # Client hung up mid-request: cancel the in-flight
+                    # submission so its quota slot is released, then
+                    # give up on responding to the dead socket.
+                    route.cancel()
+                    try:
+                        await route
+                    except (asyncio.CancelledError, Exception):
+                        pass
+                    return
+            finally:
+                gone.cancel()
+                try:
+                    await gone
+                except (asyncio.CancelledError, ConnectionError, OSError):
+                    pass
+            status, payload, content_type, extra = await route
         except FaultError as exc:
             status, payload, content_type, extra = self._map_fault(exc)
+        except asyncio.IncompleteReadError:
+            return
         except (ValueError, UnicodeDecodeError) as exc:
             status, payload, content_type, extra = (
                 400,
@@ -114,6 +167,20 @@ class HTTPServingFrontend:
             except (ConnectionError, OSError):
                 pass
 
+    @staticmethod
+    async def _watch_disconnect(reader: asyncio.StreamReader) -> None:
+        """Resolve when the client closes its end of the connection.
+
+        The request body was already consumed, so under this simple
+        one-request-per-connection protocol any EOF here means the
+        client abandoned the request; stray extra bytes (a misbehaving
+        client pipelining) are drained and ignored.
+        """
+        while True:
+            data = await reader.read(4096)
+            if data == b"":
+                return
+
     async def _read_request(self, reader: asyncio.StreamReader):
         request_line = await reader.readline()
         if not request_line:
@@ -122,22 +189,22 @@ class HTTPServingFrontend:
         if len(parts) < 2:
             raise ValueError("malformed request line")
         method, path = parts[0].upper(), parts[1]
-        content_length = 0
+        headers: dict[str, str] = {}
         for _ in range(_MAX_HEADER_LINES):
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                content_length = int(value.strip())
+            headers[name.strip().lower()] = value.strip()
         else:
             raise ValueError("too many headers")
+        content_length = int(headers.get("content-length", 0))
         if content_length > _MAX_BODY_BYTES:
             raise ValueError(f"body too large ({content_length} bytes)")
         body = await reader.readexactly(content_length) if content_length else b""
-        return method, path, body
+        return method, path, headers, body
 
-    async def _route(self, method: str, path: str, body: bytes):
+    async def _route(self, method: str, path: str, headers: dict, body: bytes):
         path = path.split("?", 1)[0]
         if method == "GET" and path == "/health":
             return 200, self.server.health(), "application/json", {}
@@ -148,7 +215,7 @@ class HTTPServingFrontend:
         if method == "POST" and path == "/v1/matrices":
             return await self._post_matrix(body)
         if method == "POST" and path == "/v1/spmv":
-            return await self._post_spmv(body)
+            return await self._post_spmv(headers, body)
         return (
             404,
             {"error": "not_found", "detail": f"no route for {method} {path}"},
@@ -178,7 +245,7 @@ class HTTPServingFrontend:
         fingerprint = self.server.register(matrix, tenant)
         return 200, {"fingerprint": fingerprint, "tenant": tenant}, "application/json", {}
 
-    async def _post_spmv(self, body: bytes):
+    async def _post_spmv(self, headers: dict, body: bytes):
         payload = _parse_json(body)
         tenant = str(payload.get("tenant", "default"))
         try:
@@ -189,7 +256,8 @@ class HTTPServingFrontend:
                 f"spmv payload missing field {exc.args[0]!r}; expected "
                 "fingerprint, x"
             ) from None
-        result = await self.server.submit(fingerprint, x, tenant)
+        deadline = _parse_deadline(headers)
+        result = await self.server.submit(fingerprint, x, tenant, deadline=deadline)
         return (
             200,
             {
@@ -208,11 +276,51 @@ class HTTPServingFrontend:
     # Responses
     # ------------------------------------------------------------------
 
+    def _retry_after(self, hint_s: float) -> str:
+        """Jittered, clamped integer-second ``Retry-After`` value.
+
+        See the module docstring for the contract: +-20% jitter breaks
+        up synchronized retry waves, the ``[1, 30]`` second clamp keeps
+        the hint honest for both tiny EWMA estimates and pathological
+        backlogs.
+        """
+        jittered = hint_s * (1.0 + 0.2 * (2.0 * self._rng.random() - 1.0))
+        clamped = min(max(jittered, _RETRY_AFTER_MIN_S), _RETRY_AFTER_MAX_S)
+        return str(int(round(clamped)))
+
     def _map_fault(self, exc: FaultError):
         if isinstance(exc, UnknownMatrixError):
             return (
                 404,
                 {"error": "unknown_matrix", "detail": _fault_detail(exc)},
+                "application/json",
+                {},
+            )
+        if isinstance(exc, DeadlineExceededError):
+            return (
+                504,
+                {
+                    "error": "deadline_exceeded",
+                    "detail": str(exc),
+                    "stage": getattr(exc, "stage", ""),
+                },
+                "application/json",
+                {},
+            )
+        if isinstance(exc, CircuitOpenError):
+            hint = getattr(exc, "retry_after_s", None)
+            if hint is None:
+                hint = self.server.retry_after_hint()
+            return (
+                503,
+                {"error": "circuit_open", "detail": str(exc)},
+                "application/json",
+                {"Retry-After": self._retry_after(hint)},
+            )
+        if isinstance(exc, ServerClosedError):
+            return (
+                503,
+                {"error": "server_closed", "detail": str(exc)},
                 "application/json",
                 {},
             )
@@ -226,7 +334,15 @@ class HTTPServingFrontend:
             tenant = getattr(exc, "tenant", "")
             if tenant:
                 payload["tenant"] = tenant
-            return 429, payload, "application/json", {"Retry-After": "1"}
+            hint = getattr(exc, "retry_after_s", None)
+            if hint is None:
+                hint = self.server.retry_after_hint()
+            return (
+                429,
+                payload,
+                "application/json",
+                {"Retry-After": self._retry_after(hint)},
+            )
         if isinstance(exc, (ConfigurationError, InvalidInputError)):
             return (
                 400,
@@ -250,7 +366,8 @@ class HTTPServingFrontend:
         extra: dict,
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  429: "Too Many Requests", 500: "Internal Server Error"}.get(
+                  429: "Too Many Requests", 500: "Internal Server Error",
+                  503: "Service Unavailable", 504: "Gateway Timeout"}.get(
             status, "OK"
         )
         if isinstance(payload, str):
@@ -266,6 +383,22 @@ class HTTPServingFrontend:
         headers.extend(f"{name}: {value}" for name, value in extra.items())
         writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + body)
         await writer.drain()
+
+
+def _parse_deadline(headers: dict) -> float | None:
+    """Millisecond deadline budget from ``X-Deadline-Ms`` (None if absent)."""
+    raw = headers.get("x-deadline-ms")
+    if raw is None:
+        return None
+    try:
+        budget_ms = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"X-Deadline-Ms header must be a number, got {raw!r}"
+        ) from None
+    if budget_ms < 0:
+        raise ConfigurationError("X-Deadline-Ms header must be non-negative")
+    return budget_ms / 1e3
 
 
 def _parse_json(body: bytes) -> dict:

@@ -19,13 +19,19 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from repro.faults.errors import OverloadedError
+from repro.faults.errors import DeadlineExceededError, OverloadedError
 from repro.serving.server import SpMVServer
 
 
 @dataclass(frozen=True)
 class LoadReport:
-    """Result of one offered-QPS level."""
+    """Result of one offered-QPS level.
+
+    ``rejected`` counts admission-control sheds (429s),
+    ``deadline_exceeded`` counts requests shed or dropped past their
+    deadline budget (504s); both are *intentional* load responses,
+    distinct from ``errors``.
+    """
 
     offered_qps: float
     n_requests: int
@@ -39,6 +45,7 @@ class LoadReport:
     p99_ms: float
     mean_ms: float
     mean_batch: float
+    deadline_exceeded: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -59,6 +66,7 @@ async def run_open_loop(
     offered_qps: float,
     n_requests: int,
     tenant: str = "default",
+    deadline_s: float | None = None,
 ) -> LoadReport:
     """Fire ``n_requests`` at ``offered_qps`` with uniform pacing.
 
@@ -70,22 +78,31 @@ async def run_open_loop(
             ``i / offered_qps`` seconds after the start.
         n_requests: Total arrivals.
         tenant: Tenant to issue under.
+        deadline_s: Per-request deadline budget each submission carries
+            (None for no deadline).  Under overload this turns queueing
+            delay into fast 504-style sheds, which is exactly what
+            ``bench_resilience.py`` measures.
     """
     latencies: list = []
     batch_sizes: list = []
     rejected = 0
     errors = 0
+    deadline_exceeded = 0
     start = time.perf_counter()
     interval = 1.0 / offered_qps
 
     async def one(i: int) -> None:
-        nonlocal rejected, errors
+        nonlocal rejected, errors, deadline_exceeded
         delay = start + i * interval - time.perf_counter()
         if delay > 0:
             await asyncio.sleep(delay)
         t0 = time.perf_counter()
         try:
-            result = await server.submit(fingerprint, xs[i % len(xs)], tenant=tenant)
+            result = await server.submit(
+                fingerprint, xs[i % len(xs)], tenant=tenant, deadline=deadline_s
+            )
+        except DeadlineExceededError:
+            deadline_exceeded += 1
         except OverloadedError:
             rejected += 1
         except Exception:
@@ -111,6 +128,7 @@ async def run_open_loop(
         p99_ms=round(percentile(latencies, 0.99) * 1e3, 3),
         mean_ms=round(float(np.mean(latencies)) * 1e3, 3) if latencies else float("nan"),
         mean_batch=round(float(np.mean(batch_sizes)), 3) if batch_sizes else float("nan"),
+        deadline_exceeded=deadline_exceeded,
     )
 
 

@@ -27,7 +27,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api import EngineOptions, SpMVEngine, create_engine
-from repro.faults.errors import ConfigurationError, UnknownMatrixError
+from repro.faults.errors import (
+    ConfigurationError,
+    SnapshotCorruptError,
+    UnknownMatrixError,
+)
 
 
 def matrix_fingerprint(matrix) -> str:
@@ -117,16 +121,30 @@ class MatrixRegistry:
         self.quotas = quotas or TenantQuotas()
         self._lock = threading.Lock()
         self._matrices: dict[str, OrderedDict[str, Registration]] = {}
-        self._engines: dict[str, SpMVEngine] = {}
+        # Keyed (tenant, backend); backend None means the configured one.
+        self._engines: dict[tuple, SpMVEngine] = {}
         self.evictions = 0
 
-    def engine(self, tenant: str = "default") -> SpMVEngine:
-        """The tenant's engine (created through ``create_engine`` once)."""
+    def engine(self, tenant: str = "default", backend: str | None = None) -> SpMVEngine:
+        """The tenant's engine (created through ``create_engine`` once).
+
+        Args:
+            tenant: Owning tenant.
+            backend: Backend tier override; ``None`` uses the configured
+                backend.  The degradation ladder requests lower tiers
+                (``"vectorized"``, ``"reference"``) through this -- each
+                (tenant, tier) engine is created lazily and cached, so a
+                healthy lane never pays for fallback engines.
+        """
+        key = (tenant, backend)
         with self._lock:
-            engine = self._engines.get(tenant)
+            engine = self._engines.get(key)
             if engine is None:
-                engine = create_engine(self.options)
-                self._engines[tenant] = engine
+                options = self.options
+                if backend is not None:
+                    options = options.replace(backend=backend)
+                engine = create_engine(options)
+                self._engines[key] = engine
             return engine
 
     def register(self, matrix, tenant: str = "default") -> str:
@@ -148,9 +166,7 @@ class MatrixRegistry:
             while len(table) >= self.quotas.max_matrices:
                 _, evicted = table.popitem(last=False)
                 self.evictions += 1
-                engine = self._engines.get(tenant)
-                if engine is not None and hasattr(engine, "forget"):
-                    engine.forget(evicted.matrix)
+                self._forget_locked(tenant, evicted.matrix)
             table[fingerprint] = Registration(
                 fingerprint=fingerprint, matrix=matrix, tenant=tenant
             )
@@ -188,14 +204,65 @@ class MatrixRegistry:
                     f"no matrix registered under fingerprint {fingerprint!r} "
                     f"for tenant {tenant!r}"
                 )
-            engine = self._engines.get(tenant)
-            if engine is not None and hasattr(engine, "forget"):
-                engine.forget(registration.matrix)
+            self._forget_locked(tenant, registration.matrix)
+
+    def _forget_locked(self, tenant: str, matrix) -> None:
+        """Drop a matrix's cached plans from every tier engine (lock held)."""
+        for (eng_tenant, _backend), engine in self._engines.items():
+            if eng_tenant == tenant and hasattr(engine, "forget"):
+                engine.forget(matrix)
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def snapshot_entries(self) -> list:
+        """Stable ``[(tenant, fingerprint, matrix), ...]`` for snapshotting."""
+        with self._lock:
+            return [
+                (tenant, fingerprint, registration.matrix)
+                for tenant, table in sorted(self._matrices.items())
+                for fingerprint, registration in table.items()
+            ]
+
+    def restore(self, matrix, tenant: str, expected_fingerprint: str | None = None) -> str:
+        """Re-register a matrix from a snapshot payload.
+
+        The content fingerprint is recomputed from the restored streams;
+        when the snapshot manifest's fingerprint disagrees the payload
+        did not round-trip and the entry must be quarantined.
+
+        Raises:
+            SnapshotCorruptError: Recomputed fingerprint differs from
+                ``expected_fingerprint``.
+        """
+        fingerprint = self.register(matrix, tenant)
+        if expected_fingerprint and fingerprint != expected_fingerprint:
+            self.unregister(fingerprint, tenant)
+            raise SnapshotCorruptError(
+                f"restored matrix fingerprints to {fingerprint!r}, "
+                f"snapshot manifest says {expected_fingerprint!r}"
+            )
+        return fingerprint
 
     def tenants(self) -> tuple:
         """Registered tenant names, sorted."""
         with self._lock:
             return tuple(sorted(self._matrices))
+
+    def engines(self) -> tuple:
+        """Every instantiated engine as ``(tenant, backend, engine)``.
+
+        ``backend`` is ``None`` for the configured tier; degraded-tier
+        engines appear once the ladder has had to create them.
+        """
+        with self._lock:
+            return tuple(
+                (tenant, backend, engine)
+                for (tenant, backend), engine in sorted(
+                    self._engines.items(), key=lambda item: (item[0][0], item[0][1] or "")
+                )
+            )
 
     def stats(self) -> dict:
         """Per-tenant registry statistics for ``/stats``."""
@@ -209,7 +276,7 @@ class MatrixRegistry:
                 "tenants": {},
             }
             for tenant, table in sorted(self._matrices.items()):
-                engine = self._engines.get(tenant)
+                engine = self._engines.get((tenant, None))
                 out["tenants"][tenant] = {
                     "matrices": [reg.describe() for reg in table.values()],
                     "plan_cache": (
