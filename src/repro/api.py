@@ -44,7 +44,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # avoid an import cycle; core.twostep imports this module
     from repro.core.config import TwoStepConfig
-    from repro.core.twostep import TwoStepReport
+    from repro.core.twostep import SpGEMMReport, TwoStepReport
     from repro.faults.report import FaultReport
     from repro.formats.coo import COOMatrix
     from repro.telemetry import TelemetryReport
@@ -94,6 +94,48 @@ class SpMVResult:
         return (self.y, self.report)[item]
 
 
+@dataclass
+class SpGEMMResult:
+    """Outcome of one SpGEMM execution (``C = A @ B``).
+
+    Attributes:
+        c: The sparse product in canonical RM-COO.
+        report: Engine instrumentation
+            (:class:`~repro.core.twostep.SpGEMMReport`): block count,
+            partial-product and output record counts, merge compression
+            and plan-cache counters.
+        verified: True/False when the engine checked ``c`` against the
+            dense product, None when verification was skipped.
+        wall_time_s: Wall-clock seconds spent inside the engine.
+        faults: Supervision accounting
+            (:class:`~repro.faults.report.FaultReport`), as on
+            :class:`SpMVResult`.
+        telemetry: The run's trace spans and metrics snapshot
+            (:class:`~repro.telemetry.TelemetryReport`), or None when
+            telemetry was disabled.
+
+    Iterating (and indexing) yields ``(c, report)``, mirroring
+    :class:`SpMVResult`'s tuple-unpacking compatibility.
+    """
+
+    c: "COOMatrix"
+    report: "SpGEMMReport"
+    verified: bool | None = None
+    wall_time_s: float = 0.0
+    faults: "FaultReport | None" = None
+    telemetry: "TelemetryReport | None" = None
+
+    def __iter__(self) -> Iterator:
+        yield self.c
+        yield self.report
+
+    def __len__(self) -> int:
+        return 2
+
+    def __getitem__(self, item):
+        return (self.c, self.report)[item]
+
+
 @runtime_checkable
 class SpMVEngine(Protocol):
     """Anything that executes ``y = A x + y`` and reports how it went."""
@@ -122,6 +164,36 @@ class SpMVEngine(Protocol):
         ``run(matrix, X[:, j], y=Y[:, j])``.  Engines share matrix-side
         work (plans, gather indices, merge permutations) across the
         batch.
+        """
+        ...
+
+    def spgemm(
+        self,
+        a: "COOMatrix",
+        b: "COOMatrix",
+        verify: bool = False,
+    ) -> SpGEMMResult:
+        """Execute ``C = A @ B`` on the merge substrate.
+
+        Rides the same execution-plan machinery as SpMV: ``A``'s column
+        blocking is reused, the merge permutation is cached per
+        ``(A-plan, B)``, and results are bit-identical across backends
+        (and to the row-wise Gustavson reference).
+        """
+        ...
+
+    def run_spgemm_many(
+        self,
+        a: "COOMatrix",
+        bs,
+        verify: bool = False,
+    ) -> list:
+        """Execute ``C_i = A @ B_i`` for several right operands.
+
+        ``A``'s execution plan (and its column-block structure) is
+        shared across the batch; each ``B_i``'s SpGEMM symbolic
+        structure is cached for warm replay.  Returns one
+        :class:`SpGEMMResult` per right operand.
         """
         ...
 
@@ -507,6 +579,7 @@ __all__ = [
     "DEFAULT_SEGMENT_WIDTH",
     "ENV_VARS",
     "EngineOptions",
+    "SpGEMMResult",
     "SpMVEngine",
     "SpMVResult",
     "create_engine",

@@ -12,7 +12,7 @@ the public API end-to-end:
 """
 
 from repro.apps.pagerank import pagerank, pagerank_reference, stochastic_matrix
-from repro.apps.bfs import bfs_levels
+from repro.apps.bfs import bfs_levels, bfs_levels_multi, bfs_levels_multi_spgemm
 from repro.apps.components import connected_components
 from repro.apps.jacobi import JacobiResult, diagonally_dominant_system, jacobi_solve, split_diagonal
 from repro.apps.spectral import PowerIterationResult, power_iteration
@@ -26,6 +26,8 @@ __all__ = [
     "pagerank_reference",
     "stochastic_matrix",
     "bfs_levels",
+    "bfs_levels_multi",
+    "bfs_levels_multi_spgemm",
     "connected_components",
     "JacobiResult",
     "diagonally_dominant_system",

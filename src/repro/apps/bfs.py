@@ -9,6 +9,12 @@ SpMV client maps onto the Two-Step kernel).
 :func:`bfs_levels_multi` expands the frontiers of many sources at once
 through ``run_many`` -- one execution plan, one merge permutation and
 one matrix stream per level, shared by the whole batch.
+
+:func:`bfs_levels_multi_spgemm` states the same batched expansion as a
+*matrix-matrix* product: the frontier columns form a sparse ``n x k``
+selector ``F`` and one SpGEMM ``A^T @ F`` expands every source's
+frontier at once.  On very sparse frontiers this streams only the
+touched rows of ``A^T`` instead of dense frontier columns.
 """
 
 from __future__ import annotations
@@ -112,4 +118,68 @@ def bfs_levels_multi(
             break
         levels[new_frontiers] = level
         frontiers = new_frontiers.astype(np.float64)
+    return levels
+
+
+def bfs_levels_multi_spgemm(
+    adjacency: COOMatrix,
+    sources,
+    engine: TwoStepEngine = None,
+    max_levels: int = None,
+) -> np.ndarray:
+    """Batched multi-source BFS via SpGEMM frontier expansion.
+
+    The ``k`` frontiers are held as one sparse selector matrix ``F``
+    (``n x k``; entry ``(v, s)`` = node ``v`` is on source ``s``'s
+    frontier) and each level performs a single sparse-sparse product
+    ``A^T @ F`` -- a matrix-matrix restatement of
+    :func:`bfs_levels_multi` that the SpGEMM differential suite checks
+    for exact level-array equality.
+
+    Args:
+        adjacency: Directed adjacency, edge ``u -> v`` as entry ``(u, v)``.
+        sources: Start nodes, one BFS per entry.
+        engine: Optional engine; when given the product runs through
+            ``engine.spgemm`` (cached plan on ``A^T``), else through the
+            Gustavson reference kernel.
+        max_levels: Optional safety cap (defaults to n_rows).
+
+    Returns:
+        ``int64`` array of shape ``(n, len(sources))`` of levels
+        (-1 = unreachable).
+    """
+    from repro.core.spgemm import spgemm
+
+    if adjacency.n_rows != adjacency.n_cols:
+        raise ValueError("adjacency must be square")
+    n = adjacency.n_rows
+    sources = np.asarray(list(sources), dtype=np.int64)
+    if sources.size and (sources.min() < 0 or sources.max() >= n):
+        raise ValueError("source out of range")
+    k = sources.size
+    transposed = adjacency.transpose()
+    levels = np.full((n, k), -1, dtype=np.int64)
+    active = np.zeros((n, k), dtype=bool)
+    for s, src in enumerate(sources):
+        levels[src, s] = 0
+        active[src, s] = True
+    cap = n if max_levels is None else max_levels
+    for level in range(1, cap + 1):
+        rows, cols = np.nonzero(active)
+        if rows.size == 0:
+            break
+        frontier_mat = COOMatrix.from_triples(
+            n, k, rows, cols, np.ones(rows.size), sum_duplicates=False
+        )
+        if engine is not None:
+            product = engine.spgemm(transposed, frontier_mat).c
+        else:
+            product = spgemm(transposed, frontier_mat)
+        reached = np.zeros((n, k), dtype=bool)
+        if product.nnz:
+            reached[product.rows, product.cols] = product.vals > 0
+        active = reached & (levels < 0)
+        if not active.any():
+            break
+        levels[active] = level
     return levels

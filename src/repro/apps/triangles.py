@@ -31,16 +31,23 @@ def undirected_simple(adjacency: COOMatrix) -> COOMatrix:
     )
 
 
-def count_triangles(adjacency: COOMatrix) -> int:
+def count_triangles(adjacency: COOMatrix, engine=None) -> int:
     """Total triangles in the undirected simple version of the graph.
 
     Computes ``A @ A`` through the merge-based SpGEMM and sums the
     Hadamard product with ``A`` (paths of length 2 that close).
+
+    Args:
+        adjacency: Square adjacency (symmetrized internally).
+        engine: Optional :class:`repro.api.SpMVEngine`; when given, the
+            product runs through ``engine.spgemm`` (cached symbolic plan,
+            backend dispatch) instead of the per-row Gustavson reference.
+            Both are bit-identical, so the count is the same either way.
     """
     a = undirected_simple(adjacency)
     if a.nnz == 0:
         return 0
-    squared = spgemm(a, a)
+    squared = engine.spgemm(a, a).c if engine is not None else spgemm(a, a)
     # Hadamard with A: look up (row, col) of A in A^2.
     sq_keys = squared.rows * a.n_cols + squared.cols
     a_keys = a.rows * a.n_cols + a.cols

@@ -329,6 +329,64 @@ class ExecutionBackend(ABC):
         )
         return [vals for _keys, vals in streams]
 
+    # ------------------------------------------------------------------
+    # SpGEMM kernels.
+    #
+    # ``C = A @ B`` rides the same plan-replay substrate: a
+    # :class:`repro.core.plan.SpGEMMPlan` carries the partial-product
+    # gather structure and the merge permutation; the kernels below
+    # consume only values.  The defaults replay records one at a time in
+    # stream order -- the reference scalar oracle -- so every backend is
+    # automatically SpGEMM-capable and automatically bit-compatible;
+    # fast paths override where they can keep the same accumulation
+    # order.
+    # ------------------------------------------------------------------
+
+    def spgemm_products(self, splan, b_vals: np.ndarray, workspace=None) -> np.ndarray:
+        """Partial-product value stream of ``C = A @ B`` in plan order.
+
+        Args:
+            splan: The plan's :class:`~repro.core.plan.SpGEMMPlan`.
+            b_vals: The right operand's value array (``b.vals`` of the
+                matrix the plan was built against).
+            workspace: Optional scratch-buffer workspace; the default
+                (oracle) implementation ignores it.
+
+        Returns:
+            ``float64`` products, one per partial-product record, in the
+            plan's stream order (blocks ascending, row-major within).
+        """
+        out = np.empty(splan.total_records, dtype=np.float64)
+        gather = splan.gather_b.tolist()
+        scale = splan.a_scale.tolist()
+        for i in range(splan.total_records):
+            out[i] = float(b_vals[gather[i]]) * scale[i]
+        return out
+
+    def spgemm_merge(self, splan, products: np.ndarray, workspace=None) -> np.ndarray:
+        """Multi-way merge of the partial-product stream into ``C``'s values.
+
+        Accumulates each output cell's contributions sequentially in
+        sorted-stream order (the precomputed stable permutation) -- the
+        exact left-associated addition ``np.bincount`` performs -- so
+        every override must be bit-identical to this loop.
+
+        Args:
+            splan: The plan's :class:`~repro.core.plan.SpGEMMPlan`.
+            products: Partial-product values from :meth:`spgemm_products`.
+            workspace: Optional scratch-buffer workspace (ignored here).
+
+        Returns:
+            Accumulated values aligned with ``(splan.out_rows,
+            splan.out_cols)``.
+        """
+        out = np.zeros(splan.n_merged, dtype=np.float64)
+        order = splan.order.tolist()
+        run_ids = splan.run_ids.tolist()
+        for pos in range(len(order)):
+            out[run_ids[pos]] += float(products[order[pos]])
+        return out
+
     def scatter_dense_plan(self, symbolic, merged_vals) -> np.ndarray:
         """Store-queue scatter against the precomputed scatter map.
 

@@ -173,6 +173,13 @@ def _build_kernels(numba, parallel: bool) -> dict:
                 out[r, c] = acc
 
     @njit(cache=True, parallel=parallel)
+    def gather_multiply(src, gather, scale, out):
+        # SpGEMM partial products: elementwise, so parallel iterations
+        # never interact and bit-identity is trivial.
+        for i in prange(gather.size):
+            out[i] = src[gather[i]] * scale[i]
+
+    @njit(cache=True, parallel=parallel)
     def scatter(keys, values, out):
         # Keys are distinct, so parallel iterations never collide.
         for i in prange(keys.size):
@@ -188,6 +195,7 @@ def _build_kernels(numba, parallel: bool) -> dict:
         "stripe_spmv_batch": stripe_spmv_batch,
         "merge_plan": merge_plan,
         "merge_plan_batch": merge_plan_batch,
+        "gather_multiply": gather_multiply,
         "scatter": scatter,
         "inject": inject,
     }
@@ -203,6 +211,7 @@ def _warmup(kernels: dict) -> None:
     kernels["stripe_spmv_batch"](idx, val, val2, starts, val2.copy())
     kernels["merge_plan"](val, idx, starts, val.copy())
     kernels["merge_plan_batch"](val2, idx, starts, val2.copy())
+    kernels["gather_multiply"](val, idx, val.copy(), val.copy())
     kernels["scatter"](idx, val, val.copy())
     kernels["inject"](idx, idx, val, val.copy())
 
@@ -434,6 +443,46 @@ class NativeBackend(VectorizedBackend):
         merged_vals = np.ascontiguousarray(merged_vals, dtype=np.float64)
         self._set_threads()
         kernels["scatter"](symbolic.merged_keys, merged_vals, out)
+        return out
+
+    # ------------------------------------------------------------------
+    # SpGEMM: the partial-product expansion compiles to a fused
+    # gather-multiply loop and the merge reuses the fused merge_plan
+    # kernel (permutation gather composed in-loop over the plan's
+    # run_starts offsets) -- both with the same run-granular prange
+    # distribution, so outputs stay bit-identical to the NumPy kernels.
+    # ------------------------------------------------------------------
+
+    def spgemm_products(self, splan, b_vals, workspace=None) -> np.ndarray:
+        kernels = self._ensure_kernels()
+        if kernels is None:
+            return super().spgemm_products(splan, b_vals, workspace=workspace)
+        if splan.total_records == 0:
+            return np.empty(0, dtype=np.float64)
+        out = np.empty(splan.total_records, dtype=np.float64)
+        self._set_threads()
+        kernels["gather_multiply"](
+            np.ascontiguousarray(b_vals, dtype=np.float64),
+            splan.gather_b,
+            splan.a_scale,
+            out,
+        )
+        return out
+
+    def spgemm_merge(self, splan, products, workspace=None) -> np.ndarray:
+        kernels = self._ensure_kernels()
+        if kernels is None:
+            return super().spgemm_merge(splan, products, workspace=workspace)
+        if splan.total_records == 0:
+            return np.zeros(splan.n_merged, dtype=np.float64)
+        out = np.empty(splan.n_merged, dtype=np.float64)
+        self._set_threads()
+        kernels["merge_plan"](
+            np.ascontiguousarray(products, dtype=np.float64),
+            splan.order,
+            splan.run_starts,
+            out,
+        )
         return out
 
 

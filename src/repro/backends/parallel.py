@@ -58,6 +58,7 @@ from repro.parallel.workers import (
     inject_class_task,
     merge_plan_chunk_task,
     merge_shard_task,
+    spgemm_products_task,
     stripe_values_task,
 )
 
@@ -463,6 +464,137 @@ class ParallelBackend(VectorizedBackend):
             site="inject",
             fallback=inject_sequential,
         )
+
+    # ------------------------------------------------------------------
+    # SpGEMM: products fan out over column blocks (site "stripe", the
+    # SpGEMM analogue of step-1 stripe sharding) and the merge fans out
+    # over contiguous run ranges (site "merge"), both under the same
+    # retry -> respawn -> sequential-fallback supervision ladder as
+    # SpMV.  Products are elementwise, so block independence is trivial;
+    # merge chunks are aligned to run boundaries, so every output cell
+    # is accumulated by exactly one worker with bincount's sequential
+    # stream-order addition -- bit-identical by construction.
+    # ------------------------------------------------------------------
+
+    def spgemm_products(self, splan, b_vals, workspace=None) -> np.ndarray:
+        if (
+            self.pool.inline
+            or splan.n_blocks <= 1
+            or self._bypass("stripe", splan.total_records)
+        ):
+            return super().spgemm_products(splan, b_vals, workspace=workspace)
+        bounds = splan.block_starts
+        chunks = [
+            (int(bounds[i]), int(bounds[i + 1])) for i in range(splan.n_blocks)
+        ]
+
+        def chunk_products(task) -> np.ndarray:
+            lo, hi = task
+            return b_vals[splan.gather_b[lo:hi]] * splan.a_scale[lo:hi]
+
+        if self.pool.uses_processes:
+            with ArrayExporter() as exporter:
+                b_spec = exporter.export(np.ascontiguousarray(b_vals))
+                payloads = [
+                    {
+                        "gather": exporter.export(
+                            np.ascontiguousarray(splan.gather_b[lo:hi])
+                        ),
+                        "scale": exporter.export(
+                            np.ascontiguousarray(splan.a_scale[lo:hi])
+                        ),
+                        "b_vals": b_spec,
+                    }
+                    for lo, hi in chunks
+                ]
+                outputs = self._supervised(
+                    spgemm_products_task,
+                    payloads,
+                    site="stripe",
+                    fallback=lambda i: chunk_products(chunks[i]),
+                )
+        else:
+            outputs = self._supervised(
+                chunk_products,
+                chunks,
+                site="stripe",
+                fallback=lambda i: chunk_products(chunks[i]),
+            )
+        for shard_index, vals in enumerate(outputs):
+            metric_inc(
+                "spgemm_shard_records_total",
+                int(np.asarray(vals).size),
+                labels={"site": "stripe", "shard": str(shard_index)},
+                help="SpGEMM records per supervised shard, by fan-out site",
+            )
+        return np.concatenate(outputs)
+
+    def spgemm_merge(self, splan, products, workspace=None) -> np.ndarray:
+        n_shards = self.pool.n_jobs
+        if (
+            self.pool.inline
+            or n_shards <= 1
+            or splan.n_merged <= 1
+            or self._bypass("merge", splan.total_records)
+        ):
+            return super().spgemm_merge(splan, products, workspace=workspace)
+        products = np.asarray(products, dtype=np.float64)
+        if workspace is not None:
+            ordered = workspace.buffer("spgemm.ordered", splan.total_records)
+            np.take(products, splan.order, out=ordered)
+        else:
+            ordered = products[splan.order]
+        n_chunks = min(n_shards, splan.n_merged)
+        run_bounds = np.linspace(0, splan.n_merged, n_chunks + 1).astype(np.int64)
+        rec_bounds = np.searchsorted(splan.run_ids, run_bounds, side="left")
+        chunks = [
+            (int(rec_bounds[i]), int(rec_bounds[i + 1]),
+             int(run_bounds[i]), int(run_bounds[i + 1]))
+            for i in range(n_chunks)
+        ]
+
+        def chunk_values(task) -> np.ndarray:
+            rec_lo, rec_hi, run_lo, run_hi = task
+            return np.bincount(
+                splan.run_ids[rec_lo:rec_hi] - run_lo,
+                weights=ordered[rec_lo:rec_hi],
+                minlength=run_hi - run_lo,
+            )
+
+        if self.pool.uses_processes:
+            with ArrayExporter() as exporter:
+                payloads = [
+                    {
+                        "run_ids": exporter.export(
+                            np.ascontiguousarray(splan.run_ids[lo:hi])
+                        ),
+                        "vals": exporter.export(np.ascontiguousarray(ordered[lo:hi])),
+                        "run_lo": run_lo,
+                        "n_runs": run_hi - run_lo,
+                    }
+                    for lo, hi, run_lo, run_hi in chunks
+                ]
+                outputs = self._supervised(
+                    merge_plan_chunk_task,
+                    payloads,
+                    site="merge",
+                    fallback=lambda i: chunk_values(chunks[i]),
+                )
+        else:
+            outputs = self._supervised(
+                chunk_values,
+                chunks,
+                site="merge",
+                fallback=lambda i: chunk_values(chunks[i]),
+            )
+        for shard_index, vals in enumerate(outputs):
+            metric_inc(
+                "spgemm_shard_records_total",
+                int(np.asarray(vals).size),
+                labels={"site": "merge", "shard": str(shard_index)},
+                help="SpGEMM records per supervised shard, by fan-out site",
+            )
+        return np.concatenate(outputs)
 
     def inject_classes(
         self, keys: np.ndarray, vals: np.ndarray, hi: int, p: int

@@ -187,5 +187,33 @@ class VectorizedBackend(ExecutionBackend):
             streams.append(dense)
         return streams
 
+    # ------------------------------------------------------------------
+    # SpGEMM kernels: the partial-product expansion is one batched
+    # gather-multiply over the plan's precomputed indices, and the merge
+    # reuses the order-preserving segment sum with the merge permutation
+    # composed into the record maps -- the sorted stream is never
+    # materialized and no argsort runs per call.  Both replay the scalar
+    # oracle's stream-order addition exactly (bincount semantics).
+    # ------------------------------------------------------------------
+
+    def spgemm_products(self, splan, b_vals, workspace=None) -> np.ndarray:
+        if splan.total_records == 0:
+            return np.empty(0, dtype=np.float64)
+        if workspace is not None:
+            products = workspace.buffer("spgemm.products", splan.total_records)
+            np.take(b_vals, splan.gather_b, out=products)
+            np.multiply(products, splan.a_scale, out=products)
+        else:
+            products = b_vals[splan.gather_b] * splan.a_scale
+        return products
+
+    def spgemm_merge(self, splan, products, workspace=None) -> np.ndarray:
+        if splan.total_records == 0:
+            return np.zeros(splan.n_merged, dtype=np.float64)
+        from repro.core.segsum import segment_sum_batch
+
+        values = np.asarray(products, dtype=np.float64)
+        return segment_sum_batch(values[:, None], splan.run_groups)[:, 0]
+
     def vldi_stream_bits(self, deltas: np.ndarray, block_bits: int) -> int:
         return total_encoded_bits(deltas, block_bits)

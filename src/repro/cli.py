@@ -7,6 +7,8 @@ Subcommands:
 * ``repro run``      -- run Two-Step SpMV on a matrix file through a
   design point, verify against the dense reference, print the traffic
   ledger and cycle statistics.
+* ``repro spgemm``   -- sparse-sparse product ``C = A @ B`` through the
+  engine's multi-way merge path, with optional dense verification.
 * ``repro estimate`` -- paper-scale analytic performance for a named
   dataset across design points.
 * ``repro solve``    -- run an iterative solver (PageRank, BFS, k-core)
@@ -32,6 +34,7 @@ from repro.api import EngineOptions, create_engine
 from repro.backends import available_backends
 from repro.core.accelerator import Accelerator
 from repro.core.design_points import ALL_DESIGN_POINTS, get_design_point
+from repro.faults.errors import ConfigurationError
 from repro.formats.io import read_binary, read_matrix_market, write_binary, write_matrix_market
 from repro.generators.datasets import CPU_GRAPHS, CUSTOM_HW_GRAPHS, GPU_GRAPHS, get_dataset, instantiate
 from repro.generators.erdos_renyi import erdos_renyi_graph
@@ -249,6 +252,42 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(report.traffic)
     _emit_telemetry(args, result.telemetry)
     return 0 if result.verified else 1
+
+
+def cmd_spgemm(args: argparse.Namespace) -> int:
+    a = _load_matrix(args.matrix)
+    b = _load_matrix(args.rhs) if args.rhs else a
+    engine = create_engine(
+        engine_options_from_args(args, segment_width=args.segment_width)
+    )
+    try:
+        result = engine.spgemm(a, b, verify=args.verify)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    c = result.c
+    report = result.report
+    print(f"A: {a.n_rows:,} x {a.n_cols:,}, nnz {a.nnz:,}")
+    print(f"B: {b.n_rows:,} x {b.n_cols:,}, nnz {b.nnz:,}")
+    print(f"C: {c.n_rows:,} x {c.n_cols:,}, nnz {c.nnz:,}")
+    print(
+        f"backend: {report.backend}, blocks: {report.n_blocks}, "
+        f"wall time: {result.wall_time_s * 1e3:.1f} ms"
+    )
+    print(
+        f"partial records: {report.partial_records:,}, "
+        f"output records: {report.output_records:,}, "
+        f"compression: {report.compression:.2f}x"
+    )
+    if args.verify:
+        print(f"verified against dense product: {'OK' if result.verified else 'MISMATCH'}")
+    if result.faults is not None and not result.faults.clean:
+        print(f"faults: {result.faults.summary()}")
+    if args.output:
+        _save_matrix(c, args.output)
+        print(f"wrote product to {args.output}")
+    _emit_telemetry(args, result.telemetry)
+    return 0 if (not args.verify or result.verified) else 1
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
@@ -519,6 +558,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="choose VLDI block / HDN threshold from the input structure",
     )
     run.set_defaults(func=cmd_run)
+
+    spgemm = sub.add_parser(
+        "spgemm", help="sparse-sparse product C = A @ B through the engine"
+    )
+    spgemm.add_argument("matrix", help="left operand A (.mtx or packed binary)")
+    spgemm.add_argument(
+        "--rhs",
+        default=None,
+        metavar="PATH",
+        help="right operand B (default: reuse A, computing A @ A)",
+    )
+    spgemm.add_argument("--segment-width", type=int, default=4096)
+    spgemm.add_argument(
+        "--output", default=None, metavar="PATH", help="write C to .mtx or packed binary"
+    )
+    spgemm.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check C against the dense product (small inputs only)",
+    )
+    add_backend_options(spgemm)
+    spgemm.set_defaults(func=cmd_spgemm)
 
     solve = sub.add_parser(
         "solve", help="run an iterative solver through the Two-Step engine"

@@ -144,6 +144,16 @@ class Accelerator:
         """Batched multi-RHS SpMV; see :meth:`TwoStepEngine.run_many`."""
         return self._engine.run_many(matrix, X, Y=Y, verify=verify)
 
+    def spgemm(
+        self, a: COOMatrix, b: COOMatrix, verify: bool = False
+    ):
+        """Sparse-sparse product ``C = A @ B``; see :meth:`TwoStepEngine.spgemm`."""
+        return self._engine.spgemm(a, b, verify=verify)
+
+    def run_spgemm_many(self, a: COOMatrix, bs, verify: bool = False) -> list:
+        """Batched SpGEMM; see :meth:`TwoStepEngine.run_spgemm_many`."""
+        return self._engine.run_spgemm_many(a, bs, verify=verify)
+
     def plan(self, matrix: COOMatrix):
         """The functional engine's (cached) execution plan for ``matrix``."""
         return self._engine.plan(matrix)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -254,6 +255,167 @@ def build_step2_symbolic(stripes: list, n_out: int, p: int) -> Step2Symbolic:
     )
 
 
+#: SpGEMM plans retained per execution plan (LRU by right-operand
+#: identity).  A plan holds O(flops) index arrays, so the cache is small;
+#: iterative clients (triangle counting, batched BFS) reuse one or two
+#: right operands per left matrix.
+SPGEMM_PLAN_CAPACITY = 4
+
+
+@dataclass(frozen=True)
+class SpGEMMPlan:
+    """Precomputed symbolic structure for ``C = A @ B`` on one ``(A, B)``.
+
+    The SpGEMM analogue of :class:`Step2Symbolic`: everything the
+    partial-product expansion and the multi-way merge derive from
+    *structure* (which entries of ``B`` each stripe record touches, the
+    stable merge permutation over linearized ``(row, col)`` keys, the
+    run boundaries, the output coordinates) is computed once; the
+    per-call numeric path is a pure gather / multiply / segment-sum over
+    these arrays -- no per-call argsort, exactly like warm SpMV replay.
+
+    Stream order: column blocks ascending, and within a block the
+    stripe's row-major ``(row, local_col)`` record order, each record
+    expanded over its ``B``-row in ascending-column (CSR) order.  For a
+    fixed output cell ``(i, j)`` the partial products therefore arrive
+    in ascending inner-index ``k`` -- the same order row-wise Gustavson
+    feeds its per-row merge -- and the merge accumulates them with the
+    same stable-sort + stream-order addition, so engine SpGEMM is
+    bit-identical to the row-wise :func:`repro.core.spgemm.spgemm`.
+
+    Attributes:
+        b: The right operand (held strongly; the cache checks identity).
+        n_rows: Rows of ``C`` (= rows of ``A``).
+        n_cols: Columns of ``C`` (= columns of ``B``).
+        n_blocks: Column blocks of ``A`` (stripes of the owning plan).
+        block_starts: Record offsets per column block (length
+            ``n_blocks + 1``): block ``k``'s partial products occupy
+            stream positions ``block_starts[k]:block_starts[k+1]`` --
+            the parallel backend's product fan-out geometry.
+        gather_b: Per partial-product record, the index into ``b.vals``
+            of the ``B`` entry it multiplies (stream order).
+        a_scale: Per record, the ``A`` value scaling it (stream order).
+        order: Stable argsort of the linearized ``row * n_cols + col``
+            key stream -- the global merge permutation.
+        run_ids: Per-sorted-record merged-output id (``bincount``
+            weights collapse equal keys in stream order).
+        run_starts: CSR-style offsets into the *sorted* stream (length
+            ``n_merged + 1``); the native backend's fused merge loop
+            composes these ranges with ``order``.
+        run_groups: Length-grouped run layout
+            (:class:`~repro.core.segsum.RunGroups`) with ``order``
+            composed in, so the order-preserving segment-sum kernel
+            reads the unsorted product stream directly.
+        out_rows: Row coordinate of each merged output record.
+        out_cols: Column coordinate of each merged output record.
+        total_records: Partial-product records across all blocks.
+        n_merged: Distinct ``(row, col)`` cells of ``C``.
+    """
+
+    b: COOMatrix
+    n_rows: int
+    n_cols: int
+    n_blocks: int
+    block_starts: np.ndarray
+    gather_b: np.ndarray
+    a_scale: np.ndarray
+    order: np.ndarray
+    run_ids: np.ndarray
+    run_starts: np.ndarray
+    run_groups: RunGroups
+    out_rows: np.ndarray
+    out_cols: np.ndarray
+    total_records: int
+    n_merged: int
+
+    @property
+    def compression(self) -> float:
+        """Partial-product records per output record (merge reduction)."""
+        return self.total_records / self.n_merged if self.n_merged else 1.0
+
+
+def build_spgemm_plan(stripes: list, b: COOMatrix, n_rows: int) -> SpGEMMPlan:
+    """Derive the SpGEMM symbolic structure from ``A``'s stripes and ``B``.
+
+    Args:
+        stripes: ``A``'s :class:`StripePlan` list in stripe order.
+        b: Right operand; ``b.n_rows`` must equal ``A``'s column count
+            (the stripes' global column range).
+        n_rows: Rows of ``A`` (= rows of ``C``).
+
+    Returns:
+        The immutable :class:`SpGEMMPlan`.
+    """
+    b_csr = coo_to_csr(b)
+    row_lens = np.diff(b_csr.row_ptr)
+    gather_parts, scale_parts, key_parts = [], [], []
+    block_starts = np.zeros(len(stripes) + 1, dtype=np.int64)
+    total = 0
+    for pos, sp in enumerate(stripes):
+        if sp.vals.size:
+            k_global = sp.col_lo + sp.cols
+            lens = row_lens[k_global]
+            count = int(lens.sum())
+            if count:
+                # Expand each stripe record over its B row: positions
+                # row_ptr[k] .. row_ptr[k] + lens, ascending B columns.
+                ends = np.cumsum(lens)
+                within = np.arange(count, dtype=np.int64) - np.repeat(
+                    ends - lens, lens
+                )
+                gather = np.repeat(b_csr.row_ptr[k_global], lens) + within
+                gather_parts.append(gather)
+                scale_parts.append(np.repeat(sp.vals, lens))
+                key_parts.append(
+                    np.repeat(sp.rows, lens) * b.n_cols + b_csr.cols[gather]
+                )
+                total += count
+        block_starts[pos + 1] = total
+    if total:
+        gather_b = np.concatenate(gather_parts)
+        a_scale = np.concatenate(scale_parts)
+        all_keys = np.concatenate(key_parts)
+    else:
+        gather_b = np.empty(0, dtype=np.int64)
+        a_scale = np.empty(0, dtype=np.float64)
+        all_keys = np.empty(0, dtype=np.int64)
+    # Same stable merge derivation as build_step2_symbolic, over the
+    # linearized (row, col) keys instead of output-row indices.
+    order = np.argsort(all_keys, kind="stable")
+    sorted_keys = all_keys[order]
+    if sorted_keys.size:
+        new_run = np.empty(sorted_keys.size, dtype=bool)
+        new_run[0] = True
+        new_run[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        run_ids = (np.cumsum(new_run) - 1).astype(np.int64, copy=False)
+        merged_keys = sorted_keys[new_run]
+        run_starts = np.append(
+            np.flatnonzero(new_run), sorted_keys.size
+        ).astype(np.int64, copy=False)
+    else:
+        run_ids = np.empty(0, dtype=np.int64)
+        merged_keys = np.empty(0, dtype=np.int64)
+        run_starts = np.zeros(1, dtype=np.int64)
+    n_merged = int(merged_keys.size)
+    return SpGEMMPlan(
+        b=b,
+        n_rows=int(n_rows),
+        n_cols=int(b.n_cols),
+        n_blocks=len(stripes),
+        block_starts=block_starts,
+        gather_b=gather_b,
+        a_scale=a_scale,
+        order=order,
+        run_ids=run_ids,
+        run_starts=run_starts,
+        run_groups=build_run_groups(run_ids, n_merged, order=order),
+        out_rows=merged_keys // b.n_cols if n_merged else merged_keys,
+        out_cols=merged_keys % b.n_cols if n_merged else merged_keys.copy(),
+        total_records=int(total),
+        n_merged=n_merged,
+    )
+
+
 class Workspace:
     """Named, grow-only scratch buffers for the fused value datapath.
 
@@ -322,6 +484,9 @@ class ExecutionPlan:
     _symbolic_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    _spgemm: OrderedDict = field(
+        default_factory=OrderedDict, repr=False, compare=False
+    )
 
     @property
     def n_rows(self) -> int:
@@ -359,6 +524,58 @@ class ExecutionPlan:
         )
         with self._symbolic_lock:
             return self._symbolic.setdefault(p, symbolic)
+
+    def spgemm_plan(self, b: COOMatrix) -> SpGEMMPlan:
+        """The cached SpGEMM symbolic structure for right operand ``b``.
+
+        Built once per ``(plan, b)`` under a ``spgemm.plan`` span
+        (counter ``spgemm_plan_builds_total``); subsequent calls with
+        the *same* ``b`` object are pure dictionary hits
+        (``spgemm_plan_hits_total``), so warm ``C = A @ B`` replays
+        never touch an argsort.  Entries are keyed by ``id(b)`` and hold
+        ``b`` strongly with an identity re-check on lookup, so a
+        recycled id can never alias a different matrix; the per-plan
+        cache is a small LRU (:data:`SPGEMM_PLAN_CAPACITY`).
+
+        Raises:
+            ConfigurationError: ``b.n_rows`` does not match this plan's
+                column count (inner-dimension mismatch).
+        """
+        from repro.faults.errors import ConfigurationError
+
+        if b.n_rows != self.n_cols:
+            raise ConfigurationError(
+                f"spgemm inner dimensions differ: A is "
+                f"{self.n_rows}x{self.n_cols}, B is {b.n_rows}x{b.n_cols}"
+            )
+        key = id(b)
+        with self._symbolic_lock:
+            cached = self._spgemm.get(key)
+            if cached is not None and cached.b is b:
+                self._spgemm.move_to_end(key)
+            else:
+                cached = None
+        if cached is not None:
+            metric_inc(
+                "spgemm_plan_hits_total",
+                help="Cached SpGEMM symbolic structure reuses",
+            )
+            return cached
+        with span("spgemm.plan", b_nnz=b.nnz):
+            built = build_spgemm_plan(self.stripes, b, self.n_rows)
+        metric_inc(
+            "spgemm_plan_builds_total",
+            help="SpGEMM symbolic structures built",
+        )
+        with self._symbolic_lock:
+            cached = self._spgemm.get(key)
+            if cached is not None and cached.b is b:
+                return cached
+            self._spgemm[key] = built
+            self._spgemm.move_to_end(key)
+            while len(self._spgemm) > SPGEMM_PLAN_CAPACITY:
+                self._spgemm.popitem(last=False)
+            return built
 
     def step1_stats(self) -> Step1Stats:
         """Fresh per-run copy of the step-1 statistics."""

@@ -17,16 +17,40 @@ Two implementations:
   stripe/merge machinery.  Includes a traffic accounting hook.
 
 Both are verified against the dense product in tests.
+
+The *engine* path -- ``create_engine().spgemm(a, b)`` -- supersedes
+these for production use: it caches the symbolic structure
+(:class:`~repro.core.plan.SpGEMMPlan`) on ``A``'s execution plan so warm
+replays are argsort-free, dispatches through the execution backends
+(vectorized / parallel / native), and is bit-identical to :func:`spgemm`
+by construction.  :func:`spgemm` remains the row-wise Gustavson
+reference the differential suite checks the engine against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.errors import ConfigurationError
 from repro.formats.blocking import column_blocks
 from repro.formats.convert import coo_to_csr
 from repro.formats.coo import COOMatrix
 from repro.merge.tournament import merge_accumulate
+
+
+def _check_inner_dimensions(a: COOMatrix, b: COOMatrix) -> None:
+    """Raise the typed error both SpGEMM entry points share.
+
+    Raises:
+        ConfigurationError: ``a.n_cols != b.n_rows`` (a ``ValueError``
+            subclass, so pre-existing ``except ValueError`` call sites
+            keep working).
+    """
+    if a.n_cols != b.n_rows:
+        raise ConfigurationError(
+            f"spgemm inner dimensions differ: A is {a.n_rows}x{a.n_cols}, "
+            f"B is {b.n_rows}x{b.n_cols}"
+        )
 
 
 def spgemm(a: COOMatrix, b: COOMatrix) -> COOMatrix:
@@ -41,9 +65,11 @@ def spgemm(a: COOMatrix, b: COOMatrix) -> COOMatrix:
 
     Returns:
         The product in canonical RM-COO.
+
+    Raises:
+        ConfigurationError: Inner dimensions differ.
     """
-    if a.n_cols != b.n_rows:
-        raise ValueError(f"inner dimensions differ: {a.n_cols} vs {b.n_rows}")
+    _check_inner_dimensions(a, b)
     a_csr = coo_to_csr(a)
     b_csr = coo_to_csr(b)
     out_rows, out_cols, out_vals = [], [], []
@@ -93,9 +119,12 @@ def spgemm_twostep(a: COOMatrix, b: COOMatrix, segment_width: int) -> tuple:
     Returns:
         ``(C, stats)`` where stats counts partial-product records -- the
         intermediate traffic the merge network absorbs.
+
+    Raises:
+        ConfigurationError: Inner dimensions differ (previously this
+            surfaced only as the per-row kernel's raw shape error).
     """
-    if a.n_cols != b.n_rows:
-        raise ValueError(f"inner dimensions differ: {a.n_cols} vs {b.n_rows}")
+    _check_inner_dimensions(a, b)
     b_csr = coo_to_csr(b)
     partials = []
     partial_records = 0

@@ -36,7 +36,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.api import SpMVResult
+from repro.api import SpGEMMResult, SpMVResult
 from repro.backends import ExecutionBackend, resolve_backend
 from repro.core.config import TwoStepConfig
 from repro.core.plan import (
@@ -48,8 +48,13 @@ from repro.core.plan import (
 )
 from repro.core.step1 import IntermediateVector, Step1Engine, Step1Stats
 from repro.core.step2 import Step2Engine, Step2Stats
+from repro.faults.errors import ConfigurationError
 from repro.faults.report import FaultReport, collect_faults
-from repro.faults.validation import resolve_strict_validate, validate_inputs
+from repro.faults.validation import (
+    resolve_strict_validate,
+    validate_inputs,
+    validate_matrix,
+)
 from repro.formats.coo import COOMatrix
 from repro.formats.hypersparse import StripeFormat
 from repro.memory.traffic import TrafficLedger
@@ -111,6 +116,33 @@ class TwoStepReport:
             "step1": asdict(self.step1),
             "step2": asdict(self.step2),
             "traffic": traffic,
+        }
+
+
+@dataclass
+class SpGEMMReport:
+    """Everything measured during one engine SpGEMM execution."""
+
+    backend: str = ""
+    n_blocks: int = 0
+    partial_records: int = 0
+    output_records: int = 0
+    compression: float = 1.0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    batch_size: int = 1
+
+    def to_dict(self) -> dict:
+        """Machine-readable form for benchmark output and logging."""
+        return {
+            "backend": self.backend,
+            "n_blocks": self.n_blocks,
+            "partial_records": self.partial_records,
+            "output_records": self.output_records,
+            "compression": self.compression,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "batch_size": self.batch_size,
         }
 
 
@@ -387,6 +419,155 @@ class TwoStepEngine:
             faults=faults,
             telemetry=self._publish_telemetry(session, plan, report, wall),
         )
+
+    def spgemm(
+        self,
+        a: COOMatrix,
+        b: COOMatrix,
+        verify: bool = False,
+    ) -> SpGEMMResult:
+        """Execute ``C = A @ B`` on the multi-way merge substrate.
+
+        Rides the same machinery as SpMV: ``A``'s cached
+        :class:`~repro.core.plan.ExecutionPlan` supplies the column
+        blocking, and a :class:`~repro.core.plan.SpGEMMPlan` (cached on
+        the plan per right operand) supplies the partial-product gather
+        structure and the stable merge permutation.  Warm replays are
+        argsort-free.  Results are bit-identical across every backend
+        and to the row-wise Gustavson :func:`repro.core.spgemm.spgemm`:
+        both feed each output cell its contributions in ascending
+        inner-index order and accumulate them with the same sequential
+        stream-order addition.
+
+        Args:
+            a: Left operand (``m x k``) in RM-COO.
+            b: Right operand (``k x n``) in RM-COO.
+            verify: When True, check ``C`` against the dense product
+                (small matrices only) and record the outcome.
+
+        Returns:
+            :class:`~repro.api.SpGEMMResult`; unpacks as ``(c, report)``.
+
+        Raises:
+            ConfigurationError: Inner dimensions differ.
+            InvalidMatrixError: An operand violates the input contract.
+            ShardFailedError: A parallel shard failed even after the
+                sequential fallback.
+        """
+        start = time.perf_counter()
+        strict = resolve_strict_validate(self.config.strict_validate)
+        validate_matrix(a, strict=strict)
+        validate_matrix(b, strict=strict)
+        if a.n_cols != b.n_rows:
+            raise ConfigurationError(
+                f"spgemm inner dimensions differ: A is {a.n_rows}x{a.n_cols}, "
+                f"B is {b.n_rows}x{b.n_cols}"
+            )
+        faults = FaultReport(validated=True, strict_validate=strict)
+        session = self._open_session()
+        with telemetry_scope(session):
+            with span("spgemm.run", backend=self.backend.name):
+                with collect_faults(faults):
+                    plan = self.plan(a)
+                    splan = plan.spgemm_plan(b)
+                    workspace = self._workspace()
+                    with span("spgemm.products", records=splan.total_records):
+                        products = self.backend.spgemm_products(
+                            splan, b.vals, workspace=workspace
+                        )
+                    with span("spgemm.merge", n_merged=splan.n_merged):
+                        merged = self.backend.spgemm_merge(
+                            splan, products, workspace=workspace
+                        )
+        c = COOMatrix(
+            a.n_rows,
+            b.n_cols,
+            splan.out_rows,
+            splan.out_cols,
+            np.asarray(merged, dtype=np.float64),
+        )
+        cache = self.plan_cache_stats
+        report = SpGEMMReport(
+            backend=self.backend.name,
+            n_blocks=splan.n_blocks,
+            partial_records=splan.total_records,
+            output_records=splan.n_merged,
+            compression=splan.compression,
+            plan_cache_hits=cache["hits"],
+            plan_cache_misses=cache["misses"],
+        )
+        verified = None
+        if verify:
+            dense = a.to_dense() @ b.to_dense()
+            verified = bool(np.allclose(c.to_dense(), dense))
+        faults.elapsed_s = time.perf_counter() - start
+        wall = time.perf_counter() - start
+        return SpGEMMResult(
+            c=c,
+            report=report,
+            verified=verified,
+            wall_time_s=wall,
+            faults=faults,
+            telemetry=self._publish_spgemm_telemetry(session, report, wall),
+        )
+
+    def run_spgemm_many(
+        self,
+        a: COOMatrix,
+        bs,
+        verify: bool = False,
+    ) -> list:
+        """Execute ``C_i = A @ B_i`` for a sequence of right operands.
+
+        ``A`` is planned once (subsequent lookups are plan-cache hits)
+        and each ``B_i``'s SpGEMM symbolic structure is cached on the
+        plan, so repeated batches over the same operands replay the pure
+        value datapath.
+
+        Args:
+            a: Shared left operand in RM-COO.
+            bs: Iterable of right operands.
+            verify: Check every product against the dense reference.
+
+        Returns:
+            One :class:`~repro.api.SpGEMMResult` per right operand, in
+            input order.
+        """
+        return [self.spgemm(a, b, verify=verify) for b in bs]
+
+    def _publish_spgemm_telemetry(
+        self, session, report: SpGEMMReport, wall_s: float
+    ) -> TelemetryReport | None:
+        """Snapshot one SpGEMM run's telemetry into the lifetime registry."""
+        if session is None:
+            return None
+        metrics = session.metrics
+        metrics.observe(
+            "spgemm_run_seconds", wall_s, help="Wall-clock seconds per SpGEMM run"
+        )
+        metrics.inc(
+            "spgemm_partial_records_total",
+            report.partial_records,
+            help="SpGEMM partial-product records expanded",
+        )
+        metrics.inc(
+            "spgemm_output_records_total",
+            report.output_records,
+            help="SpGEMM output records after merge accumulation",
+        )
+        metrics.inc(
+            "spgemm_backend_runs_total",
+            labels={
+                "backend": self.backend.name,
+                "kernels": self.backend.kernel_tier,
+            },
+            help="SpGEMM runs, by requested backend and executing kernel tier",
+        )
+        telemetry = TelemetryReport(
+            spans=session.tracer.finished(), metrics=metrics
+        )
+        self._lifetime_metrics.merge(metrics)
+        return telemetry
 
     def _report(
         self, plan: ExecutionPlan, batch: int, fused: bool = False

@@ -101,6 +101,27 @@ def merge_plan_chunk_task(payload: dict) -> np.ndarray:
         _release(handles)
 
 
+def spgemm_products_task(payload: dict) -> np.ndarray:
+    """SpGEMM partial products for one column block's record range.
+
+    Products are elementwise (``b_vals[gather] * scale``), so block
+    shards are trivially independent; the merge-order accumulation
+    happens supervisor-side (or in :func:`merge_plan_chunk_task`).
+
+    Payload keys: ``gather``, ``scale``, ``b_vals`` (:class:`ArraySpec`
+    each); ``b_vals`` is shared by every block's payload.
+    """
+    (gather, scale, b_vals), handles = _attach(
+        payload, ("gather", "scale", "b_vals")
+    )
+    try:
+        if gather.size == 0:
+            return np.empty(0, dtype=np.float64)
+        return b_vals[gather] * scale
+    finally:
+        _release(handles)
+
+
 def inject_class_plan_task(payload: dict) -> np.ndarray:
     """Fused missing-key injection for one residue class.
 

@@ -543,6 +543,7 @@ class SpMVServer:
             "numba_available": numba_available(),
             "kernel_tiers": sorted(tiers),
             "runs_total": flat("spmv_backend_runs_total"),
+            "spgemm_runs_total": flat("spgemm_backend_runs_total"),
             "native_compile_total": flat("spmv_native_compile_total"),
         }
 

@@ -1,0 +1,104 @@
+"""Backfill unit tests for :mod:`repro.core.autotune`.
+
+The structural-decision tests live in ``test_autotune_mesh_power.py``;
+these pin the measurement helpers and the report surface itself:
+:func:`sample_intermediate_deltas` (dry step-1 sampling) and the
+:class:`AutotuneReport` field contract.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.matrix_stats import compute_stats
+from repro.core.autotune import AutotuneReport, autotune, sample_intermediate_deltas
+from repro.core.config import TwoStepConfig
+from repro.core.design_points import TS_ASIC, TS_FPGA2
+from repro.formats.blocking import column_blocks
+from repro.formats.coo import COOMatrix
+from repro.generators.erdos_renyi import erdos_renyi_graph
+from repro.generators.rmat import rmat_graph
+
+
+class TestSampleIntermediateDeltas:
+    def test_deltas_are_int64_and_first_per_stripe_nonnegative(self):
+        graph = erdos_renyi_graph(600, 4.0, seed=1)
+        deltas = sample_intermediate_deltas(graph, segment_width=128)
+        assert deltas.dtype == np.int64
+        assert deltas.size > 0
+        # Delta streams encode sorted unique indices: every gap positive,
+        # every stripe's leading absolute index non-negative.
+        assert deltas.min() >= 0
+
+    def test_empty_matrix_yields_empty_sample(self):
+        empty = COOMatrix(
+            10, 10, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0)
+        )
+        deltas = sample_intermediate_deltas(empty, segment_width=4)
+        assert deltas.size == 0
+        assert deltas.dtype == np.int64
+
+    def test_max_stripes_caps_the_sample(self):
+        graph = erdos_renyi_graph(400, 4.0, seed=2)
+        assert len(column_blocks(graph, 32)) > 4
+        capped = sample_intermediate_deltas(graph, segment_width=32, max_stripes=2)
+        full = sample_intermediate_deltas(graph, segment_width=32, max_stripes=10**6)
+        assert 0 < capped.size < full.size
+
+    def test_single_stripe_equals_unique_rows(self):
+        graph = erdos_renyi_graph(200, 3.0, seed=3)
+        # One stripe spanning every column: the intermediate indices are
+        # exactly the nonzero rows, so the sampled stream must round-trip
+        # through the delta codec to them.
+        from repro.compression.delta import delta_decode
+
+        deltas = sample_intermediate_deltas(graph, segment_width=graph.n_cols)
+        assert np.array_equal(delta_decode(deltas), np.unique(graph.rows))
+
+
+class TestAutotuneReport:
+    def test_report_fields_are_mutually_consistent(self):
+        graph = rmat_graph(9, 6.0, seed=4)
+        report = autotune(graph, segment_width=256)
+        assert isinstance(report, AutotuneReport)
+        assert isinstance(report.config, TwoStepConfig)
+        assert report.config.segment_width == 256
+        assert report.sampled_deltas >= 0
+        assert report.vldi_block_bits == (report.config.vldi_vector_block_bits or 0)
+        assert report.hdn_enabled == (report.config.hdn is not None)
+        assert report.stats.nnz == graph.nnz
+
+    def test_report_is_frozen(self):
+        graph = erdos_renyi_graph(100, 3.0, seed=5)
+        report = autotune(graph, segment_width=64)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report.sampled_deltas = 0
+
+    def test_stats_match_direct_computation(self):
+        graph = erdos_renyi_graph(300, 4.0, seed=6)
+        report = autotune(graph, segment_width=128)
+        direct = compute_stats(graph)
+        assert report.stats.nnz == direct.nnz
+        assert report.stats.degree_skew == direct.degree_skew
+
+    def test_q_follows_design_point(self):
+        graph = erdos_renyi_graph(150, 3.0, seed=7)
+        for point in (TS_ASIC, TS_FPGA2):
+            report = autotune(graph, point=point, segment_width=64)
+            assert report.config.q == int(np.log2(point.n_merge_cores))
+            assert report.config.step1_pipelines == point.step1_pipelines
+
+    def test_default_width_clamps_to_matrix(self):
+        graph = erdos_renyi_graph(120, 3.0, seed=8)
+        report = autotune(graph)
+        assert report.config.segment_width == min(
+            TS_ASIC.segment_elements, graph.n_cols
+        )
+
+    def test_disabled_vldi_samples_nothing(self):
+        graph = erdos_renyi_graph(200, 3.0, seed=9)
+        report = autotune(graph, segment_width=100, enable_vldi=False)
+        assert report.sampled_deltas == 0
+        assert report.vldi_block_bits == 0
+        assert report.config.vldi_vector_block_bits is None

@@ -585,6 +585,117 @@ class TestProcessPoolDegradation:
 
 
 # ---------------------------------------------------------------------------
+# SpGEMM under injected faults: same ladder, same bit-identity contract
+# ---------------------------------------------------------------------------
+
+
+def _spgemm_operands(n: int = 60):
+    rng = np.random.default_rng(17)
+    a = COOMatrix.from_triples(
+        n, n, rng.integers(0, n, 4 * n), rng.integers(0, n, 4 * n),
+        rng.uniform(-1.0, 1.0, 4 * n),
+    )
+    b = COOMatrix.from_triples(
+        n, 20, rng.integers(0, n, 3 * n), rng.integers(0, 20, 3 * n),
+        rng.uniform(-1.0, 1.0, 3 * n),
+    )
+    expected = TwoStepEngine(
+        TwoStepConfig(segment_width=16, backend="vectorized")
+    ).spgemm(a, b).c
+    return a, b, expected
+
+
+class TestSpGEMMDegradation:
+    @pytest.fixture(autouse=True)
+    def engage_all_fanouts(self, monkeypatch):
+        from repro.backends.parallel import ParallelBackend
+
+        monkeypatch.setattr(ParallelBackend, "MIN_FANOUT_RECORDS", 1)
+
+    @staticmethod
+    def _engine(**kw):
+        return TwoStepEngine(
+            TwoStepConfig(segment_width=16, backend="parallel", **kw)
+        )
+
+    @pytest.mark.parametrize("site", ["stripe", "merge"])
+    def test_single_fault_recovers_by_retry(self, site):
+        a, b, expected = _spgemm_operands()
+        with inject_faults(FaultPlan(FaultSpec(site=site, index=0, times=1))) as plan:
+            result = self._engine(n_jobs=2).spgemm(a, b)
+        assert np.array_equal(result.c.vals, expected.vals)
+        assert np.array_equal(result.c.rows, expected.rows)
+        assert plan.fired
+        assert result.faults.retries >= 1
+
+    @pytest.mark.parametrize("site", ["stripe", "merge"])
+    def test_persistent_fault_falls_back_sequential(self, site):
+        a, b, expected = _spgemm_operands()
+        with inject_faults(
+            FaultPlan(FaultSpec(site=site, index=0, times=-1))
+        ) as plan:
+            result = self._engine(n_jobs=4).spgemm(a, b)
+        assert np.array_equal(result.c.vals, expected.vals)
+        assert np.array_equal(result.c.cols, expected.cols)
+        assert plan.fired
+        assert result.faults.degraded
+        assert result.faults.fallbacks >= 1
+
+    def test_every_shard_failing_still_recovers(self):
+        a, b, expected = _spgemm_operands()
+        with inject_faults(
+            FaultPlan(FaultSpec(site="stripe", index=ANY_INDEX, times=-1))
+        ):
+            result = self._engine(n_jobs=2).spgemm(a, b)
+        assert np.array_equal(result.c.vals, expected.vals)
+        assert result.faults.degraded
+
+    def test_timeout_trips_and_recovers(self):
+        a, b, expected = _spgemm_operands()
+        with inject_faults(
+            FaultPlan(
+                FaultSpec(site="stripe", index=0, kind="delay", delay_s=2.0, times=1)
+            )
+        ):
+            result = self._engine(n_jobs=2, task_timeout=0.25).spgemm(a, b)
+        assert np.array_equal(result.c.vals, expected.vals)
+        # A lingering delayed task from an earlier scenario can queue
+        # extra timeouts behind it on the shared pool, so >= not ==.
+        assert result.faults.timeouts >= 1
+
+    def test_process_worker_kill_respawns_and_matches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "1")
+        a, b, expected = _spgemm_operands()
+        engine = self._engine(n_jobs=2, parallel_pool="process")
+        with inject_faults(
+            FaultPlan(FaultSpec(site="stripe", index=0, kind="kill", times=1))
+        ):
+            result = engine.spgemm(a, b)
+        assert np.array_equal(result.c.vals, expected.vals)
+        assert result.faults.crashes >= 1
+        assert result.faults.respawns >= 1
+        assert active_segments() == ()
+
+    def test_process_corrupt_shm_payload_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "1")
+        a, b, expected = _spgemm_operands()
+        engine = self._engine(n_jobs=2, parallel_pool="process")
+        with inject_faults(
+            FaultPlan(FaultSpec(site="shm", index=0, kind="corrupt", times=-1))
+        ):
+            result = engine.spgemm(a, b)
+        assert np.array_equal(result.c.vals, expected.vals)
+        assert result.faults.degraded
+        assert active_segments() == ()
+
+    def test_clean_run_reports_clean(self):
+        a, b, expected = _spgemm_operands()
+        result = self._engine(n_jobs=2).spgemm(a, b)
+        assert np.array_equal(result.c.vals, expected.vals)
+        assert result.faults.clean
+
+
+# ---------------------------------------------------------------------------
 # Solvers surface fault reports
 # ---------------------------------------------------------------------------
 
