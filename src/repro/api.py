@@ -222,6 +222,8 @@ _CONFIG_FIELDS = (
     "strict_validate",
     "telemetry",
     "fused_step2",
+    "min_parallel_nnz",
+    "tuning",
 )
 
 #: Environment variable consulted per env-backed field when the explicit
@@ -238,6 +240,8 @@ ENV_VARS = {
     "strict_validate": "REPRO_STRICT_VALIDATE",
     "telemetry": "REPRO_TELEMETRY",
     "fused_step2": "REPRO_FUSED_STEP2",
+    "min_parallel_nnz": "REPRO_MIN_PARALLEL_NNZ",
+    "tuning": "REPRO_TUNING",
 }
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
@@ -264,6 +268,7 @@ _STATIC_DEFAULTS = {
     "strict_validate": False,
     "telemetry": True,
     "fused_step2": True,
+    "tuning": "off",
 }
 
 
@@ -282,7 +287,7 @@ def _parse_env(field_name: str, raw: str):
     require an explicit truthy value.
     """
     raw = raw.strip()
-    if field_name in ("n_jobs", "max_retries"):
+    if field_name in ("n_jobs", "max_retries", "min_parallel_nnz"):
         try:
             return int(raw)
         except ValueError:
@@ -361,6 +366,15 @@ class EngineOptions:
         telemetry: Span/metric collection (``REPRO_TELEMETRY``, then on).
         fused_step2: Precomputed symbolic step-2 path
             (``REPRO_FUSED_STEP2``, then on).
+        min_parallel_nnz: Record count below which the parallel
+            backend's fan-out sites degrade to the inline vectorized
+            path (``REPRO_MIN_PARALLEL_NNZ``, then the backend
+            default).
+        tuning: Per-matrix tuned-profile auto-selection -- ``"off"``,
+            ``"auto"`` (consult the default
+            :class:`~repro.autotune.profile.TunedProfileStore`) or a
+            profile-directory path (``REPRO_TUNING``, then off).  See
+            :mod:`repro.autotune`.
         design_point: Design-point name or
             :class:`~repro.core.design_points.DesignPoint`; when set,
             :func:`create_engine` returns an
@@ -386,6 +400,8 @@ class EngineOptions:
     strict_validate: bool | None = None
     telemetry: bool | None = None
     fused_step2: bool | None = None
+    min_parallel_nnz: int | None = None
+    tuning: str | None = None
     design_point: object | None = None
 
     def replace(self, **overrides) -> "EngineOptions":

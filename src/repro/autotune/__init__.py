@@ -1,0 +1,68 @@
+"""Per-matrix autotuning: search space, study driver, persisted profiles.
+
+The paper's speedups come from matching the configuration to the input
+(VLDI width per stripe geometry, HDN threshold per degree tail, stripe
+width per scratchpad -- Fig. 13, section 5.3).  This package makes that
+matching automatic and durable:
+
+* :mod:`repro.autotune.space` -- a declarative :class:`SearchSpace` of
+  :class:`Component`\\ s over every knob the engine and serving layer
+  expose.
+* :mod:`repro.autotune.study` -- :class:`TuningStudy`, the timed sweep
+  (bit-identity against the reference oracle every trial, early pruning
+  of dominated configs) producing a :class:`StudyReport` with
+  per-component marginal contributions.
+* :mod:`repro.autotune.profile` -- :class:`TuningProfile` and the
+  :class:`TunedProfileStore` persisting winners keyed by matrix content
+  fingerprint, with the snapshot store's atomic-write / CRC /
+  quarantine discipline.
+
+The loop closes in :func:`repro.api.create_engine`: ``tuning="auto"``
+(or a profile-directory path) makes the engine consult the store per
+matrix and transparently run each matrix under its tuned configuration,
+and the serving registry records/applies profiles at registration.
+"""
+
+from repro.autotune.profile import (
+    KNOB_FIELDS,
+    TUNE_DIR_ENV_VAR,
+    TunedProfileStore,
+    TuningProfile,
+    active_profile_provenance,
+    default_profile_dir,
+    matrix_fingerprint,
+    note_profile_applied,
+    resolve_profile_store,
+)
+from repro.autotune.space import Component, SearchSpace, default_search_space
+from repro.autotune.study import (
+    STRUCTURAL_KNOBS,
+    StudyReport,
+    Trial,
+    TuningStudy,
+    knobs_to_config,
+    structural_key,
+    tune_matrix,
+)
+
+__all__ = [
+    "KNOB_FIELDS",
+    "STRUCTURAL_KNOBS",
+    "TUNE_DIR_ENV_VAR",
+    "Component",
+    "SearchSpace",
+    "StudyReport",
+    "Trial",
+    "TunedProfileStore",
+    "TuningProfile",
+    "TuningStudy",
+    "active_profile_provenance",
+    "default_profile_dir",
+    "default_search_space",
+    "knobs_to_config",
+    "matrix_fingerprint",
+    "note_profile_applied",
+    "resolve_profile_store",
+    "structural_key",
+    "tune_matrix",
+]

@@ -76,6 +76,7 @@ def resolve_backend(
     pool_kind: str | None = None,
     max_retries: int | None = None,
     task_timeout: float | None = None,
+    min_parallel_nnz: int | None = None,
 ) -> ExecutionBackend:
     """Resolve a backend selection to an instance.
 
@@ -94,27 +95,35 @@ def resolve_backend(
             pool default decide.
         task_timeout: Per-task timeout in seconds for the ``parallel``
             backend; None lets ``REPRO_TASK_TIMEOUT`` decide.
+        min_parallel_nnz: Size-aware dispatch threshold for the
+            ``parallel`` backend's fan-out guard; None lets
+            ``REPRO_MIN_PARALLEL_NNZ`` / the backend default decide.
 
     Returns:
         The selected :class:`ExecutionBackend`.  Parameterized
         ``parallel`` instances are cached per ``(n_jobs, pool_kind,
-        max_retries, task_timeout)`` so repeated resolution reuses one
-        worker pool.
+        max_retries, task_timeout, min_parallel_nnz)`` so repeated
+        resolution reuses one worker pool.
     """
     if isinstance(selection, ExecutionBackend):
         return selection
     name = selection or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
     parameterized = any(
-        value is not None for value in (n_jobs, pool_kind, max_retries, task_timeout)
+        value is not None
+        for value in (n_jobs, pool_kind, max_retries, task_timeout, min_parallel_nnz)
     )
     if name == ParallelBackend.name and parameterized:
-        key = (name, n_jobs, pool_kind or "thread", max_retries, task_timeout)
+        key = (
+            name, n_jobs, pool_kind or "thread", max_retries, task_timeout,
+            min_parallel_nnz,
+        )
         if key not in _INSTANCES:
             _INSTANCES[key] = ParallelBackend(
                 n_jobs=n_jobs,
                 pool_kind=pool_kind,
                 max_retries=max_retries,
                 task_timeout=task_timeout,
+                min_parallel_nnz=min_parallel_nnz,
             )
         return _INSTANCES[key]
     if name == NativeBackend.name and n_jobs is not None:

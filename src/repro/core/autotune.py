@@ -11,6 +11,7 @@ returns a ready :class:`~repro.core.config.TwoStepConfig`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.compression.vldi import optimal_block_width
 from repro.core.config import TwoStepConfig
 from repro.core.design_points import DesignPoint, TS_ASIC
 from repro.core.step1 import Step1Engine
+from repro.faults.errors import ConfigurationError
 from repro.filters.hdn import HDNConfig
 from repro.formats.blocking import column_blocks
 from repro.formats.coo import COOMatrix
@@ -40,15 +42,36 @@ def sample_intermediate_deltas(
     matrix: COOMatrix,
     segment_width: int,
     max_stripes: int = 4,
+    max_records: Optional[int] = None,
 ) -> np.ndarray:
-    """Delta distribution from a dry step-1 run over a stripe sample."""
+    """Delta distribution from a dry step-1 run over a stripe sample.
+
+    Args:
+        matrix: The input.
+        segment_width: Stripe width of the dry run.
+        max_stripes: Stripes sampled (the leading ones).
+        max_records: Total delta-record cap across the sample; stripes
+            past the cap are truncated/skipped so tuning stays cheap on
+            huge matrices.  None samples the full stripes.
+    """
     engine = Step1Engine(TwoStepConfig(segment_width=segment_width, q=0))
-    x = np.ones(matrix.n_cols)
+    # One RHS buffer for every stripe: blocks are at most segment_width
+    # columns wide, so a single ones vector sliced per block replaces
+    # the historical full-n_cols allocation per call.
+    x = np.ones(min(segment_width, max(matrix.n_cols, 1)))
     chunks = []
+    sampled = 0
     for block in column_blocks(matrix, segment_width)[:max_stripes]:
-        iv = engine.run_stripe(block, x[block.col_lo : block.col_hi])
-        if iv.nnz:
-            chunks.append(delta_encode(iv.indices))
+        if max_records is not None and sampled >= max_records:
+            break
+        iv = engine.run_stripe(block, x[: block.col_hi - block.col_lo])
+        if not iv.nnz:
+            continue
+        indices = iv.indices
+        if max_records is not None:
+            indices = indices[: max_records - sampled]
+        chunks.append(delta_encode(indices))
+        sampled += indices.size
     if not chunks:
         return np.empty(0, dtype=np.int64)
     return np.concatenate(chunks)
@@ -57,7 +80,7 @@ def sample_intermediate_deltas(
 def autotune(
     matrix: COOMatrix,
     point: DesignPoint = TS_ASIC,
-    segment_width: int = None,
+    segment_width: Optional[int] = None,
     enable_vldi: bool = True,
     hdn_skew_threshold: float = 8.0,
 ) -> AutotuneReport:
@@ -76,14 +99,27 @@ def autotune(
     Args:
         matrix: The input.
         point: Target design point (cores, precision, capacity).
-        segment_width: Override the stripe width.
+        segment_width: Override the stripe width.  Must not exceed the
+            matrix's column count -- a wider stripe is behaviourally
+            identical to one full-width stripe, so an oversized explicit
+            width is a configuration mistake, not a preference.
         enable_vldi: Allow vector compression.
         hdn_skew_threshold: Degree skew above which HDNs are handled.
 
     Returns:
         :class:`AutotuneReport` with the chosen configuration.
+
+    Raises:
+        ConfigurationError: An explicit ``segment_width`` exceeds
+            ``matrix.n_cols``.
     """
     stats = compute_stats(matrix)
+    if segment_width is not None and segment_width > max(matrix.n_cols, 1):
+        raise ConfigurationError(
+            f"segment_width {segment_width} exceeds the matrix's "
+            f"{matrix.n_cols} columns; widths past the column count are "
+            "behaviourally identical to one full-width stripe"
+        )
     width = segment_width or min(point.segment_elements, max(matrix.n_cols, 1))
     deltas = sample_intermediate_deltas(matrix, width) if enable_vldi else np.empty(0)
     vldi_bits = 0

@@ -73,6 +73,24 @@ class TwoStepConfig:
             path is bit-identical -- the stable-sort permutation depends
             only on the keys, so reusing it preserves accumulation
             order exactly.
+        min_parallel_nnz: Record count below which the ``parallel``
+            backend's fan-out sites degrade to the inline vectorized
+            path (scheduling overhead would dominate); None defers to
+            ``REPRO_MIN_PARALLEL_NNZ``, then the backend's
+            ``MIN_FANOUT_RECORDS`` default.  Ignored by the other
+            backends.
+        tuning: Per-matrix tuned-profile auto-selection: ``"off"``
+            (and None) runs every matrix under this config unchanged;
+            ``"auto"`` consults the default
+            :class:`~repro.autotune.profile.TunedProfileStore`
+            (``REPRO_TUNE_DIR``, then the user cache) at first contact
+            with each matrix and transparently delegates its runs to an
+            engine built from the stored profile; any other string is
+            the profile directory to consult.  Tuned profiles are
+            bit-identical *to the reference oracle at their own
+            structural configuration* -- the tuning study enforces that
+            on every trial -- so auto-selection changes speed, never
+            correctness guarantees.
     """
 
     segment_width: int
@@ -94,6 +112,8 @@ class TwoStepConfig:
     strict_validate: bool = None
     telemetry: bool = None
     fused_step2: bool = None
+    min_parallel_nnz: int = None
+    tuning: str = None
 
     def __post_init__(self) -> None:
         if self.segment_width <= 0:
@@ -113,6 +133,14 @@ class TwoStepConfig:
             raise ConfigurationError("max_retries must be non-negative")
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ConfigurationError("task_timeout must be positive")
+        if self.min_parallel_nnz is not None and self.min_parallel_nnz < 0:
+            raise ConfigurationError("min_parallel_nnz must be non-negative")
+        if self.tuning is not None and (
+            not isinstance(self.tuning, str) or not self.tuning
+        ):
+            raise ConfigurationError(
+                'tuning must be "off", "auto" or a profile-directory path'
+            )
         if self.backend is not None:
             from repro.backends import available_backends
 

@@ -175,10 +175,24 @@ class TwoStepEngine:
             pool_kind=config.parallel_pool,
             max_retries=config.max_retries,
             task_timeout=config.task_timeout,
+            min_parallel_nnz=config.min_parallel_nnz,
         )
         self._step1 = Step1Engine(config, backend=self.backend)
         self._step2 = Step2Engine(config, backend=self.backend)
         self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+        # Tuned-profile auto-selection (config.tuning): the store of
+        # persisted per-matrix profiles, child engines built from applied
+        # profiles (keyed by their config fingerprint, sharing this
+        # engine's lifetime metrics), and a bounded memo of per-matrix
+        # decisions so the warm path costs one dict probe.
+        self._tuner = None
+        if config.tuning not in (None, "off"):
+            from repro.autotune.profile import resolve_profile_store
+
+            self._tuner = resolve_profile_store(config.tuning)
+        self._tuned_engines: dict[str, "TwoStepEngine"] = {}
+        self._tuned_decisions: OrderedDict[int, tuple] = OrderedDict()
+        self._tuned_lock = threading.Lock()
         # One lock guards the plan cache AND its counters: engines are
         # shared across solver threads, and a torn hits/misses pair (or a
         # cache trimmed past capacity) is exactly the race the lock kills.
@@ -272,7 +286,109 @@ class TwoStepEngine:
             ]
             for key in stale:
                 del self._plans[key]
-            return len(stale)
+        dropped = len(stale)
+        with self._tuned_lock:
+            entry = self._tuned_decisions.get(id(matrix))
+            if entry is not None and entry[0] is matrix:
+                del self._tuned_decisions[id(matrix)]
+        for child in self._tuned_engines.values():
+            dropped += child.forget(matrix)
+        return dropped
+
+    #: Per-matrix tuning decisions memoized (LRU); trimming only drops
+    #: the memo -- the next run re-consults the store.
+    _TUNED_DECISION_CAPACITY = 64
+
+    def _tuned_delegate(self, matrix: COOMatrix) -> "TwoStepEngine | None":
+        """The tuned child engine ``matrix``'s runs delegate to, or None.
+
+        Warm path (matrix already decided): one dict probe plus an
+        identity re-check -- no fingerprinting, no store I/O.  Cold path
+        (first contact): fingerprint the matrix under a ``plan.tune``
+        span, consult the store, and -- on a hit -- build (or reuse) a
+        child engine from the profile-applied config.  The child shares
+        this engine's lifetime metrics registry, so
+        ``spmv_tuned_profile_*`` and the child's run counters surface on
+        the parent's ``metrics()``.
+        """
+        if self._tuner is None:
+            return None
+        entry = self._tuned_decisions.get(id(matrix))
+        if entry is not None and entry[0] is matrix:
+            if entry[1] is not None:
+                self._lifetime_metrics.inc(
+                    "spmv_tuned_profile_applied_total",
+                    help="Runs delegated to a tuned-profile engine",
+                )
+            return entry[1]
+        with self._tuned_lock:
+            entry = self._tuned_decisions.get(id(matrix))
+            if entry is None or entry[0] is not matrix:
+                entry = self._tune_decision(matrix)
+                self._tuned_decisions[id(matrix)] = entry
+                self._tuned_decisions.move_to_end(id(matrix))
+                while len(self._tuned_decisions) > self._TUNED_DECISION_CAPACITY:
+                    self._tuned_decisions.popitem(last=False)
+        if entry[1] is not None:
+            self._lifetime_metrics.inc(
+                "spmv_tuned_profile_applied_total",
+                help="Runs delegated to a tuned-profile engine",
+            )
+        return entry[1]
+
+    def _tune_decision(self, matrix: COOMatrix) -> tuple:
+        """``(matrix, delegate_or_None, profile_or_None)`` from the store."""
+        from repro.autotune.profile import matrix_fingerprint, note_profile_applied
+
+        with span("plan.tune", matrix_id=id(matrix)):
+            fingerprint = matrix_fingerprint(matrix)
+            profile = self._tuner.lookup(fingerprint)
+        if profile is None:
+            self._lifetime_metrics.inc(
+                "spmv_tuned_profile_misses_total",
+                help="Tuned-profile store lookups that found nothing",
+            )
+            return (matrix, None, None)
+        self._lifetime_metrics.inc(
+            "spmv_tuned_profile_hits_total",
+            help="Tuned-profile store lookups that found a profile",
+        )
+        tuned_config = profile.apply(self.config)
+        key = config_fingerprint(tuned_config)
+        child = self._tuned_engines.get(key)
+        if child is None:
+            child = TwoStepEngine(tuned_config)
+            child._lifetime_metrics = self._lifetime_metrics
+            self._tuned_engines[key] = child
+        note_profile_applied(profile)
+        return (matrix, child, profile)
+
+    def tuning_profile(self, matrix: COOMatrix):
+        """The :class:`~repro.autotune.profile.TuningProfile` applied to
+        ``matrix``'s runs, or None (no store, miss, or not yet run)."""
+        entry = self._tuned_decisions.get(id(matrix))
+        if entry is not None and entry[0] is matrix:
+            return entry[2]
+        return None
+
+    def tuning_stats(self) -> dict:
+        """Tuning state for stats surfaces (serving ``/stats``, CLI)."""
+        counters = {
+            name: self._lifetime_metrics.total(f"spmv_tuned_profile_{name}_total")
+            for name in ("hits", "misses", "applied")
+        }
+        with self._tuned_lock:
+            tuned = sum(
+                1 for entry in self._tuned_decisions.values() if entry[1] is not None
+            )
+            decided = len(self._tuned_decisions)
+        return {
+            "mode": self.config.tuning or "off",
+            "store": self._tuner.describe() if self._tuner is not None else None,
+            "matrices_decided": decided,
+            "matrices_tuned": tuned,
+            **counters,
+        }
 
     def run(
         self,
@@ -304,6 +420,9 @@ class TwoStepEngine:
             ShardFailedError: A parallel shard failed even after the
                 sequential fallback (the run cannot be completed).
         """
+        delegate = self._tuned_delegate(matrix)
+        if delegate is not None:
+            return delegate.run(matrix, x, y=y, verify=verify)
         start = time.perf_counter()
         strict = resolve_strict_validate(self.config.strict_validate)
         x, y = validate_inputs(matrix, x, y=y, strict=strict)
@@ -377,6 +496,9 @@ class TwoStepEngine:
             matrix and intermediate-index streams once for the whole
             batch.
         """
+        delegate = self._tuned_delegate(matrix)
+        if delegate is not None:
+            return delegate.run_many(matrix, X, Y=Y, verify=verify)
         start = time.perf_counter()
         strict = resolve_strict_validate(self.config.strict_validate)
         X, Y = validate_inputs(matrix, X, y=Y, strict=strict, batch=True)

@@ -140,12 +140,20 @@ class MicroBatcher:
         policy: Flush triggers and the global queue bound.
         metrics: Optional ``MetricsRegistry``; observes batch sizes and
             queue waits, counts batches, shed/expired/cancelled requests.
+        lane_cap: Optional ``lane_cap(key) -> int | None``.  When it
+            returns a positive integer for a lane, that lane's flush
+            width is ``min(policy.max_batch, cap)`` -- the hook the
+            server uses to apply a tuned profile's per-matrix
+            ``max_batch`` without re-batching globally.
     """
 
-    def __init__(self, execute, policy: BatchPolicy | None = None, metrics=None):
+    def __init__(
+        self, execute, policy: BatchPolicy | None = None, metrics=None, lane_cap=None
+    ):
         self._execute = execute
         self.policy = policy or BatchPolicy()
         self._metrics = metrics
+        self._lane_cap = lane_cap
         self._lanes: dict = {}
         self._in_flight = 0
         self._closed = False
@@ -252,8 +260,8 @@ class MicroBatcher:
         )
         lane.pending.append(pending)
         self._in_flight += 1
-        if len(lane.pending) >= self.policy.max_batch:
-            batch = self._pop(lane)
+        if len(lane.pending) >= self._lane_limit(key):
+            batch = self._pop(key, lane)
             asyncio.ensure_future(self._run_batch(key, batch))
         elif lane.timer is None:
             lane.timer = asyncio.ensure_future(self._delayed_flush(key, lane))
@@ -267,7 +275,7 @@ class MicroBatcher:
             lane = self._lanes.get(k)
             if lane is None:
                 continue
-            batch = self._pop(lane)
+            batch = self._pop(k, lane)
             if batch:
                 tasks.append(asyncio.ensure_future(self._run_batch(k, batch)))
         if tasks:
@@ -294,10 +302,19 @@ class MicroBatcher:
         self._closed = True
         self._pool.shutdown(wait=wait)
 
-    def _pop(self, lane: _Lane) -> list:
-        """Detach up to ``max_batch`` pending requests and stop the timer."""
-        batch = lane.pending[: self.policy.max_batch]
-        del lane.pending[: self.policy.max_batch]
+    def _lane_limit(self, key) -> int:
+        """The lane's effective flush width: policy cap ∧ per-lane cap."""
+        if self._lane_cap is not None:
+            cap = self._lane_cap(key)
+            if cap is not None and cap > 0:
+                return min(self.policy.max_batch, int(cap))
+        return self.policy.max_batch
+
+    def _pop(self, key, lane: _Lane) -> list:
+        """Detach up to the lane's flush width and stop the timer."""
+        limit = self._lane_limit(key)
+        batch = lane.pending[:limit]
+        del lane.pending[:limit]
         if lane.timer is not None and not lane.timer.done():
             lane.timer.cancel()
         lane.timer = None
@@ -309,7 +326,12 @@ class MicroBatcher:
         except asyncio.CancelledError:
             return
         lane.timer = None
-        batch = self._pop(lane)
+        batch = self._pop(key, lane)
+        if lane.pending and lane.timer is None:
+            # A shrunken lane cap can leave a remainder behind the pop;
+            # re-arm so those requests are not stranded until the next
+            # submission happens to arrive.
+            lane.timer = asyncio.ensure_future(self._delayed_flush(key, lane))
         if batch:
             await self._run_batch(key, batch)
 

@@ -46,6 +46,21 @@ class TestSampleIntermediateDeltas:
         full = sample_intermediate_deltas(graph, segment_width=32, max_stripes=10**6)
         assert 0 < capped.size < full.size
 
+    def test_max_records_caps_the_sample(self):
+        graph = erdos_renyi_graph(400, 4.0, seed=10)
+        full = sample_intermediate_deltas(graph, segment_width=32)
+        capped = sample_intermediate_deltas(graph, segment_width=32, max_records=50)
+        assert capped.size <= 50
+        assert 0 < capped.size < full.size
+        # The cap truncates the stream, never rewrites its prefix.
+        assert np.array_equal(capped, full[: capped.size])
+
+    def test_max_records_zero_yields_empty(self):
+        graph = erdos_renyi_graph(100, 3.0, seed=11)
+        deltas = sample_intermediate_deltas(graph, segment_width=16, max_records=0)
+        assert deltas.size == 0
+        assert deltas.dtype == np.int64
+
     def test_single_stripe_equals_unique_rows(self):
         graph = erdos_renyi_graph(200, 3.0, seed=3)
         # One stripe spanning every column: the intermediate indices are
@@ -102,3 +117,15 @@ class TestAutotuneReport:
         assert report.sampled_deltas == 0
         assert report.vldi_block_bits == 0
         assert report.config.vldi_vector_block_bits is None
+
+    def test_segment_width_beyond_columns_is_rejected(self):
+        from repro.faults.errors import ConfigurationError
+
+        graph = erdos_renyi_graph(120, 3.0, seed=12)
+        with pytest.raises(ConfigurationError, match="exceeds the matrix"):
+            autotune(graph, segment_width=graph.n_cols + 1)
+
+    def test_segment_width_at_column_count_is_accepted(self):
+        graph = erdos_renyi_graph(120, 3.0, seed=13)
+        report = autotune(graph, segment_width=graph.n_cols)
+        assert report.config.segment_width == graph.n_cols
